@@ -1,0 +1,53 @@
+// Ablation that TESTS a claim the paper makes but does not measure:
+// Eq. 3's emission ignores the GTBW values during the download
+// (C_{sn+1}..C_en); the paper asserts "this simplification does not have
+// a significant impact". The kMultiWindow emission variant accounts for
+// the expected bandwidth drift over the download span — if the paper is
+// right, its accuracy gain should be marginal.
+#include <cstdio>
+
+#include "abr/abr_factory.hpp"
+#include "bench_common.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "sim/session.hpp"
+
+using namespace veritas;
+
+int main() {
+  const std::size_t n = query::bench_trace_count(15);
+  std::printf(
+      "== Ablation: single-window (paper Eq. 3) vs multi-window emission "
+      "(%zu traces/family) ==\n",
+      n);
+  const video::Video video(video::default_video_config());
+  for (const auto family :
+       {trace::TraceFamily::kFccLike, trace::TraceFamily::kSquareWave}) {
+    const auto traces = trace::make_traces(family, n, 808);
+    std::printf("\nfamily: %s\n", trace::family_name(family));
+    for (const auto estimator :
+         {core::EmissionModel::Estimator::kFullTcp,
+          core::EmissionModel::Estimator::kMultiWindow}) {
+      core::VeritasConfig cfg;
+      cfg.estimator = estimator;
+      const core::Veritas veritas(cfg);
+      std::vector<double> errors;
+      for (const auto& gtbw : traces) {
+        auto abr = abr::make_abr("mpc");
+        const net::NetworkPath path(gtbw, 0.08);
+        const auto log = sim::run_session(video, *abr, path).log;
+        errors.push_back(
+            gtbw.mean_abs_diff_mbps(veritas.infer(log).map_trace));
+      }
+      std::printf("  %-14s median |GTBW - MAP| = %.3f Mbps\n",
+                  estimator == core::EmissionModel::Estimator::kFullTcp
+                      ? "single-window"
+                      : "multi-window",
+                  util::median(errors));
+    }
+  }
+  std::printf(
+      "\nreading: if the two rows are close, the paper's Eq. 3 "
+      "simplification is validated.\n");
+  return 0;
+}

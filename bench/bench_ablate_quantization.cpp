@@ -1,0 +1,62 @@
+// Ablation: quantization hyperparameters — GTBW grid ε and window δ.
+// Finer grids improve accuracy at quadratic cost in the state count;
+// smaller δ refines timing at linear cost in windows.
+#include <chrono>
+#include <cstdio>
+
+#include "abr/abr_factory.hpp"
+#include "bench_common.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "sim/session.hpp"
+
+using namespace veritas;
+
+namespace {
+
+struct Sweep {
+  double epsilon, delta;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t n = query::bench_trace_count(8);
+  std::printf("== Ablation: quantization (ε, δ) over %zu traces ==\n", n);
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, n, 31);
+  const video::Video video(video::default_video_config());
+
+  // Pre-run the deployments once.
+  std::vector<sim::SessionLog> logs;
+  for (const auto& gtbw : traces) {
+    auto abr = abr::make_abr("mpc");
+    const net::NetworkPath path(gtbw, 0.08);
+    logs.push_back(sim::run_session(video, *abr, path).log);
+  }
+
+  std::printf("%8s %8s %10s %22s %14s\n", "ε (Mbps)", "δ (s)", "states",
+              "median |GTBW-MAP| (Mbps)", "infer time (ms)");
+  const std::vector<Sweep> sweeps{{0.25, 5.0}, {0.5, 5.0},  {1.0, 5.0},
+                                  {2.0, 5.0},  {0.5, 1.0},  {0.5, 10.0}};
+  for (const auto& s : sweeps) {
+    core::VeritasConfig cfg;
+    cfg.epsilon_mbps = s.epsilon;
+    cfg.delta_s = s.delta;
+    const core::Veritas veritas(cfg);
+    std::vector<double> errors;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      errors.push_back(
+          traces[i].mean_abs_diff_mbps(veritas.infer(logs[i]).map_trace));
+    }
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count() /
+                         double(logs.size());
+    const std::size_t states =
+        core::StateSpace(s.epsilon, cfg.max_mbps).size();
+    std::printf("%8.2f %8.1f %10zu %22.3f %14.2f\n", s.epsilon, s.delta,
+                states, util::median(errors), elapsed);
+  }
+  return 0;
+}

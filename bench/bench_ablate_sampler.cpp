@@ -1,0 +1,56 @@
+// Ablation: how the final state is chosen before backward sampling —
+// pinned to the Viterbi MAP state (paper Algorithm 1) vs drawn from the
+// smoothed posterior (pure FFBS). FFBS yields properly calibrated
+// posterior draws; the paper's pinning trades a bit of diversity for
+// agreement with the MAP path.
+#include <cstdio>
+
+#include "abr/abr_factory.hpp"
+#include "bench_common.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "sim/session.hpp"
+
+using namespace veritas;
+
+int main() {
+  const std::size_t n = query::bench_trace_count(12);
+  std::printf("== Ablation: sampler last-state rule (%zu traces) ==\n", n);
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, n, 707);
+  const video::Video video(video::default_video_config());
+
+  for (const auto rule : {core::SamplerConfig::LastState::kViterbi,
+                          core::SamplerConfig::LastState::kPosterior}) {
+    core::VeritasConfig cfg;
+    cfg.sampler.last_state = rule;
+    const core::Veritas veritas(cfg);
+    std::vector<double> sample_err, spread;
+    for (const auto& gtbw : traces) {
+      auto abr = abr::make_abr("mpc");
+      const net::NetworkPath path(gtbw, 0.08);
+      const auto log = sim::run_session(video, *abr, path).log;
+      const auto result = veritas.infer(log);
+      double err = 0.0;
+      for (const auto& sample : result.samples) {
+        err += gtbw.mean_abs_diff_mbps(sample) / double(result.samples.size());
+      }
+      sample_err.push_back(err);
+      double pairwise = 0.0;
+      int pairs = 0;
+      for (std::size_t a = 0; a < result.samples.size(); ++a) {
+        for (std::size_t b = a + 1; b < result.samples.size(); ++b) {
+          pairwise += result.samples[a].mean_abs_diff_mbps(result.samples[b]);
+          ++pairs;
+        }
+      }
+      spread.push_back(pairwise / pairs);
+    }
+    std::printf(
+        "  %-10s mean sample error = %.3f Mbps, sample diversity = %.3f "
+        "Mbps\n",
+        rule == core::SamplerConfig::LastState::kViterbi ? "viterbi"
+                                                         : "posterior",
+        util::median(sample_err), util::median(spread));
+  }
+  return 0;
+}

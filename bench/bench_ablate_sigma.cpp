@@ -1,0 +1,52 @@
+// Ablation: emission noise σ. Too small -> overconfident, brittle to the
+// estimator's residual error; too large -> the posterior flattens and
+// samples scatter. The paper's 0.5 Mbps sits in the stable middle.
+#include <cstdio>
+
+#include "abr/abr_factory.hpp"
+#include "bench_common.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "sim/session.hpp"
+
+using namespace veritas;
+
+int main() {
+  const std::size_t n = query::bench_trace_count(10);
+  std::printf("== Ablation: emission noise σ over %zu traces ==\n", n);
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, n, 99);
+  const video::Video video(video::default_video_config());
+
+  std::vector<sim::SessionLog> logs;
+  for (const auto& gtbw : traces) {
+    auto abr = abr::make_abr("mpc");
+    const net::NetworkPath path(gtbw, 0.08);
+    logs.push_back(sim::run_session(video, *abr, path).log);
+  }
+
+  std::printf("%10s %24s %24s\n", "σ (Mbps)", "median |GTBW-MAP| (Mbps)",
+              "median sample spread (Mbps)");
+  for (const double sigma : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+    core::VeritasConfig cfg;
+    cfg.sigma_mbps = sigma;
+    const core::Veritas veritas(cfg);
+    std::vector<double> errors, spreads;
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      const auto result = veritas.infer(logs[i]);
+      errors.push_back(traces[i].mean_abs_diff_mbps(result.map_trace));
+      // Spread: mean pairwise distance between posterior samples.
+      double spread = 0.0;
+      int pairs = 0;
+      for (std::size_t a = 0; a < result.samples.size(); ++a) {
+        for (std::size_t b = a + 1; b < result.samples.size(); ++b) {
+          spread += result.samples[a].mean_abs_diff_mbps(result.samples[b]);
+          ++pairs;
+        }
+      }
+      spreads.push_back(pairs > 0 ? spread / pairs : 0.0);
+    }
+    std::printf("%10.2f %24.3f %24.3f\n", sigma, util::median(errors),
+                util::median(spreads));
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: transition prior — tridiagonal (paper default) vs uniform
+// (memoryless) vs banded. The temporal prior propagates certainty from
+// informative (large-chunk) windows into uncertain ones; it helps on
+// smooth traces and costs a little at sharp regime jumps.
+#include <cstdio>
+
+#include "abr/abr_factory.hpp"
+#include "bench_common.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "sim/session.hpp"
+
+using namespace veritas;
+
+namespace {
+
+double median_map_error(core::TransitionPrior prior,
+                        const std::vector<trace::BandwidthTrace>& traces) {
+  core::VeritasConfig cfg;
+  cfg.prior = prior;
+  const core::Veritas veritas(cfg);
+  const video::Video video(video::default_video_config());
+  std::vector<double> errors;
+  for (const auto& gtbw : traces) {
+    auto abr = abr::make_abr("mpc");
+    const net::NetworkPath path(gtbw, 0.08);
+    const auto log = sim::run_session(video, *abr, path).log;
+    errors.push_back(gtbw.mean_abs_diff_mbps(veritas.infer(log).map_trace));
+  }
+  return util::median(errors);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = query::bench_trace_count(15);
+  std::printf("== Ablation: transition prior (%zu traces per family) ==\n", n);
+  for (const auto family :
+       {trace::TraceFamily::kFccLike, trace::TraceFamily::kSquareWave}) {
+    const auto traces = trace::make_traces(family, n, 4242);
+    std::printf("\nfamily: %s\n", trace::family_name(family));
+    std::printf("  %-12s median |GTBW - MAP| = %.3f Mbps\n", "tridiagonal",
+                median_map_error(core::TransitionPrior::kTridiagonal, traces));
+    std::printf("  %-12s median |GTBW - MAP| = %.3f Mbps\n", "banded",
+                median_map_error(core::TransitionPrior::kBanded, traces));
+    std::printf("  %-12s median |GTBW - MAP| = %.3f Mbps\n", "uniform",
+                median_map_error(core::TransitionPrior::kUniform, traces));
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared plumbing for the figure-regeneration benches: each bench binary
+// reruns one of the paper's experiments end-to-end, prints the figure's
+// rows/series to stdout and (when possible) writes a CSV artifact under
+// bench_results/. Scale with VERITAS_BENCH_TRACES / VERITAS_BENCH_FAST=1.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "query/counterfactual.hpp"
+#include "query/experiment_setup.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "video/ladder_presets.hpp"
+
+namespace veritas::bench {
+
+/// Runs the standard counterfactual pipeline (deploy MPC/5s/default
+/// ladder on FCC-like traces, abduct, replay `setting_b`) over `count`
+/// traces.
+inline std::vector<query::CounterfactualOutcome> run_counterfactual_series(
+    const query::Setting& setting_b, std::size_t count,
+    std::uint64_t seed = 2024) {
+  const auto traces =
+      trace::make_traces(trace::TraceFamily::kFccLike, count, seed);
+  const video::Video video(video::default_video_config());
+  const query::Setting setting_a;  // the deployed system
+  const query::CounterfactualEngine engine;
+  std::vector<query::CounterfactualOutcome> outcomes;
+  outcomes.reserve(count);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    outcomes.push_back(
+        engine.evaluate(traces[i], video, setting_a, setting_b, i));
+  }
+  return outcomes;
+}
+
+using MetricAccessor = double (*)(const sim::QoeMetrics&);
+
+inline double metric_ssim(const sim::QoeMetrics& m) { return m.mean_ssim; }
+inline double metric_rebuffer(const sim::QoeMetrics& m) {
+  return m.rebuffer_ratio_pct;
+}
+inline double metric_bitrate(const sim::QoeMetrics& m) {
+  return m.avg_bitrate_mbps;
+}
+
+/// Prints one metric panel of a counterfactual figure (the paper plots
+/// per-trace curves; we print per-trace rows sorted by the ground-truth
+/// value plus the median summary) and returns the CSV text.
+inline std::string print_counterfactual_panel(
+    const char* title, const std::vector<query::CounterfactualOutcome>& outcomes,
+    MetricAccessor metric, const char* unit) {
+  std::printf("\n-- %s --\n", title);
+  std::printf("%6s %12s %12s %12s %12s\n", "trace", "oracle(GT)", "baseline",
+              "veritas_lo", "veritas_hi");
+
+  std::vector<std::size_t> order(outcomes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return metric(outcomes[a].actual) < metric(outcomes[b].actual);
+  });
+
+  std::ostringstream csv_stream;
+  util::CsvWriter csv(csv_stream);
+  csv.header({"trace", "oracle", "baseline", "veritas_low", "veritas_high"});
+
+  std::vector<double> gt, base, lo, hi;
+  for (const std::size_t i : order) {
+    const auto& o = outcomes[i];
+    gt.push_back(metric(o.actual));
+    base.push_back(metric(o.baseline));
+    lo.push_back(metric(o.veritas_low));
+    hi.push_back(metric(o.veritas_high));
+    std::printf("%6zu %12.4f %12.4f %12.4f %12.4f\n", i, metric(o.actual),
+                metric(o.baseline), metric(o.veritas_low),
+                metric(o.veritas_high));
+    csv.row(std::vector<double>{double(i), metric(o.actual),
+                                metric(o.baseline), metric(o.veritas_low),
+                                metric(o.veritas_high)});
+  }
+  std::printf("median [%s]: oracle=%.4f baseline=%.4f veritas=[%.4f, %.4f]\n",
+              unit, util::median(gt), util::median(base), util::median(lo),
+              util::median(hi));
+  return csv_stream.str();
+}
+
+/// Writes an artifact and reports where it went.
+inline void save_artifact(const std::string& name, const std::string& csv) {
+  if (const auto path = query::write_bench_artifact(name, csv)) {
+    std::printf("wrote %s\n", path->string().c_str());
+  }
+}
+
+}  // namespace veritas::bench

@@ -1,0 +1,22 @@
+// Paper Fig. 10: predicted performance if the buffer size were increased
+// from 5 s to 30 s (same MPC algorithm, same ladder).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace veritas;
+  const std::size_t n = query::bench_trace_count(40);
+  std::printf("== Fig. 10: counterfactual buffer 5 s -> 30 s over %zu traces ==\n",
+              n);
+  query::Setting large_buffer;
+  large_buffer.buffer_capacity_s = 30.0;
+  const auto outcomes = bench::run_counterfactual_series(large_buffer, n);
+  bench::save_artifact(
+      "fig10_ssim.csv",
+      bench::print_counterfactual_panel("(a) SSIM", outcomes,
+                                        bench::metric_ssim, "ssim"));
+  bench::save_artifact(
+      "fig10_rebuffer.csv",
+      bench::print_counterfactual_panel("(b) Rebuffering ratio (%)", outcomes,
+                                        bench::metric_rebuffer, "%"));
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Paper Fig. 13 (appendix): counterfactual change of ABR from MPC to
+// BOLA-Basic. Same qualitative story as Fig. 9.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace veritas;
+  const std::size_t n = query::bench_trace_count(40);
+  std::printf("== Fig. 13: counterfactual MPC -> BOLA over %zu traces ==\n", n);
+  query::Setting bola;
+  bola.abr = "bola";
+  const auto outcomes = bench::run_counterfactual_series(bola, n);
+  bench::save_artifact(
+      "fig13_ssim.csv",
+      bench::print_counterfactual_panel("(a) SSIM", outcomes,
+                                        bench::metric_ssim, "ssim"));
+  bench::save_artifact(
+      "fig13_rebuffer.csv",
+      bench::print_counterfactual_panel("(b) Rebuffering ratio (%)", outcomes,
+                                        bench::metric_rebuffer, "%"));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Paper Fig. 14 (appendix): average bitrate for every counterfactual
+// query — (a) true Setting A vs Setting B, (b) MPC->BBA, (c) MPC->BOLA,
+// (d) buffer 5s->30s, (e) higher qualities.
+#include "bench_common.hpp"
+
+using namespace veritas;
+
+namespace {
+
+void bitrate_panel(const char* name, const char* artifact,
+                   const query::Setting& setting_b, std::size_t n,
+                   std::uint64_t seed) {
+  const auto outcomes = bench::run_counterfactual_series(setting_b, n, seed);
+  bench::save_artifact(artifact, bench::print_counterfactual_panel(
+                                     name, outcomes, bench::metric_bitrate,
+                                     "Mbps"));
+  // Panel (a) context for this query: the deployed Setting A bitrates.
+  std::vector<double> a, b;
+  for (const auto& o : outcomes) {
+    a.push_back(o.setting_a.avg_bitrate_mbps);
+    b.push_back(o.actual.avg_bitrate_mbps);
+  }
+  std::printf("   setting A median = %.2f Mbps, true setting B median = %.2f Mbps\n",
+              util::median(a), util::median(b));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = query::bench_trace_count(25);
+  std::printf("== Fig. 14: average bitrate under each counterfactual (%zu traces) ==\n",
+              n);
+
+  query::Setting bba;
+  bba.abr = "bba";
+  bitrate_panel("(b) Avg. bitrate, MPC -> BBA", "fig14b_bitrate.csv", bba, n,
+                2024);
+
+  query::Setting bola;
+  bola.abr = "bola";
+  bitrate_panel("(c) Avg. bitrate, MPC -> BOLA", "fig14c_bitrate.csv", bola, n,
+                2024);
+
+  query::Setting buffer;
+  buffer.buffer_capacity_s = 30.0;
+  bitrate_panel("(d) Avg. bitrate, buffer 5 s -> 30 s", "fig14d_bitrate.csv",
+                buffer, n, 2024);
+
+  query::Setting high;
+  high.ladder = video::high_ladder();
+  bitrate_panel("(e) Avg. bitrate, higher qualities", "fig14e_bitrate.csv",
+                high, n, 2024);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Paper Fig. 7: one example trace — (a) GTBW vs the Baseline estimate,
+// (b) GTBW vs five Veritas posterior samples. Baseline is conservative
+// in stretches where the deployed ABR picked small chunks; Veritas
+// samples track GTBW and widen only where the data is uninformative.
+#include <cstdio>
+
+#include "abr/abr_factory.hpp"
+#include "bench_common.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "sim/session.hpp"
+#include "util/ascii_plot.hpp"
+
+using namespace veritas;
+
+int main() {
+  std::printf("== Fig. 7: example GTBW inference ==\n");
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 3, 2024);
+  const trace::BandwidthTrace& gtbw = traces[2];
+  const video::Video video(video::default_video_config());
+  auto abr = abr::make_abr("mpc");
+  const net::NetworkPath path(gtbw, 0.08);
+  const auto deployed = sim::run_session(video, *abr, path);
+
+  const core::Veritas veritas;
+  const core::VeritasResult inference = veritas.infer(deployed.log);
+  const auto baseline = veritas.baseline(deployed.log);
+
+  std::ostringstream csv_stream;
+  util::CsvWriter csv(csv_stream);
+  csv.header({"time_s", "gtbw", "baseline", "map", "s0", "s1", "s2", "s3",
+              "s4"});
+  std::printf("%8s %8s %10s %8s %40s\n", "time", "GTBW", "baseline", "MAP",
+              "samples 0..4");
+  const double horizon = deployed.log.chunks.back().end_s;
+  for (double t = 0.0; t < horizon; t += 10.0) {
+    std::printf("%8.0f %8.2f %10.2f %8.2f   ", t, gtbw.at(t), baseline.at(t),
+                inference.map_trace.at(t));
+    std::vector<double> row{t, gtbw.at(t), baseline.at(t),
+                            inference.map_trace.at(t)};
+    for (const auto& sample : inference.samples) {
+      std::printf("%7.2f", sample.at(t));
+      row.push_back(sample.at(t));
+    }
+    std::printf("\n");
+    csv.row(row);
+  }
+  bench::save_artifact("fig7_example_inference.csv", csv_stream.str());
+
+  // Render the two panels the way the paper draws them.
+  auto sample_trace = [&](const trace::BandwidthTrace& trace) {
+    std::vector<double> ys;
+    for (double t = 0.0; t < horizon; t += 2.0) ys.push_back(trace.at(t));
+    return ys;
+  };
+  {
+    std::vector<util::PlotSeries> panel_a{
+        {"GTBW", sample_trace(gtbw), '#'},
+        {"Baseline", sample_trace(baseline), 'o'}};
+    std::printf("\n(a) GTBW vs Baseline (x: 0..%.0f s, y: Mbps)\n%s", horizon,
+                util::render_plot(panel_a).c_str());
+  }
+  {
+    std::vector<util::PlotSeries> panel_b{
+        {"GTBW", sample_trace(gtbw), '#'},
+        {"Veritas samples", {}, '.'}};
+    // Overlay all five samples under one glyph, like the paper's panel.
+    panel_b[1].values = sample_trace(inference.samples[0]);
+    std::vector<util::PlotSeries> series{panel_b[0]};
+    for (const auto& sample : inference.samples) {
+      series.push_back({"Veritas samples", sample_trace(sample), '.'});
+    }
+    std::printf("\n(b) GTBW vs Veritas samples (x: 0..%.0f s, y: Mbps)\n%s",
+                horizon, util::render_plot(series).c_str());
+  }
+
+  std::printf("\nmean |GTBW - baseline| = %.3f Mbps\n",
+              gtbw.mean_abs_diff_mbps(baseline));
+  std::printf("mean |GTBW - MAP|      = %.3f Mbps\n",
+              gtbw.mean_abs_diff_mbps(inference.map_trace));
+  for (std::size_t k = 0; k < inference.samples.size(); ++k) {
+    std::printf("mean |GTBW - sample %zu| = %.3f Mbps\n", k,
+                gtbw.mean_abs_diff_mbps(inference.samples[k]));
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Paper Fig. 9: predicted performance if the ABR were changed from MPC
+// to BBA. Baseline over-predicts rebuffering / under-predicts SSIM;
+// Veritas's (Low, High) bracket stays close to the oracle.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace veritas;
+  const std::size_t n = query::bench_trace_count(40);
+  std::printf("== Fig. 9: counterfactual MPC -> BBA over %zu FCC-like traces ==\n",
+              n);
+  query::Setting bba;
+  bba.abr = "bba";
+  const auto outcomes = bench::run_counterfactual_series(bba, n);
+  bench::save_artifact(
+      "fig9_ssim.csv",
+      bench::print_counterfactual_panel("(a) SSIM", outcomes,
+                                        bench::metric_ssim, "ssim"));
+  bench::save_artifact(
+      "fig9_rebuffer.csv",
+      bench::print_counterfactual_panel("(b) Rebuffering ratio (%)", outcomes,
+                                        bench::metric_rebuffer, "%"));
+  return 0;
+}

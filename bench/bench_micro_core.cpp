@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark) for the core inference primitives:
+// Viterbi, forward-backward, posterior sampling, transition powers, the
+// TCP simulator and the estimator f, plus a full end-to-end infer().
+#include <benchmark/benchmark.h>
+
+#include "abr/abr_factory.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "net/throughput_estimator.hpp"
+#include "sim/session.hpp"
+#include "trace/trace_generator.hpp"
+#include "video/ladder_presets.hpp"
+
+namespace {
+
+using namespace veritas;
+
+const sim::SessionLog& shared_log() {
+  static const sim::SessionLog log = [] {
+    const auto traces =
+        trace::make_traces(trace::TraceFamily::kFccLike, 1, 2024);
+    const video::Video video(video::default_video_config());
+    auto abr = abr::make_abr("mpc");
+    const net::NetworkPath path(traces[0], 0.08);
+    return sim::run_session(video, *abr, path).log;
+  }();
+  return log;
+}
+
+void BM_Viterbi(benchmark::State& state) {
+  const core::Veritas veritas;
+  const core::Ehmm ehmm = veritas.make_ehmm();
+  const auto obs = core::observations_from_log(shared_log());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ehmm.viterbi(obs));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
+}
+BENCHMARK(BM_Viterbi);
+
+void BM_ForwardBackward(benchmark::State& state) {
+  const core::Veritas veritas;
+  const core::Ehmm ehmm = veritas.make_ehmm();
+  const auto obs = core::observations_from_log(shared_log());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ehmm.forward_backward(obs));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
+}
+BENCHMARK(BM_ForwardBackward);
+
+void BM_PosteriorSample(benchmark::State& state) {
+  const core::Veritas veritas;
+  const core::Ehmm ehmm = veritas.make_ehmm();
+  const auto obs = core::observations_from_log(shared_log());
+  const auto viterbi = ehmm.viterbi(obs);
+  const auto fb = ehmm.forward_backward(obs);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sample_capacity_states(viterbi, fb, rng));
+  }
+}
+BENCHMARK(BM_PosteriorSample);
+
+void BM_FullInfer(benchmark::State& state) {
+  const core::Veritas veritas;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(veritas.infer(shared_log()));
+  }
+}
+BENCHMARK(BM_FullInfer);
+
+void BM_TransitionPower(benchmark::State& state) {
+  const auto model = core::TransitionModel::tridiagonal(21);
+  for (auto _ : state) {
+    // Cold cache each round: build a fresh power via matrix_power.
+    benchmark::DoNotOptimize(
+        math::matrix_power(model.matrix(), std::size_t(state.range(0))));
+  }
+}
+BENCHMARK(BM_TransitionPower)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_EstimatorF(benchmark::State& state) {
+  net::TcpState w;
+  w.cwnd_segments = 25.0;
+  w.ssthresh_segments = 30.0;
+  w.last_send_gap_s = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::estimate_throughput_mbps(4.0, w, double(state.range(0))));
+  }
+}
+BENCHMARK(BM_EstimatorF)->Arg(25000)->Arg(250000)->Arg(1000000);
+
+void BM_TcpDownload(benchmark::State& state) {
+  const auto bw = trace::BandwidthTrace::constant(5.0, 100000.0, 5.0);
+  for (auto _ : state) {
+    net::TcpConnection conn(net::TcpConfig{}, 0.08);
+    benchmark::DoNotOptimize(conn.download(bw, 0.0, double(state.range(0))));
+  }
+}
+BENCHMARK(BM_TcpDownload)->Arg(25000)->Arg(1000000);
+
+void BM_FullSession(benchmark::State& state) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 7);
+  const video::Video video(video::default_video_config());
+  const net::NetworkPath path(traces[0], 0.08);
+  for (auto _ : state) {
+    auto abr = abr::make_abr("mpc");
+    benchmark::DoNotOptimize(sim::run_session(video, *abr, path));
+  }
+}
+BENCHMARK(BM_FullSession);
+
+}  // namespace
+
+BENCHMARK_MAIN();

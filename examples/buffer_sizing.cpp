@@ -1,0 +1,50 @@
+// Scenario: capacity planning for client buffer size (the paper's
+// Fig. 10 question, extended to a sweep). A larger buffer improves
+// quality/rebuffering but hurts liveness; the designer wants the
+// smallest buffer that meets a QoE target — evaluated counterfactually
+// from existing 5-second-buffer logs.
+#include <cstdio>
+
+#include "query/counterfactual.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/stats.hpp"
+#include "video/ladder_presets.hpp"
+
+int main() {
+  using namespace veritas;
+
+  const std::size_t num_sessions = 8;
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike,
+                                         num_sessions, /*seed=*/616);
+  const video::Video video(video::default_video_config());
+  const query::Setting deployed;  // mpc / 5 s
+  const query::CounterfactualEngine engine;
+
+  std::printf("buffer sizing sweep from %zu recorded 5-second-buffer sessions\n\n",
+              num_sessions);
+  std::printf("%10s %18s %18s %20s\n", "buffer(s)", "veritas SSIM[lo,hi]",
+              "veritas reb%[lo,hi]", "oracle SSIM / reb%");
+  for (const double buffer_s : {5.0, 10.0, 15.0, 30.0, 60.0}) {
+    query::Setting candidate;
+    candidate.buffer_capacity_s = buffer_s;
+    std::vector<double> lo_ssim, hi_ssim, lo_reb, hi_reb, gt_ssim, gt_reb;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const auto o = engine.evaluate(traces[i], video, deployed, candidate, i);
+      lo_ssim.push_back(o.veritas_low.mean_ssim);
+      hi_ssim.push_back(o.veritas_high.mean_ssim);
+      lo_reb.push_back(o.veritas_low.rebuffer_ratio_pct);
+      hi_reb.push_back(o.veritas_high.rebuffer_ratio_pct);
+      gt_ssim.push_back(o.actual.mean_ssim);
+      gt_reb.push_back(o.actual.rebuffer_ratio_pct);
+    }
+    std::printf("%10.0f   [%6.4f, %6.4f]   [%5.2f, %5.2f]     %6.4f / %5.2f\n",
+                buffer_s, util::median(lo_ssim), util::median(hi_ssim),
+                util::median(lo_reb), util::median(hi_reb),
+                util::median(gt_ssim), util::median(gt_reb));
+  }
+  std::printf(
+      "\nreading: the marginal benefit of buffer beyond ~15 s is small for "
+      "these sessions — and the decision was made without re-running a "
+      "single live experiment.\n");
+  return 0;
+}

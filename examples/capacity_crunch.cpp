@@ -1,0 +1,59 @@
+// Scenario from the paper's introduction: "during the COVID crisis, many
+// video publishers restricted the maximum bit rate" — before doing that
+// globally, a publisher wants to know, from existing logs alone, what
+// capping the ladder would do to quality and rebuffering.
+#include <cstdio>
+
+#include "query/counterfactual.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/stats.hpp"
+#include "video/ladder_presets.hpp"
+
+int main() {
+  using namespace veritas;
+
+  const std::size_t num_sessions = 8;
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike,
+                                         num_sessions, /*seed=*/321);
+  const video::Video video(video::default_video_config());
+  const query::Setting deployed;  // mpc / 5 s / full 0.1-4.0 Mbps ladder
+
+  // The capped ladder: drop the top rung(s).
+  video::Ladder capped = video::default_ladder();
+  capped.pop_back();  // remove 4.0 Mbps
+  query::Setting crunch;
+  crunch.ladder = capped;
+
+  const query::CounterfactualEngine engine;
+  std::vector<double> ssim_before, ssim_after_lo, ssim_after_hi;
+  std::vector<double> reb_after_lo, reb_after_hi, bitrate_after_hi;
+  std::vector<double> oracle_ssim, oracle_bitrate;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const auto o = engine.evaluate(traces[i], video, deployed, crunch, i);
+    ssim_before.push_back(o.setting_a.mean_ssim);
+    ssim_after_lo.push_back(o.veritas_low.mean_ssim);
+    ssim_after_hi.push_back(o.veritas_high.mean_ssim);
+    reb_after_lo.push_back(o.veritas_low.rebuffer_ratio_pct);
+    reb_after_hi.push_back(o.veritas_high.rebuffer_ratio_pct);
+    bitrate_after_hi.push_back(o.veritas_high.avg_bitrate_mbps);
+    oracle_ssim.push_back(o.actual.mean_ssim);
+    oracle_bitrate.push_back(o.actual.avg_bitrate_mbps);
+  }
+
+  std::printf("capacity crunch: cap the ladder at %.1f Mbps (was 4.0)\n\n",
+              capped.back().bitrate_mbps);
+  std::printf("deployed (uncapped) median SSIM : %.4f\n",
+              util::median(ssim_before));
+  std::printf("predicted capped SSIM (veritas) : [%.4f, %.4f]   oracle: %.4f\n",
+              util::median(ssim_after_lo), util::median(ssim_after_hi),
+              util::median(oracle_ssim));
+  std::printf("predicted capped rebuffering    : [%.2f%%, %.2f%%]\n",
+              util::median(reb_after_lo), util::median(reb_after_hi));
+  std::printf("predicted capped avg bitrate    : %.2f Mbps   oracle: %.2f Mbps\n",
+              util::median(bitrate_after_hi), util::median(oracle_bitrate));
+  std::printf(
+      "\nreading: the cap saves ~%.0f%% of bytes at a quantified, small "
+      "SSIM cost — decided entirely from logs.\n",
+      100.0 * (1.0 - util::median(bitrate_after_hi) / 4.0));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: the complete Veritas loop on a single session.
+//
+//   1. emulate a deployment: MPC over a synthetic ground-truth bandwidth
+//      (GTBW) trace -> session log (sizes, timings, TCP states);
+//   2. abduction: infer the posterior over the latent GTBW from the log
+//      alone; compare the MAP trace and the Baseline estimate to the GT;
+//   3. counterfactual: "what if the buffer had been 30 s instead of 5 s?"
+//      -> replay under GT (oracle), Baseline and Veritas samples.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "abr/abr_factory.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "query/counterfactual.hpp"
+#include "sim/session.hpp"
+#include "trace/trace_generator.hpp"
+#include "video/ladder_presets.hpp"
+
+int main() {
+  using namespace veritas;
+
+  // --- 1. Deployment (Setting A): MPC, 5 s buffer, default ladder. ---
+  trace::MarkovTraceConfig trace_config;  // 3-8 Mbps FCC-like process
+  const trace::BandwidthTrace gtbw = trace::markov_trace(trace_config, 7);
+
+  const video::Video video(video::default_video_config());
+  const net::NetworkPath path(gtbw, /*rtt_s=*/0.08);
+  const auto mpc = abr::make_abr("mpc");
+  const sim::SessionResult deployed = sim::run_session(video, *mpc, path);
+  const sim::QoeMetrics deployed_metrics =
+      sim::compute_metrics(video, deployed);
+
+  std::printf("deployed session (MPC, 5s buffer):\n");
+  std::printf("  chunks=%zu  mean SSIM=%.4f  rebuffer=%.2f%%  bitrate=%.2f Mbps\n",
+              deployed.log.size(), deployed_metrics.mean_ssim,
+              deployed_metrics.rebuffer_ratio_pct,
+              deployed_metrics.avg_bitrate_mbps);
+
+  // --- 2. Abduction: invert the log into GTBW hypotheses. ---
+  const core::Veritas veritas;  // paper defaults: δ=5s, ε=0.5, σ=0.5
+  const core::VeritasResult inference = veritas.infer(deployed.log);
+  const trace::BandwidthTrace baseline = veritas.baseline(deployed.log);
+
+  std::printf("\nabduction over %zu posterior samples:\n",
+              inference.samples.size());
+  std::printf("  mean |GTBW - map|      = %.3f Mbps\n",
+              gtbw.mean_abs_diff_mbps(inference.map_trace));
+  std::printf("  mean |GTBW - baseline| = %.3f Mbps\n",
+              gtbw.mean_abs_diff_mbps(baseline));
+  for (std::size_t k = 0; k < inference.samples.size(); ++k) {
+    std::printf("  mean |GTBW - sample %zu| = %.3f Mbps\n", k,
+                gtbw.mean_abs_diff_mbps(inference.samples[k]));
+  }
+
+  // --- 3. Counterfactual: what if the buffer had been 30 s? ---
+  query::Setting setting_a;  // mpc / 5 s
+  query::Setting setting_b;
+  setting_b.buffer_capacity_s = 30.0;
+
+  const query::CounterfactualEngine engine;
+  const query::CounterfactualOutcome outcome =
+      engine.evaluate(gtbw, video, setting_a, setting_b, /*seed=*/1);
+
+  std::printf("\ncounterfactual: buffer 5s -> 30s\n");
+  std::printf("  %-18s SSIM=%.4f  rebuffer=%.2f%%  bitrate=%.2f\n", "oracle (GT):",
+              outcome.actual.mean_ssim, outcome.actual.rebuffer_ratio_pct,
+              outcome.actual.avg_bitrate_mbps);
+  std::printf("  %-18s SSIM=%.4f  rebuffer=%.2f%%  bitrate=%.2f\n", "baseline:",
+              outcome.baseline.mean_ssim, outcome.baseline.rebuffer_ratio_pct,
+              outcome.baseline.avg_bitrate_mbps);
+  std::printf("  %-18s SSIM=%.4f..%.4f  rebuffer=%.2f..%.2f%%\n",
+              "veritas (low..high):", outcome.veritas_low.mean_ssim,
+              outcome.veritas_high.mean_ssim,
+              outcome.veritas_low.rebuffer_ratio_pct,
+              outcome.veritas_high.rebuffer_ratio_pct);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Scenario: instead of the paper's fixed tridiagonal transition prior, a
+// publisher with a large log archive can FIT the GTBW dynamics with the
+// library's Baum-Welch extension, then run counterfactuals with the
+// learned model. (Extension beyond the paper; see DESIGN.md.)
+#include <cstdio>
+
+#include "abr/abr_factory.hpp"
+#include "core/baum_welch.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "sim/session.hpp"
+#include "trace/trace_generator.hpp"
+#include "video/ladder_presets.hpp"
+
+int main() {
+  using namespace veritas;
+
+  // Collect logs from a small deployment.
+  const std::size_t sessions = 6;
+  const auto traces =
+      trace::make_traces(trace::TraceFamily::kFccLike, sessions, 818);
+  const video::Video video(video::default_video_config());
+  std::vector<std::vector<core::ChunkObservation>> observations;
+  std::vector<sim::SessionLog> logs;
+  for (const auto& t : traces) {
+    auto abr = abr::make_abr("mpc");
+    const net::NetworkPath path(t, 0.08);
+    logs.push_back(sim::run_session(video, *abr, path).log);
+    observations.push_back(core::observations_from_log(logs.back()));
+  }
+
+  // Fit transitions + emission noise by EM, starting from the defaults.
+  const core::Veritas defaults;
+  core::BaumWelchConfig em;
+  em.max_iterations = 10;
+  em.update_sigma = true;
+  const core::BaumWelchResult trained =
+      core::baum_welch_train(defaults.make_ehmm(), observations, em);
+
+  std::printf("Baum-Welch fit over %zu sessions (%zu iterations):\n", sessions,
+              trained.iterations);
+  for (std::size_t i = 0; i < trained.log_likelihoods.size(); ++i) {
+    std::printf("  iter %2zu  total log-likelihood = %.1f\n", i,
+                trained.log_likelihoods[i]);
+  }
+  std::printf("fitted emission noise sigma = %.3f Mbps (prior: 0.5)\n",
+              trained.sigma_mbps);
+
+  // Mean self-transition mass: how sticky did the data say GTBW is?
+  double stay = 0.0;
+  for (std::size_t i = 0; i < trained.transition.states(); ++i) {
+    stay += trained.transition.matrix()(i, i);
+  }
+  stay /= double(trained.transition.states());
+  std::printf("mean fitted P(stay) = %.3f (tridiagonal prior used 0.8)\n",
+              stay);
+
+  // Inference accuracy: default prior vs fitted model on a held-out log.
+  const auto holdout_trace = trace::make_traces(
+      trace::TraceFamily::kFccLike, 1, /*seed=*/919)[0];
+  auto abr = abr::make_abr("mpc");
+  const net::NetworkPath path(holdout_trace, 0.08);
+  const auto holdout_log = sim::run_session(video, *abr, path).log;
+
+  const auto default_map = defaults.infer(holdout_log).map_trace;
+  // Build a Veritas with the fitted sigma; transitions are plugged in by
+  // constructing the EHMM directly.
+  const core::Ehmm fitted_ehmm(
+      core::StateSpace(0.5, 10.0), trained.transition,
+      core::EmissionModel(trained.sigma_mbps), 5.0);
+  const auto obs = core::observations_from_log(holdout_log);
+  const auto fitted_viterbi = fitted_ehmm.viterbi(obs);
+  const auto fitted_map = core::states_to_trace(
+      fitted_ehmm.space(), fitted_viterbi.states, obs, 5.0,
+      obs.back().end_s + 5.0);
+
+  std::printf("\nheld-out inference error (mean |GTBW - MAP|):\n");
+  std::printf("  default prior : %.3f Mbps\n",
+              holdout_trace.mean_abs_diff_mbps(default_map));
+  std::printf("  fitted model  : %.3f Mbps\n",
+              holdout_trace.mean_abs_diff_mbps(fitted_map));
+  return 0;
+}

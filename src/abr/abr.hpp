@@ -1,0 +1,61 @@
+// Adaptive bitrate (ABR) algorithm interface.
+//
+// An ABR sees the video, the current buffer level and the history of
+// completed chunk downloads, and picks the quality of the next chunk.
+// Implementations: MPC (the paper's default deployed algorithm), BBA,
+// BOLA-Basic, a rate-based picker, a fixed picker, and a random picker
+// (used to create interventional test sets, paper §4.4).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "video/video.hpp"
+
+namespace veritas::abr {
+
+/// One completed chunk download, as visible to the client player.
+struct DownloadedChunk {
+  std::size_t chunk_index = 0;
+  std::size_t quality = 0;
+  double size_bytes = 0.0;
+  double duration_s = 0.0;  ///< download time D_n
+
+  /// Observed throughput Y_n = S_n / D_n in Mbps.
+  double throughput_mbps() const noexcept {
+    return size_bytes * 8.0 / 1e6 / duration_s;
+  }
+};
+
+/// Everything an ABR may condition on when choosing the next quality.
+struct AbrContext {
+  const video::Video* video = nullptr;       ///< never null
+  std::size_t next_chunk = 0;                ///< chunk to pick quality for
+  double buffer_s = 0.0;                     ///< buffer level at request time
+  double buffer_capacity_s = 5.0;
+  std::span<const DownloadedChunk> history;  ///< completed downloads so far
+};
+
+/// Stateless-per-session ABR decision procedure. reset() is called at the
+/// start of every session; implementations may keep per-session state.
+class AbrAlgorithm {
+ public:
+  virtual ~AbrAlgorithm() = default;
+
+  /// Picks a quality index in [0, video->num_qualities()).
+  virtual std::size_t choose_quality(const AbrContext& context) = 0;
+
+  /// Clears per-session state.
+  virtual void reset() {}
+
+  /// Stable identifier (used in logs and bench output).
+  virtual std::string name() const = 0;
+};
+
+/// Harmonic mean of the last `window` observed throughputs (Mbps); falls
+/// back to `fallback_mbps` with no history. Shared by MPC and rate-based.
+double harmonic_mean_throughput(std::span<const DownloadedChunk> history,
+                                std::size_t window, double fallback_mbps);
+
+}  // namespace veritas::abr

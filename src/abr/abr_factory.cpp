@@ -1,0 +1,54 @@
+#include "abr/abr_factory.hpp"
+
+#include <charconv>
+
+#include "abr/bba.hpp"
+#include "abr/bola.hpp"
+#include "abr/fixed_abr.hpp"
+#include "abr/mpc.hpp"
+#include "abr/random_abr.hpp"
+#include "abr/rate_based.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::abr {
+
+// Shared helper declared in abr.hpp.
+double harmonic_mean_throughput(std::span<const DownloadedChunk> history,
+                                std::size_t window, double fallback_mbps) {
+  VERITAS_EXPECTS(window >= 1);
+  VERITAS_EXPECTS(fallback_mbps > 0.0);
+  if (history.empty()) return fallback_mbps;
+  const std::size_t n = std::min(window, history.size());
+  double inv_sum = 0.0;
+  std::size_t used = 0;
+  for (std::size_t k = history.size() - n; k < history.size(); ++k) {
+    const double y = history[k].throughput_mbps();
+    if (y > 0.0) {
+      inv_sum += 1.0 / y;
+      ++used;
+    }
+  }
+  if (used == 0) return fallback_mbps;
+  return static_cast<double>(used) / inv_sum;
+}
+
+std::unique_ptr<AbrAlgorithm> make_abr(const std::string& name,
+                                       std::uint64_t seed) {
+  if (name == "mpc") return std::make_unique<Mpc>();
+  if (name == "bba") return std::make_unique<Bba>();
+  if (name == "bola") return std::make_unique<Bola>();
+  if (name == "rate_based") return std::make_unique<RateBased>();
+  if (name == "random") return std::make_unique<RandomAbr>(seed);
+  if (name.rfind("fixed:", 0) == 0) {
+    const std::string level_text = name.substr(6);
+    std::size_t level = 0;
+    const auto* begin = level_text.data();
+    const auto* end = level_text.data() + level_text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, level);
+    VERITAS_EXPECTS(ec == std::errc{} && ptr == end);
+    return std::make_unique<FixedAbr>(level);
+  }
+  throw ContractViolation("unknown ABR algorithm: " + name);
+}
+
+}  // namespace veritas::abr

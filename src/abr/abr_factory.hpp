@@ -1,0 +1,19 @@
+// Factory for ABR algorithms by name, so experiment settings can be
+// described as data (query::Setting) and round-tripped through logs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "abr/abr.hpp"
+
+namespace veritas::abr {
+
+/// Creates an ABR by name: "mpc", "bba", "bola", "rate_based", "random",
+/// "fixed:<level>". Throws ContractViolation for unknown names.
+/// `seed` is used by stochastic algorithms (random).
+std::unique_ptr<AbrAlgorithm> make_abr(const std::string& name,
+                                       std::uint64_t seed = 0);
+
+}  // namespace veritas::abr

@@ -1,0 +1,33 @@
+#include "abr/bba.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace veritas::abr {
+
+Bba::Bba(BbaConfig config) : config_(config) {
+  VERITAS_EXPECTS(config_.reservoir_s >= 0.0);
+  VERITAS_EXPECTS(config_.upper_fraction > 0.0 && config_.upper_fraction <= 1.0);
+}
+
+std::size_t Bba::choose_quality(const AbrContext& context) {
+  VERITAS_EXPECTS(context.video != nullptr);
+  const std::size_t levels = context.video->num_qualities();
+  const double reservoir =
+      std::min(config_.reservoir_s, 0.5 * context.buffer_capacity_s);
+  const double upper = config_.upper_fraction * context.buffer_capacity_s;
+  VERITAS_EXPECTS(upper > reservoir);
+
+  if (context.buffer_s <= reservoir) return 0;
+  if (context.buffer_s >= upper) return levels - 1;
+  // Linear map of the cushion region onto intermediate rungs.
+  const double fraction =
+      (context.buffer_s - reservoir) / (upper - reservoir);
+  const auto level = static_cast<std::size_t>(
+      std::floor(fraction * static_cast<double>(levels)));
+  return std::min(level, levels - 1);
+}
+
+}  // namespace veritas::abr

@@ -1,0 +1,27 @@
+// BBA: buffer-based rate adaptation (Huang et al., SIGCOMM'14).
+//
+// Maps the current buffer level linearly onto the bitrate ladder between
+// a reservoir and a cushion; ignores throughput estimates entirely.
+#pragma once
+
+#include "abr/abr.hpp"
+
+namespace veritas::abr {
+
+struct BbaConfig {
+  double reservoir_s = 0.5;       ///< below this: always lowest quality
+  double upper_fraction = 0.7;    ///< at >= fraction*capacity: highest quality
+};
+
+class Bba final : public AbrAlgorithm {
+ public:
+  explicit Bba(BbaConfig config = {});
+
+  std::size_t choose_quality(const AbrContext& context) override;
+  std::string name() const override { return "bba"; }
+
+ private:
+  BbaConfig config_;
+};
+
+}  // namespace veritas::abr

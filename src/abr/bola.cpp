@@ -1,0 +1,54 @@
+#include "abr/bola.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expects.hpp"
+
+namespace veritas::abr {
+
+Bola::Bola(BolaConfig config) : config_(config) {
+  VERITAS_EXPECTS(config_.gp_utility_multiple > 0.0);
+  VERITAS_EXPECTS(config_.min_buffer_chunks >= 0.0);
+}
+
+std::size_t Bola::choose_quality(const AbrContext& context) {
+  VERITAS_EXPECTS(context.video != nullptr);
+  const video::Video& video = *context.video;
+  const std::size_t levels = video.num_qualities();
+  const double chunk_s = video.chunk_duration_s();
+  const double buffer_chunks = context.buffer_s / chunk_s;
+  const double max_buffer_chunks = context.buffer_capacity_s / chunk_s;
+
+  if (buffer_chunks <= config_.min_buffer_chunks || levels == 1) return 0;
+
+  // Utilities from the *nominal* per-quality sizes of the next chunk.
+  const std::size_t chunk = context.next_chunk;
+  const double s_min = video.chunk_size_bytes(chunk, 0);
+  std::vector<double> utility(levels);
+  for (std::size_t m = 0; m < levels; ++m) {
+    utility[m] = std::log(video.chunk_size_bytes(chunk, m) / s_min);
+  }
+  const double gp = config_.gp_utility_multiple * utility.back();
+  // V scaled so the top rung's objective crosses zero one chunk below the
+  // buffer cap: the algorithm reaches for the top only with a full-ish
+  // buffer (BOLA paper, Sec. IV).
+  const double v =
+      std::max(max_buffer_chunks - 1.0, 0.5) / (utility.back() + gp);
+
+  double best_objective = -std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  for (std::size_t m = 0; m < levels; ++m) {
+    const double size = video.chunk_size_bytes(chunk, m);
+    const double objective =
+        (v * (utility[m] + gp) - buffer_chunks) / size;
+    if (objective > best_objective) {
+      best_objective = objective;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace veritas::abr

@@ -1,0 +1,34 @@
+// BOLA-Basic v1: Lyapunov-based bitrate adaptation (Spiteri et al.,
+// INFOCOM'16), in the variant implemented by the Puffer project that the
+// paper's appendix evaluates (Fig. 13).
+//
+// Chooses the quality maximizing (V * (v_m + gp) - Q) / S_m, where Q is
+// the buffer level in chunks, S_m the chunk size, v_m = ln(S_m / S_min)
+// the utility, and (V, gp) are derived from the buffer bounds so that the
+// lowest rung is picked near-empty and the highest near-full.
+#pragma once
+
+#include "abr/abr.hpp"
+
+namespace veritas::abr {
+
+struct BolaConfig {
+  /// Utility weight multiplier gp = gamma * p; expressed as a multiple of
+  /// the top-rung utility (1.0 reproduces Puffer's BOLA-BASIC v1 scaling).
+  double gp_utility_multiple = 1.0;
+  /// Buffer level (in chunks) below which the lowest quality is forced.
+  double min_buffer_chunks = 0.5;
+};
+
+class Bola final : public AbrAlgorithm {
+ public:
+  explicit Bola(BolaConfig config = {});
+
+  std::size_t choose_quality(const AbrContext& context) override;
+  std::string name() const override { return "bola"; }
+
+ private:
+  BolaConfig config_;
+};
+
+}  // namespace veritas::abr

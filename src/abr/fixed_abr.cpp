@@ -1,0 +1,16 @@
+#include "abr/fixed_abr.hpp"
+
+#include <algorithm>
+
+#include "util/expects.hpp"
+
+namespace veritas::abr {
+
+FixedAbr::FixedAbr(std::size_t quality) : quality_(quality) {}
+
+std::size_t FixedAbr::choose_quality(const AbrContext& context) {
+  VERITAS_EXPECTS(context.video != nullptr);
+  return std::min(quality_, context.video->num_qualities() - 1);
+}
+
+}  // namespace veritas::abr

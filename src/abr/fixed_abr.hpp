@@ -1,0 +1,20 @@
+// Fixed-quality picker: always requests the same rung. Used by the
+// Fig. 2(b) bias demonstration (forced low/high next chunk) and by tests.
+#pragma once
+
+#include "abr/abr.hpp"
+
+namespace veritas::abr {
+
+class FixedAbr final : public AbrAlgorithm {
+ public:
+  explicit FixedAbr(std::size_t quality);
+
+  std::size_t choose_quality(const AbrContext& context) override;
+  std::string name() const override { return "fixed"; }
+
+ private:
+  std::size_t quality_;
+};
+
+}  // namespace veritas::abr

@@ -1,0 +1,45 @@
+// MPC: model-predictive-control bitrate adaptation (Yin et al.,
+// SIGCOMM'15), the paper's default deployed algorithm (Setting A).
+//
+// RobustMPC variant: predicts throughput as the harmonic mean of recent
+// observations discounted by the recent maximum relative prediction
+// error, then exhaustively searches quality sequences over a lookahead
+// horizon maximizing a QoE objective (bitrate reward, rebuffering
+// penalty, switching penalty) under simulated buffer dynamics.
+#pragma once
+
+#include <vector>
+
+#include "abr/abr.hpp"
+
+namespace veritas::abr {
+
+struct MpcConfig {
+  std::size_t horizon = 5;            ///< lookahead chunks
+  std::size_t throughput_window = 5;  ///< harmonic-mean window
+  double rebuffer_penalty = 8.0;      ///< QoE units per stalled second
+  double switch_penalty = 1.0;        ///< per Mbps of bitrate change
+  double safety_fallback_mbps = 1.0;  ///< predictor fallback with no history
+  bool robust = true;                 ///< discount by max recent error
+};
+
+class Mpc final : public AbrAlgorithm {
+ public:
+  explicit Mpc(MpcConfig config = {});
+
+  std::size_t choose_quality(const AbrContext& context) override;
+  void reset() override;
+  std::string name() const override { return config_.robust ? "mpc" : "mpc_fast"; }
+
+ private:
+  double predict_throughput(const AbrContext& context);
+
+  MpcConfig config_;
+  std::size_t last_quality_ = 0;
+  bool has_last_quality_ = false;
+  std::vector<double> past_prediction_errors_;
+  double last_prediction_mbps_ = 0.0;
+  bool has_last_prediction_ = false;
+};
+
+}  // namespace veritas::abr

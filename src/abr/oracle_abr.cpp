@@ -1,0 +1,96 @@
+#include "abr/oracle_abr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expects.hpp"
+
+namespace veritas::abr {
+
+OracleAbr::OracleAbr(const trace::BandwidthTrace* gtbw,
+                     OracleAbrConfig config)
+    : gtbw_(gtbw), config_(config) {
+  VERITAS_EXPECTS(gtbw != nullptr);
+  VERITAS_EXPECTS(config_.horizon >= 1);
+  VERITAS_EXPECTS(config_.efficiency > 0.0 && config_.efficiency <= 1.0);
+}
+
+void OracleAbr::reset() {
+  last_quality_ = 0;
+  has_last_quality_ = false;
+  clock_s_ = 0.0;
+}
+
+std::size_t OracleAbr::choose_quality(const AbrContext& context) {
+  VERITAS_EXPECTS(context.video != nullptr);
+  const video::Video& video = *context.video;
+  const std::size_t levels = video.num_qualities();
+  const double chunk_s = video.chunk_duration_s();
+  const std::size_t remaining = video.num_chunks() - context.next_chunk;
+  const std::size_t horizon = std::min(config_.horizon, remaining);
+
+  // Estimate "now" from played content: the download clock trails the
+  // session clock by at most a buffer, which is good enough for reading
+  // the future bandwidth windows.
+  const double now =
+      clock_s_ > 0.0
+          ? clock_s_
+          : double(context.next_chunk) * chunk_s;
+
+  double best_qoe = -std::numeric_limits<double>::infinity();
+  std::size_t best_first = 0;
+
+  struct Rollout {
+    double t, buffer, qoe, prev_bitrate;
+  };
+  auto rollout = [&](auto&& self, std::size_t depth, Rollout state,
+                     std::size_t first) -> void {
+    if (depth == horizon) {
+      if (state.qoe > best_qoe) {
+        best_qoe = state.qoe;
+        best_first = first;
+      }
+      return;
+    }
+    const std::size_t chunk = context.next_chunk + depth;
+    for (std::size_t quality = 0; quality < levels; ++quality) {
+      const double size_bytes = video.chunk_size_bytes(chunk, quality);
+      const double bitrate = video.bitrate_mbps(quality);
+      // Perfect-foresight download time from the actual trace.
+      const double mbits = size_bytes * 8.0 / 1e6 / config_.efficiency;
+      double download_s = gtbw_->time_to_transfer_s(mbits, state.t);
+      if (!std::isfinite(download_s)) download_s = 1e6;
+      const double stall = std::max(0.0, download_s - state.buffer);
+      double buffer =
+          std::max(0.0, state.buffer - download_s) + chunk_s;
+      buffer = std::min(buffer, context.buffer_capacity_s);
+      double qoe = state.qoe + bitrate - config_.rebuffer_penalty * stall;
+      if (state.prev_bitrate >= 0.0) {
+        qoe -= config_.switch_penalty * std::abs(bitrate - state.prev_bitrate);
+      }
+      self(self, depth + 1,
+           Rollout{state.t + download_s + stall, buffer, qoe, bitrate},
+           depth == 0 ? quality : first);
+    }
+  };
+
+  Rollout initial{now, context.buffer_s, 0.0,
+                  has_last_quality_
+                      ? video.bitrate_mbps(last_quality_)
+                      : -1.0};
+  rollout(rollout, 0, initial, 0);
+
+  // Advance the planning clock by the chosen chunk's foreseen download.
+  const double chosen_mbits =
+      video.chunk_size_bytes(context.next_chunk, best_first) * 8.0 / 1e6 /
+      config_.efficiency;
+  const double chosen_time = gtbw_->time_to_transfer_s(chosen_mbits, now);
+  clock_s_ = now + (std::isfinite(chosen_time) ? chosen_time : chunk_s);
+
+  last_quality_ = best_first;
+  has_last_quality_ = true;
+  return best_first;
+}
+
+}  // namespace veritas::abr

@@ -1,0 +1,40 @@
+// Oracle ABR: cheats by reading the future ground-truth bandwidth, then
+// runs an MPC-style horizon search with *perfect* throughput knowledge.
+// Not deployable (GTBW is latent in production) — used as the upper
+// bound in algorithm comparisons, the role "omniscient" baselines play
+// in the ABR literature. Not registered in the factory because it needs
+// the trace; construct it directly.
+#pragma once
+
+#include "abr/abr.hpp"
+#include "trace/bandwidth_trace.hpp"
+
+namespace veritas::abr {
+
+struct OracleAbrConfig {
+  std::size_t horizon = 5;        ///< lookahead chunks
+  double rebuffer_penalty = 8.0;  ///< QoE units per stalled second
+  double switch_penalty = 1.0;    ///< per Mbps of bitrate change
+  /// Throughput efficiency: the oracle knows GTBW but the download still
+  /// pays slow-start/RTT overheads; plan with this fraction of GTBW.
+  double efficiency = 0.85;
+};
+
+class OracleAbr final : public AbrAlgorithm {
+ public:
+  /// `gtbw` must outlive the OracleAbr.
+  OracleAbr(const trace::BandwidthTrace* gtbw, OracleAbrConfig config = {});
+
+  std::size_t choose_quality(const AbrContext& context) override;
+  void reset() override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  const trace::BandwidthTrace* gtbw_;
+  OracleAbrConfig config_;
+  std::size_t last_quality_ = 0;
+  bool has_last_quality_ = false;
+  double clock_s_ = 0.0;  ///< advances with planned downloads
+};
+
+}  // namespace veritas::abr

@@ -1,0 +1,18 @@
+#include "abr/random_abr.hpp"
+
+#include "util/expects.hpp"
+
+namespace veritas::abr {
+
+RandomAbr::RandomAbr(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void RandomAbr::reset() { rng_ = util::Rng(seed_); }
+
+std::size_t RandomAbr::choose_quality(const AbrContext& context) {
+  VERITAS_EXPECTS(context.video != nullptr);
+  const auto levels =
+      static_cast<std::int64_t>(context.video->num_qualities());
+  return static_cast<std::size_t>(rng_.uniform_int(0, levels - 1));
+}
+
+}  // namespace veritas::abr

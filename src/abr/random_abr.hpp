@@ -1,0 +1,24 @@
+// Random quality picker. Used to create interventional test sets (paper
+// §4.4): sessions whose chunk-size sequences do not follow any deployed
+// ABR's policy, so predictors are evaluated off the training distribution.
+#pragma once
+
+#include "abr/abr.hpp"
+#include "util/rng.hpp"
+
+namespace veritas::abr {
+
+class RandomAbr final : public AbrAlgorithm {
+ public:
+  explicit RandomAbr(std::uint64_t seed);
+
+  std::size_t choose_quality(const AbrContext& context) override;
+  void reset() override;
+  std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+}  // namespace veritas::abr

@@ -1,0 +1,27 @@
+#include "abr/rate_based.hpp"
+
+#include "util/expects.hpp"
+
+namespace veritas::abr {
+
+RateBased::RateBased(RateBasedConfig config) : config_(config) {
+  VERITAS_EXPECTS(config_.throughput_window >= 1);
+  VERITAS_EXPECTS(config_.safety_factor > 0.0 && config_.safety_factor <= 1.0);
+  VERITAS_EXPECTS(config_.fallback_mbps > 0.0);
+}
+
+std::size_t RateBased::choose_quality(const AbrContext& context) {
+  VERITAS_EXPECTS(context.video != nullptr);
+  const double estimate =
+      config_.safety_factor *
+      harmonic_mean_throughput(context.history, config_.throughput_window,
+                               config_.fallback_mbps);
+  const video::Video& video = *context.video;
+  std::size_t best = 0;
+  for (std::size_t m = 0; m < video.num_qualities(); ++m) {
+    if (video.bitrate_mbps(m) <= estimate) best = m;
+  }
+  return best;
+}
+
+}  // namespace veritas::abr

@@ -1,0 +1,27 @@
+// Rate-based ABR: picks the highest rung whose bitrate fits within a
+// safety-discounted harmonic-mean throughput estimate. The classic
+// throughput-rule baseline.
+#pragma once
+
+#include "abr/abr.hpp"
+
+namespace veritas::abr {
+
+struct RateBasedConfig {
+  std::size_t throughput_window = 5;
+  double safety_factor = 0.9;         ///< use 90% of the estimate
+  double fallback_mbps = 1.0;         ///< with no history
+};
+
+class RateBased final : public AbrAlgorithm {
+ public:
+  explicit RateBased(RateBasedConfig config = {});
+
+  std::size_t choose_quality(const AbrContext& context) override;
+  std::string name() const override { return "rate_based"; }
+
+ private:
+  RateBasedConfig config_;
+};
+
+}  // namespace veritas::abr

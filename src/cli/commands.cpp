@@ -1,0 +1,285 @@
+#include "cli/commands.hpp"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+
+#include "abr/abr_factory.hpp"
+#include "core/veritas.hpp"
+#include "net/network_path.hpp"
+#include "query/counterfactual.hpp"
+#include "sim/metrics.hpp"
+#include "sim/session.hpp"
+#include "trace/trace_generator.hpp"
+#include "trace/trace_io.hpp"
+#include "util/expects.hpp"
+#include "video/ladder_presets.hpp"
+
+namespace veritas::cli {
+
+namespace {
+
+void write_text_file(const std::filesystem::path& path,
+                     const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write: " + path.string());
+  out << text;
+}
+
+std::string read_text_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+trace::TraceFamily family_from_name(const std::string& name) {
+  using trace::TraceFamily;
+  for (const auto family :
+       {TraceFamily::kFccLike, TraceFamily::kPoor, TraceFamily::kGood,
+        TraceFamily::kWideRange, TraceFamily::kSquareWave,
+        TraceFamily::kConstant4}) {
+    if (name == trace::family_name(family)) return family;
+  }
+  throw ContractViolation("unknown trace family: " + name);
+}
+
+video::Ladder ladder_from_name(const std::string& name) {
+  if (name == "default") return video::default_ladder();
+  if (name == "high") return video::high_ladder();
+  throw ContractViolation("unknown ladder: " + name + " (default|high)");
+}
+
+int cmd_generate_trace(const CommandLine& cmd, std::ostream& out) {
+  const auto family = family_from_name(cmd.get("--family", "fcc_like"));
+  const auto seed = static_cast<std::uint64_t>(cmd.number("--seed", 1.0));
+  const std::string path = cmd.require("--out");
+  const auto traces = trace::make_traces(family, 1, seed);
+  trace::write_csv_file(traces[0], path);
+  out << "wrote " << path << " (" << traces[0].windows() << " windows of "
+      << traces[0].interval_s() << " s, mean "
+      << traces[0].average_mbps(0.0, traces[0].duration_s()) << " Mbps)\n";
+  return 0;
+}
+
+int cmd_simulate(const CommandLine& cmd, std::ostream& out) {
+  const auto gtbw = trace::read_csv_file(cmd.require("--trace"));
+  const std::string abr_name = cmd.get("--abr", "mpc");
+  const double buffer_s = cmd.number("--buffer", 5.0);
+  const double rtt_s = cmd.number("--rtt", 0.08);
+  const auto seed = static_cast<std::uint64_t>(cmd.number("--seed", 0.0));
+  const std::string log_path = cmd.require("--out");
+
+  video::VideoConfig vcfg = video::default_video_config();
+  vcfg.ladder = ladder_from_name(cmd.get("--ladder", "default"));
+  const video::Video video(vcfg);
+  const auto abr = abr::make_abr(abr_name, seed);
+  const net::NetworkPath path(gtbw, rtt_s);
+  sim::SessionConfig session_config;
+  session_config.buffer_capacity_s = buffer_s;
+  const sim::SessionResult result =
+      sim::run_session(video, *abr, path, session_config);
+  write_text_file(log_path, sim::to_csv(result.log));
+
+  const sim::QoeMetrics metrics = sim::compute_metrics(video, result);
+  out << "wrote " << log_path << " (" << result.log.size() << " chunks)\n";
+  out << "metrics: ssim=" << metrics.mean_ssim
+      << " rebuffer_pct=" << metrics.rebuffer_ratio_pct
+      << " avg_bitrate_mbps=" << metrics.avg_bitrate_mbps << "\n";
+  return 0;
+}
+
+int cmd_infer(const CommandLine& cmd, std::ostream& out) {
+  const sim::SessionLog log =
+      sim::session_log_from_csv(read_text_file(cmd.require("--log")));
+  core::VeritasConfig cfg;
+  cfg.num_samples = static_cast<std::size_t>(cmd.number("--samples", 5.0));
+  cfg.delta_s = cmd.number("--delta", cfg.delta_s);
+  cfg.epsilon_mbps = cmd.number("--epsilon", cfg.epsilon_mbps);
+  cfg.sigma_mbps = cmd.number("--sigma", cfg.sigma_mbps);
+  cfg.max_mbps = cmd.number("--max-mbps", cfg.max_mbps);
+  cfg.seed = static_cast<std::uint64_t>(cmd.number("--seed", double(cfg.seed)));
+  const std::string prefix = cmd.get("--out-prefix", "inferred");
+
+  const core::Veritas veritas(cfg);
+  const core::VeritasResult result = veritas.infer(log);
+  trace::write_csv_file(result.map_trace, prefix + "_map.csv");
+  trace::write_csv_file(veritas.baseline(log), prefix + "_baseline.csv");
+  for (std::size_t k = 0; k < result.samples.size(); ++k) {
+    trace::write_csv_file(result.samples[k],
+                          prefix + "_sample" + std::to_string(k) + ".csv");
+  }
+  out << "log-likelihood: " << result.log_likelihood << "\n";
+  out << "wrote " << prefix << "_map.csv, " << prefix << "_baseline.csv and "
+      << result.samples.size() << " posterior samples\n";
+  return 0;
+}
+
+int cmd_replay(const CommandLine& cmd, std::ostream& out) {
+  const auto bandwidth = trace::read_csv_file(cmd.require("--trace"));
+  query::Setting setting;
+  setting.abr = cmd.get("--abr", "mpc");
+  setting.buffer_capacity_s = cmd.number("--buffer", 5.0);
+  const std::string ladder = cmd.get("--ladder", "default");
+  if (ladder != "default") setting.ladder = ladder_from_name(ladder);
+
+  const video::Video video(video::default_video_config());
+  const sim::QoeMetrics metrics = query::run_under_setting(
+      bandwidth, video, setting, cmd.number("--rtt", 0.08),
+      static_cast<std::uint64_t>(cmd.number("--seed", 0.0)));
+  out << "replay: abr=" << setting.abr
+      << " buffer=" << setting.buffer_capacity_s << "s ladder=" << ladder
+      << "\n";
+  out << "metrics: ssim=" << metrics.mean_ssim
+      << " rebuffer_pct=" << metrics.rebuffer_ratio_pct
+      << " avg_bitrate_mbps=" << metrics.avg_bitrate_mbps
+      << " switches=" << metrics.quality_switches << "\n";
+  return 0;
+}
+
+int cmd_whatif(const CommandLine& cmd, std::ostream& out) {
+  const sim::SessionLog log =
+      sim::session_log_from_csv(read_text_file(cmd.require("--log")));
+  query::Setting setting;
+  setting.abr = cmd.get("--abr", "mpc");
+  setting.buffer_capacity_s = cmd.number("--buffer", 5.0);
+  const std::string ladder = cmd.get("--ladder", "default");
+  if (ladder != "default") setting.ladder = ladder_from_name(ladder);
+
+  const video::Video video(video::default_video_config());
+  core::VeritasConfig cfg;
+  cfg.num_samples = static_cast<std::size_t>(cmd.number("--samples", 5.0));
+  const query::CounterfactualEngine engine(cfg,
+                                           cmd.number("--rtt", 0.08));
+  const query::WhatIfPrediction p = engine.predict_whatif(
+      log, video, setting,
+      static_cast<std::uint64_t>(cmd.number("--seed", 0.0)));
+
+  out << "what-if: abr=" << setting.abr
+      << " buffer=" << setting.buffer_capacity_s << "s ladder=" << ladder
+      << " (" << p.veritas_samples.size() << " posterior samples)\n";
+  out << "veritas ssim=[" << p.veritas_low.mean_ssim << ", "
+      << p.veritas_high.mean_ssim << "] rebuffer_pct=["
+      << p.veritas_low.rebuffer_ratio_pct << ", "
+      << p.veritas_high.rebuffer_ratio_pct << "] bitrate=["
+      << p.veritas_low.avg_bitrate_mbps << ", "
+      << p.veritas_high.avg_bitrate_mbps << "]\n";
+  out << "baseline (no causal adjustment): ssim=" << p.baseline.mean_ssim
+      << " rebuffer_pct=" << p.baseline.rebuffer_ratio_pct
+      << " bitrate=" << p.baseline.avg_bitrate_mbps << "\n";
+  return 0;
+}
+
+int cmd_predict(const CommandLine& cmd, std::ostream& out) {
+  const sim::SessionLog log =
+      sim::session_log_from_csv(read_text_file(cmd.require("--log")));
+  VERITAS_EXPECTS(!log.empty());
+  const double size = cmd.number("--size", 0.0);
+  VERITAS_EXPECTS(size > 0.0);
+
+  const core::Veritas veritas;
+  const auto& last = log.chunks.back();
+  // Hypothetical next chunk right after the last recorded one.
+  const double next_start = last.end_s + 0.1;
+  net::TcpState w = last.tcp_at_start;
+  w.last_send_gap_s = 0.1;
+  const auto dist =
+      veritas.predict_next_distribution(log, next_start, w, size);
+  const auto point = veritas.predict_next(log, next_start, w, size);
+
+  out << "next chunk of " << size << " bytes at t=" << next_start << " s\n";
+  out << "expected GTBW: " << point.expected_gtbw_mbps << " Mbps\n";
+  out << "download time: point=" << point.download_time_s
+      << " s; quantiles p10=" << dist.time_quantile_s(0.10)
+      << " p50=" << dist.time_quantile_s(0.50)
+      << " p90=" << dist.time_quantile_s(0.90) << " s\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string CommandLine::get(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+double CommandLine::number(const std::string& key, double fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  double value = 0.0;
+  const std::string& text = it->second;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ContractViolation("option " + key + " is not a number: " + text);
+  }
+  return value;
+}
+
+std::string CommandLine::require(const std::string& key) const {
+  const auto it = options.find(key);
+  if (it == options.end()) {
+    throw ContractViolation("missing required option " + key);
+  }
+  return it->second;
+}
+
+CommandLine parse_command_line(std::span<const std::string> args) {
+  VERITAS_EXPECTS(!args.empty());
+  CommandLine cmd;
+  cmd.command = args[0];
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    const std::string& key = args[i];
+    if (key.rfind("--", 0) != 0) {
+      throw ContractViolation("expected --option, got: " + key);
+    }
+    if (i + 1 >= args.size()) {
+      throw ContractViolation("option " + key + " is missing a value");
+    }
+    cmd.options[key] = args[i + 1];
+  }
+  return cmd;
+}
+
+std::string usage() {
+  return
+      "veritas_cli <command> [--option value ...]\n"
+      "\n"
+      "commands:\n"
+      "  generate-trace  --out FILE [--family fcc_like|poor|good|wide_range|\n"
+      "                  square_wave|constant_4] [--seed N]\n"
+      "  simulate        --trace FILE --out LOG [--abr mpc|bba|bola|rate_based|\n"
+      "                  random|fixed:K] [--buffer S] [--rtt S] [--ladder default|high]\n"
+      "  infer           --log LOG [--out-prefix P] [--samples K] [--delta S]\n"
+      "                  [--epsilon MBPS] [--sigma MBPS] [--max-mbps MBPS]\n"
+      "  replay          --trace FILE [--abr NAME] [--buffer S] [--ladder NAME]\n"
+      "  whatif          --log LOG [--abr NAME] [--buffer S] [--ladder NAME]\n"
+      "                  [--samples K]   (production what-if: no ground truth)\n"
+      "  predict         --log LOG --size BYTES\n";
+}
+
+int run_cli(std::span<const std::string> args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << usage();
+    return args.empty() ? 2 : 0;
+  }
+  try {
+    const CommandLine cmd = parse_command_line(args);
+    if (cmd.command == "generate-trace") return cmd_generate_trace(cmd, out);
+    if (cmd.command == "simulate") return cmd_simulate(cmd, out);
+    if (cmd.command == "infer") return cmd_infer(cmd, out);
+    if (cmd.command == "replay") return cmd_replay(cmd, out);
+    if (cmd.command == "whatif") return cmd_whatif(cmd, out);
+    if (cmd.command == "predict") return cmd_predict(cmd, out);
+    err << "unknown command: " << cmd.command << "\n" << usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace veritas::cli

@@ -1,0 +1,49 @@
+// File-based command-line workflow around the library, so Veritas can be
+// driven without writing C++:
+//
+//   veritas_cli generate-trace --family fcc_like --seed 7 --out gt.csv
+//   veritas_cli simulate  --trace gt.csv --abr mpc --buffer 5 --out log.csv
+//   veritas_cli infer     --log log.csv --samples 5 --out-prefix inferred
+//   veritas_cli replay    --trace inferred_map.csv --abr bba --buffer 5
+//   veritas_cli predict   --log log.csv --size 1000000
+//
+// The dispatcher is a library function (testable without spawning a
+// process); tools/veritas_cli.cpp is a thin main().
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace veritas::cli {
+
+/// Parsed command line: a subcommand plus --key value options.
+struct CommandLine {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  /// Option value or `fallback` when absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Numeric option; throws ContractViolation on malformed numbers.
+  double number(const std::string& key, double fallback) const;
+
+  /// Required option; throws ContractViolation when missing.
+  std::string require(const std::string& key) const;
+};
+
+/// Parses ["cmd", "--k", "v", ...]. Flags must be --key value pairs.
+/// Throws ContractViolation on malformed input.
+CommandLine parse_command_line(std::span<const std::string> args);
+
+/// Runs one CLI invocation. Returns the process exit code; writes
+/// human-readable output to `out` and errors to `err`.
+int run_cli(std::span<const std::string> args, std::ostream& out,
+            std::ostream& err);
+
+/// Multi-line usage text.
+std::string usage();
+
+}  // namespace veritas::cli

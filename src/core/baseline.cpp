@@ -1,0 +1,55 @@
+#include "core/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace veritas::core {
+
+trace::BandwidthTrace baseline_trace(const sim::SessionLog& log,
+                                     double interval_s,
+                                     double total_duration_s) {
+  VERITAS_EXPECTS(!log.chunks.empty());
+  VERITAS_EXPECTS(interval_s > 0.0);
+  const auto& chunks = log.chunks;
+
+  const double horizon =
+      std::max(total_duration_s, chunks.back().end_s + interval_s);
+  const auto windows = std::max<std::size_t>(
+      static_cast<std::size_t>(std::ceil(horizon / interval_s)), 1);
+
+  std::vector<double> values(windows, 0.0);
+  std::size_t next_chunk = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const double t = (static_cast<double>(w) + 0.5) * interval_s;
+    while (next_chunk < chunks.size() && chunks[next_chunk].end_s < t) {
+      ++next_chunk;
+    }
+    // next_chunk is the first chunk with end_s >= t (or past the end).
+    if (next_chunk >= chunks.size()) {
+      values[w] = chunks.back().throughput_mbps();
+      continue;
+    }
+    const sim::ChunkLog& chunk = chunks[next_chunk];
+    if (t >= chunk.start_s) {
+      // Inside the download interval: observed throughput holds.
+      values[w] = chunk.throughput_mbps();
+    } else if (next_chunk == 0) {
+      values[w] = chunk.throughput_mbps();
+    } else {
+      // Off period between chunk (next_chunk-1) and next_chunk:
+      // linear interpolation between the two observed throughputs.
+      const sim::ChunkLog& prev = chunks[next_chunk - 1];
+      const double gap = chunk.start_s - prev.end_s;
+      const double fraction =
+          gap > 0.0 ? std::clamp((t - prev.end_s) / gap, 0.0, 1.0) : 1.0;
+      values[w] = prev.throughput_mbps() +
+                  fraction * (chunk.throughput_mbps() - prev.throughput_mbps());
+    }
+  }
+  return trace::BandwidthTrace(interval_s, std::move(values));
+}
+
+}  // namespace veritas::core

@@ -1,0 +1,20 @@
+// The Baseline bandwidth reconstruction the paper compares against
+// (§4.1): use each chunk's observed throughput over its download
+// interval, and linearly interpolate between neighbouring chunks during
+// off periods. No causal adjustment — when the ABR downloads small
+// chunks, observed throughput (and hence this estimate) underestimates
+// the true bandwidth.
+#pragma once
+
+#include "sim/session_log.hpp"
+#include "trace/bandwidth_trace.hpp"
+
+namespace veritas::core {
+
+/// Builds the Baseline estimate on a uniform grid of `interval_s`.
+/// The trace covers [0, max(last chunk end, total_duration_s)).
+trace::BandwidthTrace baseline_trace(const sim::SessionLog& log,
+                                     double interval_s = 1.0,
+                                     double total_duration_s = 0.0);
+
+}  // namespace veritas::core

@@ -1,0 +1,104 @@
+#include "core/baum_welch.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/expects.hpp"
+
+namespace veritas::core {
+
+BaumWelchResult baum_welch_train(
+    const Ehmm& initial,
+    std::span<const std::vector<ChunkObservation>> sessions,
+    const BaumWelchConfig& config) {
+  VERITAS_EXPECTS(!sessions.empty());
+  for (const auto& s : sessions) VERITAS_EXPECTS(!s.empty());
+  VERITAS_EXPECTS(config.max_iterations >= 1);
+
+  const std::size_t k = initial.space().size();
+  math::Matrix a = initial.transition().matrix();
+  std::vector<double> u(initial.transition().initial().begin(),
+                        initial.transition().initial().end());
+  double sigma = initial.emission().sigma_mbps();
+
+  BaumWelchResult result{TransitionModel(a, u), sigma, {}, 0};
+
+  double previous_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    const Ehmm model(initial.space(), TransitionModel(a, u),
+                     EmissionModel(sigma, initial.emission().tcp_config(),
+                                   initial.emission().estimator()),
+                     initial.delta_s());
+
+    math::Matrix transition_counts(k, k, config.smoothing);
+    std::vector<double> initial_counts(k, config.smoothing);
+    double residual_sq = 0.0;
+    double residual_weight = 0.0;
+    double total_ll = 0.0;
+
+    for (const std::vector<ChunkObservation>& obs : sessions) {
+      const Ehmm::ForwardBackwardResult fb = model.forward_backward(obs);
+      total_ll += fb.log_likelihood;
+      const std::vector<std::size_t> deltas = model.window_deltas(obs);
+
+      for (std::size_t i = 0; i < k; ++i) {
+        initial_counts[i] += fb.gamma(0, i);
+      }
+      for (std::size_t n = 0; n + 1 < obs.size(); ++n) {
+        if (deltas[n + 1] != 1) continue;  // see header: Δ=1 pairs only
+        for (std::size_t i = 0; i < k; ++i) {
+          for (std::size_t j = 0; j < k; ++j) {
+            transition_counts(i, j) += fb.xi[n](i, j);
+          }
+        }
+      }
+      if (config.update_sigma) {
+        for (std::size_t n = 0; n < obs.size(); ++n) {
+          for (std::size_t i = 0; i < k; ++i) {
+            const double mean = model.emission().mean_throughput_mbps(
+                model.space().value(i), obs[n]);
+            const double r = obs[n].throughput_mbps - mean;
+            residual_sq += fb.gamma(n, i) * r * r;
+            residual_weight += fb.gamma(n, i);
+          }
+        }
+      }
+    }
+
+    result.log_likelihoods.push_back(total_ll);
+    result.iterations = iter + 1;
+
+    // M-step.
+    if (config.update_transition) {
+      for (std::size_t i = 0; i < k; ++i) {
+        double row_sum = 0.0;
+        for (std::size_t j = 0; j < k; ++j) row_sum += transition_counts(i, j);
+        for (std::size_t j = 0; j < k; ++j) {
+          a(i, j) = transition_counts(i, j) / row_sum;
+        }
+      }
+    }
+    if (config.update_initial) {
+      double sum = 0.0;
+      for (const double c : initial_counts) sum += c;
+      for (std::size_t i = 0; i < k; ++i) u[i] = initial_counts[i] / sum;
+    }
+    if (config.update_sigma && residual_weight > 0.0) {
+      sigma = std::max(config.min_sigma_mbps,
+                       std::sqrt(residual_sq / residual_weight));
+    }
+
+    result.transition = TransitionModel(a, u);
+    result.sigma_mbps = sigma;
+
+    if (std::isfinite(previous_ll) &&
+        std::abs(total_ll - previous_ll) <=
+            config.tolerance * (std::abs(previous_ll) + 1.0)) {
+      break;
+    }
+    previous_ll = total_ll;
+  }
+  return result;
+}
+
+}  // namespace veritas::core

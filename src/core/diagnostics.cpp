@@ -1,0 +1,122 @@
+#include "core/diagnostics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "math/distributions.hpp"
+#include "net/tcp_model.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::core {
+
+std::string InferenceDiagnostics::summary() const {
+  std::ostringstream out;
+  out << "inference diagnostics: " << chunks.size() << " chunks, "
+      << "mean posterior entropy " << mean_entropy_nats << " / "
+      << max_entropy_nats << " nats, "
+      << 100.0 * fraction_informative
+      << "% of chunks exceed the BDP (strong evidence)\n";
+  if (uncertain_spans.empty()) {
+    out << "no uncertain spans: the data pins GTBW throughout\n";
+    return out.str();
+  }
+  out << uncertain_spans.size() << " uncertain span(s):\n";
+  for (const UncertainSpan& span : uncertain_spans) {
+    out << "  [" << span.begin_s << " s, " << span.end_s
+        << " s] mean entropy " << span.mean_entropy_nats << " nats\n";
+  }
+  return out.str();
+}
+
+InferenceDiagnostics diagnose(const Veritas& veritas,
+                              const sim::SessionLog& log,
+                              double uncertain_entropy_fraction) {
+  VERITAS_EXPECTS(!log.chunks.empty());
+  VERITAS_EXPECTS(uncertain_entropy_fraction > 0.0 &&
+                  uncertain_entropy_fraction < 1.0);
+
+  const std::vector<ChunkObservation> observations =
+      observations_from_log(log);
+  const Ehmm ehmm = veritas.make_ehmm();
+  const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
+  const Ehmm::ForwardBackwardResult fb = ehmm.forward_backward(observations);
+  const std::size_t k = ehmm.space().size();
+
+  InferenceDiagnostics diagnostics;
+  diagnostics.max_entropy_nats = std::log(static_cast<double>(k));
+  diagnostics.chunks.reserve(observations.size());
+
+  double entropy_sum = 0.0;
+  std::size_t informative_count = 0;
+  for (std::size_t n = 0; n < observations.size(); ++n) {
+    ChunkDiagnostic d;
+    d.chunk = n;
+    d.start_s = observations[n].start_s;
+    d.observed_throughput_mbps = observations[n].throughput_mbps;
+    d.map_gtbw_mbps = ehmm.space().value(viterbi.states[n]);
+    d.posterior_entropy_nats = math::entropy(fb.gamma.row(n));
+
+    // Posterior std dev in Mbps.
+    const auto values = ehmm.space().values();
+    const double mean = math::expectation(values, fb.gamma.row(n));
+    double var = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double dv = values[i] - mean;
+      var += fb.gamma(n, i) * dv * dv;
+    }
+    d.posterior_std_mbps = std::sqrt(var);
+
+    // Informative when the chunk exceeds the BDP at the MAP state.
+    const double bdp_bytes =
+        net::bdp_segments(d.map_gtbw_mbps, observations[n].tcp.min_rtt_s,
+                          veritas.config().tcp) *
+        veritas.config().tcp.mss_bytes;
+    d.informative = observations[n].size_bytes > bdp_bytes;
+
+    entropy_sum += d.posterior_entropy_nats;
+    informative_count += d.informative;
+    diagnostics.chunks.push_back(d);
+  }
+  diagnostics.mean_entropy_nats =
+      entropy_sum / static_cast<double>(observations.size());
+  diagnostics.fraction_informative =
+      static_cast<double>(informative_count) /
+      static_cast<double>(observations.size());
+
+  // Segment uncertain spans: consecutive chunks above the threshold.
+  const double threshold =
+      uncertain_entropy_fraction * diagnostics.max_entropy_nats;
+  std::size_t span_start = 0;
+  bool in_span = false;
+  double span_entropy = 0.0;
+  std::size_t span_count = 0;
+  auto close_span = [&](std::size_t end_index) {
+    UncertainSpan span;
+    span.begin_s = diagnostics.chunks[span_start].start_s;
+    span.end_s = observations[end_index].end_s;
+    span.mean_entropy_nats = span_entropy / double(span_count);
+    diagnostics.uncertain_spans.push_back(span);
+  };
+  for (std::size_t n = 0; n < diagnostics.chunks.size(); ++n) {
+    const bool uncertain =
+        diagnostics.chunks[n].posterior_entropy_nats > threshold;
+    if (uncertain && !in_span) {
+      in_span = true;
+      span_start = n;
+      span_entropy = 0.0;
+      span_count = 0;
+    }
+    if (uncertain) {
+      span_entropy += diagnostics.chunks[n].posterior_entropy_nats;
+      ++span_count;
+    }
+    if (!uncertain && in_span) {
+      in_span = false;
+      close_span(n - 1);
+    }
+  }
+  if (in_span) close_span(diagnostics.chunks.size() - 1);
+  return diagnostics;
+}
+
+}  // namespace veritas::core

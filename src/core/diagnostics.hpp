@@ -1,0 +1,58 @@
+// Inference diagnostics: where is the abduction certain, and why?
+//
+// The paper's §4.2 explains Veritas's behaviour on an example trace: the
+// posterior is tight where the deployed ABR downloaded chunks larger
+// than the bandwidth-delay product (observed throughput ~ GTBW) and wide
+// where chunks were small (many GTBW values explain the same
+// observation). This module quantifies that per chunk — posterior
+// entropy, informativeness (chunk size vs BDP at the MAP state) — and
+// segments the session into certain/uncertain time spans, so users can
+// judge how much to trust a what-if answer before acting on it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/veritas.hpp"
+
+namespace veritas::core {
+
+/// Per-chunk view of the posterior.
+struct ChunkDiagnostic {
+  std::size_t chunk = 0;
+  double start_s = 0.0;
+  double observed_throughput_mbps = 0.0;
+  double map_gtbw_mbps = 0.0;
+  double posterior_entropy_nats = 0.0;  ///< entropy of gamma(n, ·)
+  double posterior_std_mbps = 0.0;      ///< std dev of the GTBW posterior
+  /// True when the chunk carries strong evidence: its size exceeds the
+  /// BDP at the MAP state, so the observation pins the bandwidth.
+  bool informative = false;
+};
+
+/// A contiguous span of low-evidence chunks.
+struct UncertainSpan {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  double mean_entropy_nats = 0.0;
+};
+
+struct InferenceDiagnostics {
+  std::vector<ChunkDiagnostic> chunks;
+  std::vector<UncertainSpan> uncertain_spans;
+  double mean_entropy_nats = 0.0;
+  double max_entropy_nats = 0.0;        ///< log(K): fully uninformed
+  double fraction_informative = 0.0;    ///< share of BDP-exceeding chunks
+
+  /// Multi-line human-readable report.
+  std::string summary() const;
+};
+
+/// Runs inference on the log and derives the diagnostics. The entropy
+/// threshold (in units of the maximum log(K)) controls what counts as an
+/// uncertain chunk when segmenting spans.
+InferenceDiagnostics diagnose(const Veritas& veritas,
+                              const sim::SessionLog& log,
+                              double uncertain_entropy_fraction = 0.5);
+
+}  // namespace veritas::core

@@ -1,0 +1,264 @@
+#include "core/ehmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/distributions.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::core {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// log(x) tolerant of exact zero.
+double safe_log(double x) { return x > 0.0 ? std::log(x) : kNegInf; }
+}  // namespace
+
+Ehmm::Ehmm(StateSpace space, TransitionModel transition,
+           EmissionModel emission, double delta_s)
+    : space_(std::move(space)),
+      transition_(std::move(transition)),
+      emission_(std::move(emission)),
+      delta_s_(delta_s) {
+  VERITAS_EXPECTS(delta_s_ > 0.0);
+  VERITAS_EXPECTS(space_.size() == transition_.states());
+}
+
+std::size_t Ehmm::window_of(double t_s) const {
+  VERITAS_EXPECTS(t_s >= 0.0);
+  return static_cast<std::size_t>(t_s / delta_s_);
+}
+
+std::vector<std::size_t> Ehmm::window_deltas(
+    std::span<const ChunkObservation> observations) const {
+  VERITAS_EXPECTS(!observations.empty());
+  std::vector<std::size_t> deltas(observations.size(), 0);
+  for (std::size_t n = 1; n < observations.size(); ++n) {
+    const std::size_t prev = window_of(observations[n - 1].start_s);
+    const std::size_t curr = window_of(observations[n].start_s);
+    VERITAS_EXPECTS(curr >= prev);
+    deltas[n] = curr - prev;
+  }
+  return deltas;
+}
+
+math::Matrix Ehmm::emission_log_probs(
+    std::span<const ChunkObservation> observations) const {
+  VERITAS_EXPECTS(!observations.empty());
+  const std::size_t n_obs = observations.size();
+  const std::size_t k = space_.size();
+  const bool multi_window =
+      emission_.estimator() == EmissionModel::Estimator::kMultiWindow;
+  math::Matrix logs(n_obs, k, kNegInf);
+  for (std::size_t n = 0; n < n_obs; ++n) {
+    for (std::size_t i = 0; i < k; ++i) {
+      double candidate = space_.value(i);
+      if (multi_window) {
+        // Replace the candidate with its expected average over the
+        // download span: first estimate the span from f at the start
+        // value, then average E[C_{sn+m} | C_sn = candidate] over it.
+        const double y0 =
+            emission_.mean_throughput_mbps(candidate, observations[n]);
+        if (y0 > 1e-9) {
+          const double est_duration =
+              observations[n].size_bytes * 8.0 / 1e6 / y0;
+          const auto span_windows = std::min<std::size_t>(
+              static_cast<std::size_t>(est_duration / delta_s_) + 1, 8);
+          if (span_windows > 1) {
+            double sum = 0.0;
+            for (std::size_t m = 0; m < span_windows; ++m) {
+              const math::Matrix& a_m = transition_.power(m);
+              double expected = 0.0;
+              for (std::size_t j = 0; j < k; ++j) {
+                expected += a_m(i, j) * space_.value(j);
+              }
+              sum += expected;
+            }
+            candidate = sum / static_cast<double>(span_windows);
+          }
+        }
+      }
+      logs(n, i) = emission_.log_prob(candidate, observations[n]);
+    }
+  }
+  return logs;
+}
+
+Ehmm::ViterbiResult Ehmm::viterbi(
+    std::span<const ChunkObservation> observations) const {
+  VERITAS_EXPECTS(!observations.empty());
+  const std::size_t n_obs = observations.size();
+  const std::size_t k = space_.size();
+  const math::Matrix log_emission = emission_log_probs(observations);
+  const std::vector<std::size_t> deltas = window_deltas(observations);
+
+  ViterbiResult result;
+  result.scores = math::Matrix(n_obs, k, kNegInf);
+  // back(n, i): predecessor state of the best path reaching (n, i).
+  std::vector<std::vector<std::size_t>> back(
+      n_obs, std::vector<std::size_t>(k, 0));
+
+  const auto initial = transition_.initial();
+  for (std::size_t i = 0; i < k; ++i) {
+    result.scores(0, i) = safe_log(initial[i]) + log_emission(0, i);
+  }
+
+  for (std::size_t n = 1; n < n_obs; ++n) {
+    const math::Matrix& a_delta = transition_.power(deltas[n]);
+    for (std::size_t i = 0; i < k; ++i) {
+      double best = kNegInf;
+      std::size_t best_prev = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double candidate =
+            result.scores(n - 1, j) + safe_log(a_delta(j, i));
+        if (candidate > best) {
+          best = candidate;
+          best_prev = j;
+        }
+      }
+      result.scores(n, i) = best + log_emission(n, i);
+      back[n][i] = best_prev;
+    }
+  }
+
+  // Backtrack from the best final state.
+  std::size_t state = 0;
+  double best_final = kNegInf;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (result.scores(n_obs - 1, i) > best_final) {
+      best_final = result.scores(n_obs - 1, i);
+      state = i;
+    }
+  }
+  result.log_likelihood = best_final;
+  result.states.assign(n_obs, 0);
+  for (std::size_t n = n_obs; n-- > 0;) {
+    result.states[n] = state;
+    if (n > 0) state = back[n][state];
+  }
+  return result;
+}
+
+Ehmm::ForwardBackwardResult Ehmm::forward_backward(
+    std::span<const ChunkObservation> observations) const {
+  VERITAS_EXPECTS(!observations.empty());
+  const std::size_t n_obs = observations.size();
+  const std::size_t k = space_.size();
+  const math::Matrix log_emission = emission_log_probs(observations);
+  const std::vector<std::size_t> deltas = window_deltas(observations);
+
+  // Row-scaled emissions: em(n, i) = exp(logE(n, i) - rowmax(n)). The
+  // per-row constant folds into the forward scaling factors, keeping the
+  // recursion in a safe numeric range for arbitrarily unlikely data.
+  math::Matrix em(n_obs, k, 0.0);
+  std::vector<double> row_max(n_obs, kNegInf);
+  for (std::size_t n = 0; n < n_obs; ++n) {
+    for (std::size_t i = 0; i < k; ++i) {
+      row_max[n] = std::max(row_max[n], log_emission(n, i));
+    }
+    // Degenerate guard: if every state is impossible, fall back to a
+    // flat emission (the posterior then follows the prior).
+    if (!std::isfinite(row_max[n])) {
+      for (std::size_t i = 0; i < k; ++i) em(n, i) = 1.0;
+      row_max[n] = 0.0;
+      continue;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      em(n, i) = std::exp(log_emission(n, i) - row_max[n]);
+    }
+  }
+
+  // Forward pass with per-step normalization.
+  math::Matrix alpha(n_obs, k, 0.0);
+  std::vector<double> log_scale(n_obs, 0.0);
+  {
+    const auto initial = transition_.initial();
+    std::vector<double> row(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) row[i] = initial[i] * em(0, i);
+    const double scale = math::normalize(row);
+    log_scale[0] = safe_log(scale) + row_max[0];
+    for (std::size_t i = 0; i < k; ++i) alpha(0, i) = row[i];
+  }
+  for (std::size_t n = 1; n < n_obs; ++n) {
+    const math::Matrix& a_delta = transition_.power(deltas[n]);
+    std::vector<double> row(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        acc += alpha(n - 1, j) * a_delta(j, i);
+      }
+      row[i] = acc * em(n, i);
+    }
+    const double scale = math::normalize(row);
+    log_scale[n] = safe_log(scale) + row_max[n];
+    for (std::size_t i = 0; i < k; ++i) alpha(n, i) = row[i];
+  }
+
+  // Backward pass using the same scaling factors.
+  math::Matrix beta(n_obs, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) beta(n_obs - 1, i) = 1.0;
+  for (std::size_t n = n_obs - 1; n-- > 0;) {
+    const math::Matrix& a_delta = transition_.power(deltas[n + 1]);
+    // The forward scale at step n+1 was exp(log_scale[n+1]); the scaled
+    // beta recursion divides by the same *relative* factor, i.e. the
+    // normalizer of the alpha row, so gamma = alpha .* beta normalizes
+    // cleanly. Using the raw scale would reintroduce row_max, so divide
+    // by the alpha-row normalizer only.
+    double scale = std::exp(log_scale[n + 1] - row_max[n + 1]);
+    if (scale <= 0.0) scale = 1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        acc += a_delta(i, j) * em(n + 1, j) * beta(n + 1, j);
+      }
+      beta(n, i) = acc / scale;
+    }
+  }
+
+  ForwardBackwardResult result;
+  result.log_likelihood = 0.0;
+  for (const double s : log_scale) result.log_likelihood += s;
+
+  // Posterior marginals gamma.
+  result.gamma = math::Matrix(n_obs, k, 0.0);
+  for (std::size_t n = 0; n < n_obs; ++n) {
+    std::vector<double> row(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) row[i] = alpha(n, i) * beta(n, i);
+    math::normalize(row);
+    for (std::size_t i = 0; i < k; ++i) result.gamma(n, i) = row[i];
+  }
+
+  // Pair posteriors Γ (paper Eq. 6).
+  result.xi.reserve(n_obs - 1);
+  for (std::size_t n = 0; n + 1 < n_obs; ++n) {
+    const math::Matrix& a_delta = transition_.power(deltas[n + 1]);
+    math::Matrix pair(k, k, 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        const double v =
+            alpha(n, i) * a_delta(i, j) * em(n + 1, j) * beta(n + 1, j);
+        pair(i, j) = v;
+        total += v;
+      }
+    }
+    if (total > 0.0) {
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) pair(i, j) /= total;
+      }
+    } else {
+      // Degenerate: fall back to independent marginals.
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+          pair(i, j) = result.gamma(n, i) * result.gamma(n + 1, j);
+        }
+      }
+    }
+    result.xi.push_back(std::move(pair));
+  }
+  return result;
+}
+
+}  // namespace veritas::core

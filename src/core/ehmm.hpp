@@ -1,0 +1,84 @@
+// The Veritas Embedded Hidden Markov Model (paper §3.2).
+//
+// Differences from a textbook HMM:
+//  * emissions come from the domain-specific TCP estimator f (EmissionModel)
+//    conditioned on control variables (W_sn, S_n), not a fitted density;
+//  * the chain is *embedded*: hidden GTBW states live on δ-second windows,
+//    chunks start at arbitrary times, so the transition between chunk n-1
+//    and chunk n is A^Δn with Δn = window(s_n) - window(s_{n-1}) — zero
+//    (same window), one, or many window hops (paper Fig. 4).
+//
+// Implements the paper's Viterbi variant (Algorithm 3) and scaled
+// Baum-Welch forward-backward variant (Algorithm 2) producing the pair
+// posterior Γ used by the capacity sampler (Algorithm 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/emission_model.hpp"
+#include "core/observation.hpp"
+#include "core/state_space.hpp"
+#include "core/transition_model.hpp"
+#include "math/matrix.hpp"
+
+namespace veritas::core {
+
+class Ehmm {
+ public:
+  /// Requires matching state counts and delta_s > 0 (the paper's δ).
+  Ehmm(StateSpace space, TransitionModel transition, EmissionModel emission,
+       double delta_s);
+
+  const StateSpace& space() const noexcept { return space_; }
+  const TransitionModel& transition() const noexcept { return transition_; }
+  const EmissionModel& emission() const noexcept { return emission_; }
+  double delta_s() const noexcept { return delta_s_; }
+
+  /// GTBW window index of wall-clock time t.
+  std::size_t window_of(double t_s) const;
+
+  /// Δn for n = 1..N-1 (Δ[0] is defined as 0 and unused). Requires
+  /// non-decreasing start times.
+  std::vector<std::size_t> window_deltas(
+      std::span<const ChunkObservation> observations) const;
+
+  /// N x K matrix of log emission probabilities:
+  /// (n, i) -> log P(Y_n | W_sn, S_n, C = value(i)).
+  math::Matrix emission_log_probs(
+      std::span<const ChunkObservation> observations) const;
+
+  struct ViterbiResult {
+    std::vector<std::size_t> states;  ///< MAP state index per chunk (I*)
+    double log_likelihood = 0.0;      ///< log P(obs, I*) up to emission scaling
+    /// viterbi_scores(n, i): best log score of any path ending in state i
+    /// at chunk n. Column argmaxes give MAP end states for every prefix —
+    /// used by interventional queries to avoid re-running per prefix.
+    math::Matrix scores;
+  };
+
+  /// Paper Algorithm 3 (Viterbi with A^Δn), in log space.
+  ViterbiResult viterbi(std::span<const ChunkObservation> observations) const;
+
+  struct ForwardBackwardResult {
+    /// gamma(n, i) = P(C_sn = value(i) | all observations).
+    math::Matrix gamma;
+    /// xi[n](i, j) = Γ_{i,j,n} = P(C_sn = i, C_s(n+1) = j | observations)
+    /// for n = 0..N-2 (paper Eq. 6).
+    std::vector<math::Matrix> xi;
+    /// log P(observations) under the model.
+    double log_likelihood = 0.0;
+  };
+
+  /// Paper Algorithm 2 (scaled forward-backward with A^Δn).
+  ForwardBackwardResult forward_backward(
+      std::span<const ChunkObservation> observations) const;
+
+ private:
+  StateSpace space_;
+  TransitionModel transition_;
+  EmissionModel emission_;
+  double delta_s_;
+};
+
+}  // namespace veritas::core

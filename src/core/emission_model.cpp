@@ -1,0 +1,60 @@
+#include "core/emission_model.hpp"
+
+#include "math/distributions.hpp"
+#include "net/throughput_estimator.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::core {
+
+std::vector<ChunkObservation> observations_from_log(
+    const sim::SessionLog& log) {
+  VERITAS_EXPECTS(!log.chunks.empty());
+  std::vector<ChunkObservation> out;
+  out.reserve(log.chunks.size());
+  double prev_start = -1.0;
+  for (const sim::ChunkLog& c : log.chunks) {
+    VERITAS_EXPECTS(c.end_s > c.start_s);
+    VERITAS_EXPECTS(c.start_s > prev_start);
+    prev_start = c.start_s;
+    ChunkObservation obs;
+    obs.throughput_mbps = c.throughput_mbps();
+    obs.tcp = c.tcp_at_start;
+    obs.size_bytes = c.size_bytes;
+    obs.start_s = c.start_s;
+    obs.end_s = c.end_s;
+    out.push_back(obs);
+  }
+  return out;
+}
+
+EmissionModel::EmissionModel(double sigma_mbps, net::TcpConfig tcp_config,
+                             Estimator estimator)
+    : sigma_mbps_(sigma_mbps),
+      tcp_config_(tcp_config),
+      estimator_(estimator) {
+  VERITAS_EXPECTS(sigma_mbps > 0.0);
+}
+
+double EmissionModel::mean_throughput_mbps(double candidate_mbps,
+                                           const ChunkObservation& obs) const {
+  switch (estimator_) {
+    case Estimator::kFullTcp:
+    case Estimator::kMultiWindow:
+      // kMultiWindow shares f; the candidate is pre-averaged over the
+      // download span by Ehmm::emission_log_probs.
+      return net::estimate_throughput_mbps(candidate_mbps, obs.tcp,
+                                           obs.size_bytes, tcp_config_);
+    case Estimator::kNoTcpState:
+      return net::estimate_throughput_no_tcp_state_mbps(
+          candidate_mbps, obs.tcp, obs.size_bytes, tcp_config_);
+  }
+  return 0.0;  // unreachable
+}
+
+double EmissionModel::log_prob(double candidate_mbps,
+                               const ChunkObservation& obs) const {
+  const double mean = mean_throughput_mbps(candidate_mbps, obs);
+  return math::log_normal_pdf(obs.throughput_mbps, mean, sigma_mbps_);
+}
+
+}  // namespace veritas::core

@@ -1,0 +1,51 @@
+// EHMM emission model (paper Eq. 3):
+//
+//   P(Y_n | W_sn, S_n, C_sn = c) = Normal(f(c, W_sn, S_n), σ²)
+//
+// where f is the domain-specific TCP throughput estimator
+// (net/throughput_estimator.hpp). The Gaussian absorbs f's residual
+// error (paper Fig. 5); σ is a hyperparameter (0.5 Mbps default).
+#pragma once
+
+#include "core/observation.hpp"
+#include "net/tcp_state.hpp"
+
+namespace veritas::core {
+
+class EmissionModel {
+ public:
+  /// Which throughput estimator drives the emission mean.
+  enum class Estimator {
+    kFullTcp,      ///< paper Algorithm 4 (slow start + SSR + CA)
+    kNoTcpState,   ///< ablation: ignores W_sn (steady-state assumption)
+    /// Extension: accounts for the GTBW evolving during the download
+    /// (paper Eq. 3 deliberately ignores C_{sn+1}..C_en; this variant
+    /// replaces the candidate with its expected average over the
+    /// download span under the transition dynamics — handled inside
+    /// Ehmm::emission_log_probs, which owns the transition model).
+    kMultiWindow,
+  };
+
+  /// Requires sigma_mbps > 0.
+  explicit EmissionModel(double sigma_mbps = 0.5,
+                         net::TcpConfig tcp_config = {},
+                         Estimator estimator = Estimator::kFullTcp);
+
+  /// f(c, W, S): expected observed throughput at candidate GTBW c.
+  double mean_throughput_mbps(double candidate_mbps,
+                              const ChunkObservation& obs) const;
+
+  /// log P(Y_n | W_sn, S_n, C = candidate).
+  double log_prob(double candidate_mbps, const ChunkObservation& obs) const;
+
+  double sigma_mbps() const noexcept { return sigma_mbps_; }
+  Estimator estimator() const noexcept { return estimator_; }
+  const net::TcpConfig& tcp_config() const noexcept { return tcp_config_; }
+
+ private:
+  double sigma_mbps_;
+  net::TcpConfig tcp_config_;
+  Estimator estimator_;
+};
+
+}  // namespace veritas::core

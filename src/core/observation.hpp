@@ -1,0 +1,26 @@
+// The per-chunk observation tuple the EHMM conditions on:
+// (Y_n, W_sn, S_n, s_n, e_n). Converted from a deployed-system session
+// log; deliberately excludes the ground-truth bandwidth.
+#pragma once
+
+#include <vector>
+
+#include "net/tcp_state.hpp"
+#include "sim/session_log.hpp"
+
+namespace veritas::core {
+
+struct ChunkObservation {
+  double throughput_mbps = 0.0;  ///< Y_n = S_n / D_n
+  net::TcpState tcp;             ///< W_sn
+  double size_bytes = 0.0;       ///< S_n
+  double start_s = 0.0;          ///< s_n
+  double end_s = 0.0;            ///< e_n
+};
+
+/// Extracts observations from a session log. Requires a non-empty log
+/// with strictly increasing chunk start times and end > start per chunk.
+std::vector<ChunkObservation> observations_from_log(
+    const sim::SessionLog& log);
+
+}  // namespace veritas::core

@@ -1,0 +1,35 @@
+// Posterior capacity sampler (paper Algorithm 1).
+//
+// Pins the final chunk's state to the Viterbi MAP estimate, then samples
+// backward using the pair posterior Γ from forward-backward:
+//   C_sN = I*_N ;  C_sn ~ Multinomial( Γ_{·, C_s(n+1), n} / Z ).
+// Each call yields one plausible GTBW assignment at the chunk starts,
+// capturing the uncertainty inherent in the inversion; Veritas replays
+// several samples to produce a range of what-if outcomes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ehmm.hpp"
+#include "util/rng.hpp"
+
+namespace veritas::core {
+
+struct SamplerConfig {
+  /// How the final chunk's state is chosen before backward sampling.
+  enum class LastState {
+    kViterbi,    ///< paper Algorithm 1: pin to the MAP final state
+    kPosterior,  ///< pure FFBS: sample from gamma(N-1, ·)
+  };
+  LastState last_state = LastState::kViterbi;
+};
+
+/// Draws one state-index sequence (length N) from the posterior.
+/// Requires viterbi/fb computed from the same observations.
+std::vector<std::size_t> sample_capacity_states(
+    const Ehmm::ViterbiResult& viterbi,
+    const Ehmm::ForwardBackwardResult& forward_backward, util::Rng& rng,
+    const SamplerConfig& config = {});
+
+}  // namespace veritas::core

@@ -1,0 +1,37 @@
+#include "core/state_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace veritas::core {
+
+StateSpace::StateSpace(double epsilon_mbps, double max_mbps)
+    : epsilon_mbps_(epsilon_mbps) {
+  VERITAS_EXPECTS(epsilon_mbps > 0.0);
+  VERITAS_EXPECTS(max_mbps >= epsilon_mbps);
+  size_ = static_cast<std::size_t>(std::ceil(max_mbps / epsilon_mbps)) + 1;
+  VERITAS_ENSURES(size_ >= 2);
+}
+
+double StateSpace::value(std::size_t i) const {
+  VERITAS_EXPECTS(i < size_);
+  return static_cast<double>(i) * epsilon_mbps_;
+}
+
+std::size_t StateSpace::nearest_index(double mbps) const {
+  VERITAS_EXPECTS(mbps >= 0.0);
+  const auto idx =
+      static_cast<std::size_t>(std::llround(mbps / epsilon_mbps_));
+  return std::min(idx, size_ - 1);
+}
+
+std::vector<double> StateSpace::values() const {
+  std::vector<double> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(value(i));
+  return out;
+}
+
+}  // namespace veritas::core

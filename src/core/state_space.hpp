@@ -1,0 +1,39 @@
+// Quantized GTBW state space (paper §3.2, "Hidden state transitions").
+//
+// Hidden states are bandwidth values on an ε grid:
+// C = {0, ε, 2ε, ..., K·ε}. ε is the paper's "minimum GTBW discrepancy"
+// hyperparameter (0.5 Mbps by default).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace veritas::core {
+
+class StateSpace {
+ public:
+  /// States 0, ε, 2ε, ... up to at least max_mbps.
+  /// Requires epsilon_mbps > 0 and max_mbps >= epsilon_mbps.
+  StateSpace(double epsilon_mbps, double max_mbps);
+
+  std::size_t size() const noexcept { return size_; }
+  double epsilon_mbps() const noexcept { return epsilon_mbps_; }
+  double max_mbps() const noexcept {
+    return value(size_ - 1);
+  }
+
+  /// Bandwidth value of state i (= i * ε). Requires i < size().
+  double value(std::size_t i) const;
+
+  /// Index of the grid state nearest to `mbps` (clamped to the range).
+  std::size_t nearest_index(double mbps) const;
+
+  /// All state values, ascending.
+  std::vector<double> values() const;
+
+ private:
+  double epsilon_mbps_;
+  std::size_t size_;
+};
+
+}  // namespace veritas::core

@@ -1,0 +1,79 @@
+#include "core/transition_model.hpp"
+
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace veritas::core {
+
+TransitionModel::TransitionModel(math::Matrix a, std::vector<double> initial)
+    : a_(std::move(a)), initial_(std::move(initial)) {
+  VERITAS_EXPECTS(a_.rows() == a_.cols());
+  VERITAS_EXPECTS(a_.is_row_stochastic(1e-6));
+  VERITAS_EXPECTS(initial_.size() == a_.rows());
+  double sum = 0.0;
+  for (const double p : initial_) {
+    VERITAS_EXPECTS(p >= 0.0);
+    sum += p;
+  }
+  VERITAS_EXPECTS(sum > 0.999 && sum < 1.001);
+}
+
+TransitionModel TransitionModel::tridiagonal(std::size_t states,
+                                             double stay_prob) {
+  VERITAS_EXPECTS(states >= 2);
+  VERITAS_EXPECTS(stay_prob > 0.0 && stay_prob < 1.0);
+  math::Matrix a(states, states, 0.0);
+  const double step = (1.0 - stay_prob) / 2.0;
+  for (std::size_t i = 0; i < states; ++i) {
+    a(i, i) = stay_prob;
+    if (i > 0) a(i, i - 1) = step;
+    if (i + 1 < states) a(i, i + 1) = step;
+    // Renormalize boundary rows.
+    double row_sum = a(i, i);
+    if (i > 0) row_sum += step;
+    if (i + 1 < states) row_sum += step;
+    a(i, i) += 1.0 - row_sum;
+  }
+  return TransitionModel(std::move(a),
+                         std::vector<double>(states, 1.0 / double(states)));
+}
+
+TransitionModel TransitionModel::uniform(std::size_t states) {
+  VERITAS_EXPECTS(states >= 2);
+  const double p = 1.0 / static_cast<double>(states);
+  return TransitionModel(math::Matrix(states, states, p),
+                         std::vector<double>(states, p));
+}
+
+TransitionModel TransitionModel::banded(std::size_t states, std::size_t band,
+                                        double decay) {
+  VERITAS_EXPECTS(states >= 2);
+  VERITAS_EXPECTS(band >= 1);
+  VERITAS_EXPECTS(decay > 0.0 && decay < 1.0);
+  math::Matrix a(states, states, 0.0);
+  for (std::size_t i = 0; i < states; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < states; ++j) {
+      const auto distance = i > j ? i - j : j - i;
+      if (distance <= band) {
+        a(i, j) = std::pow(decay, static_cast<double>(distance));
+        row_sum += a(i, j);
+      }
+    }
+    for (std::size_t j = 0; j < states; ++j) a(i, j) /= row_sum;
+  }
+  return TransitionModel(std::move(a),
+                         std::vector<double>(states, 1.0 / double(states)));
+}
+
+const math::Matrix& TransitionModel::power(std::size_t delta) const {
+  const auto it = power_cache_.find(delta);
+  if (it != power_cache_.end()) return it->second;
+  auto [inserted, ok] =
+      power_cache_.emplace(delta, math::matrix_power(a_, delta));
+  VERITAS_ENSURES(ok);
+  return inserted->second;
+}
+
+}  // namespace veritas::core

@@ -1,0 +1,58 @@
+// GTBW transition model (paper Eq. 2): a row-stochastic matrix A over the
+// quantized state space plus an initial distribution u.
+//
+// The paper's evaluation uses a tridiagonal A (bandwidth prefers to stay,
+// may drift one ε step per δ window) and a uniform u. Embedded
+// transitions between chunks separated by Δ windows use A^Δ (paper §3.2,
+// "Evolution of the embedded GTBW"); powers are cached per distinct Δ.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace veritas::core {
+
+/// Priors available for A (ablation bench: bench_ablate_transition).
+enum class TransitionPrior {
+  kTridiagonal,  ///< paper default: stay / +-1 step
+  kUniform,      ///< no temporal structure (what Baseline implicitly assumes)
+  kBanded,       ///< geometric decay over a wider band
+};
+
+class TransitionModel {
+ public:
+  /// Takes an arbitrary row-stochastic A and initial distribution u of
+  /// matching size.
+  TransitionModel(math::Matrix a, std::vector<double> initial);
+
+  /// Paper default: P(stay) = stay_prob, P(+-ε) split evenly from the
+  /// rest; rows renormalized at the boundaries. Uniform u.
+  static TransitionModel tridiagonal(std::size_t states,
+                                     double stay_prob = 0.8);
+
+  /// Uniform A and u.
+  static TransitionModel uniform(std::size_t states);
+
+  /// Band of half-width `band` with geometric decay `decay` per step off
+  /// the diagonal. Uniform u.
+  static TransitionModel banded(std::size_t states, std::size_t band,
+                                double decay = 0.5);
+
+  std::size_t states() const noexcept { return a_.rows(); }
+  const math::Matrix& matrix() const noexcept { return a_; }
+  std::span<const double> initial() const noexcept { return initial_; }
+
+  /// A^delta with caching (delta = 0 yields the identity).
+  const math::Matrix& power(std::size_t delta) const;
+
+ private:
+  math::Matrix a_;
+  std::vector<double> initial_;
+  mutable std::map<std::size_t, math::Matrix> power_cache_;
+};
+
+}  // namespace veritas::core

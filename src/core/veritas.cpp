@@ -1,0 +1,238 @@
+#include "core/veritas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "net/throughput_estimator.hpp"
+#include "util/expects.hpp"
+#include "util/rng.hpp"
+
+namespace veritas::core {
+
+Veritas::Veritas(VeritasConfig config) : config_(config) {
+  VERITAS_EXPECTS(config_.delta_s > 0.0);
+  VERITAS_EXPECTS(config_.epsilon_mbps > 0.0);
+  VERITAS_EXPECTS(config_.sigma_mbps > 0.0);
+  VERITAS_EXPECTS(config_.max_mbps >= config_.epsilon_mbps);
+  VERITAS_EXPECTS(config_.num_samples >= 1);
+}
+
+Ehmm Veritas::make_ehmm() const {
+  StateSpace space(config_.epsilon_mbps, config_.max_mbps);
+  TransitionModel transition = [&] {
+    switch (config_.prior) {
+      case TransitionPrior::kUniform:
+        return TransitionModel::uniform(space.size());
+      case TransitionPrior::kBanded:
+        return TransitionModel::banded(space.size(), config_.band_width);
+      case TransitionPrior::kTridiagonal:
+      default:
+        return TransitionModel::tridiagonal(space.size(),
+                                            config_.transition_stay);
+    }
+  }();
+  EmissionModel emission(config_.sigma_mbps, config_.tcp, config_.estimator);
+  return Ehmm(std::move(space), std::move(transition), std::move(emission),
+              config_.delta_s);
+}
+
+VeritasResult Veritas::infer(const sim::SessionLog& log) const {
+  const std::vector<ChunkObservation> observations =
+      observations_from_log(log);
+  const Ehmm ehmm = make_ehmm();
+
+  const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
+  const Ehmm::ForwardBackwardResult fb = ehmm.forward_backward(observations);
+
+  const double total_duration =
+      observations.back().end_s + config_.delta_s;
+
+  VeritasResult result;
+  result.log_likelihood = fb.log_likelihood;
+  result.posterior_marginals = fb.gamma;
+  result.map_states_mbps.reserve(observations.size());
+  for (const std::size_t s : viterbi.states) {
+    result.map_states_mbps.push_back(ehmm.space().value(s));
+  }
+  result.map_trace =
+      states_to_trace(ehmm.space(), viterbi.states, observations,
+                      config_.delta_s, total_duration, config_.interpolation);
+
+  util::Rng rng(config_.seed);
+  result.samples.reserve(config_.num_samples);
+  for (std::size_t k = 0; k < config_.num_samples; ++k) {
+    util::Rng child = rng.fork(k);
+    const std::vector<std::size_t> states =
+        sample_capacity_states(viterbi, fb, child, config_.sampler);
+    result.samples.push_back(
+        states_to_trace(ehmm.space(), states, observations, config_.delta_s,
+                        total_duration, config_.interpolation));
+  }
+  return result;
+}
+
+NextChunkPrediction Veritas::predict_from_state(
+    std::size_t state, std::size_t delta_windows, const net::TcpState& w,
+    double next_size_bytes, const Ehmm& ehmm) const {
+  // Expected GTBW after delta_windows transitions from `state`.
+  const math::Matrix& a_delta = ehmm.transition().power(delta_windows);
+  double expected = 0.0;
+  for (std::size_t j = 0; j < ehmm.space().size(); ++j) {
+    expected += a_delta(state, j) * ehmm.space().value(j);
+  }
+  NextChunkPrediction prediction;
+  prediction.expected_gtbw_mbps = expected;
+  prediction.throughput_mbps = net::estimate_throughput_mbps(
+      expected, w, next_size_bytes, config_.tcp);
+  prediction.download_time_s =
+      prediction.throughput_mbps > 0.0
+          ? next_size_bytes * 8.0 / 1e6 / prediction.throughput_mbps
+          : std::numeric_limits<double>::infinity();
+  return prediction;
+}
+
+double NextChunkDistribution::time_quantile_s(double q) const {
+  VERITAS_EXPECTS(q >= 0.0 && q <= 1.0);
+  VERITAS_EXPECTS(!download_time_s.empty());
+  // Sort states by predicted time and walk the cumulative mass.
+  std::vector<std::size_t> order(download_time_s.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return download_time_s[a] < download_time_s[b];
+  });
+  double mass = 0.0;
+  for (const std::size_t i : order) {
+    mass += probabilities[i];
+    if (mass >= q - 1e-12) return download_time_s[i];
+  }
+  return download_time_s[order.back()];
+}
+
+double NextChunkDistribution::mean_time_s() const {
+  VERITAS_EXPECTS(!download_time_s.empty());
+  // Substitute +inf entries (zero-throughput states) with the worst
+  // finite prediction so the mean stays finite and conservative.
+  double worst_finite = 0.0;
+  for (const double t : download_time_s) {
+    if (std::isfinite(t)) worst_finite = std::max(worst_finite, t);
+  }
+  double mean = 0.0;
+  for (std::size_t i = 0; i < download_time_s.size(); ++i) {
+    const double t =
+        std::isfinite(download_time_s[i]) ? download_time_s[i] : worst_finite;
+    mean += probabilities[i] * t;
+  }
+  return mean;
+}
+
+NextChunkDistribution Veritas::predict_next_distribution(
+    const sim::SessionLog& history, double next_start_s,
+    const net::TcpState& w, double next_size_bytes) const {
+  VERITAS_EXPECTS(!history.chunks.empty());
+  VERITAS_EXPECTS(next_size_bytes > 0.0);
+  const std::vector<ChunkObservation> observations =
+      observations_from_log(history);
+  VERITAS_EXPECTS(next_start_s >= observations.back().start_s);
+  const Ehmm ehmm = make_ehmm();
+  const std::size_t k = ehmm.space().size();
+
+  // Smoothed posterior over the last chunk's state.
+  const Ehmm::ForwardBackwardResult fb = ehmm.forward_backward(observations);
+  const std::size_t last = observations.size() - 1;
+
+  // Propagate through A^Δ to the next chunk's window.
+  const std::size_t delta = ehmm.window_of(next_start_s) -
+                            ehmm.window_of(observations.back().start_s);
+  const math::Matrix& a_delta = ehmm.transition().power(delta);
+  NextChunkDistribution dist;
+  dist.gtbw_mbps = ehmm.space().values();
+  dist.probabilities.assign(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    double p = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      p += fb.gamma(last, i) * a_delta(i, j);
+    }
+    dist.probabilities[j] = p;
+  }
+
+  dist.download_time_s.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    dist.download_time_s.push_back(net::estimate_download_time_s(
+        dist.gtbw_mbps[j], w, next_size_bytes, config_.tcp));
+  }
+  return dist;
+}
+
+NextChunkPrediction Veritas::predict_next(const sim::SessionLog& history,
+                                          double next_start_s,
+                                          const net::TcpState& w,
+                                          double next_size_bytes) const {
+  VERITAS_EXPECTS(!history.chunks.empty());
+  VERITAS_EXPECTS(next_size_bytes > 0.0);
+  const std::vector<ChunkObservation> observations =
+      observations_from_log(history);
+  VERITAS_EXPECTS(next_start_s >= observations.back().start_s);
+  const Ehmm ehmm = make_ehmm();
+  const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
+  const std::size_t delta = ehmm.window_of(next_start_s) -
+                            ehmm.window_of(observations.back().start_s);
+  return predict_from_state(viterbi.states.back(), delta, w, next_size_bytes,
+                            ehmm);
+}
+
+std::vector<NextChunkPrediction> Veritas::predict_sequence(
+    const sim::SessionLog& log) const {
+  const std::vector<ChunkObservation> observations =
+      observations_from_log(log);
+  const Ehmm ehmm = make_ehmm();
+  const std::size_t n_obs = observations.size();
+  const std::size_t k = ehmm.space().size();
+
+  // One full Viterbi pass; the prefix MAP end state at chunk n-1 is the
+  // argmax of the scores column, because the Viterbi table of a prefix
+  // equals the truncated full-run table.
+  const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
+  const std::vector<std::size_t> deltas = ehmm.window_deltas(observations);
+
+  std::vector<NextChunkPrediction> predictions;
+  predictions.reserve(n_obs);
+  // Chunk 0: prior-only prediction (expected initial GTBW).
+  {
+    double expected = 0.0;
+    const auto initial = ehmm.transition().initial();
+    for (std::size_t j = 0; j < k; ++j) {
+      expected += initial[j] * ehmm.space().value(j);
+    }
+    NextChunkPrediction p;
+    p.expected_gtbw_mbps = expected;
+    p.throughput_mbps = net::estimate_throughput_mbps(
+        expected, observations[0].tcp, observations[0].size_bytes,
+        config_.tcp);
+    p.download_time_s =
+        p.throughput_mbps > 0.0
+            ? observations[0].size_bytes * 8.0 / 1e6 / p.throughput_mbps
+            : std::numeric_limits<double>::infinity();
+    predictions.push_back(p);
+  }
+  for (std::size_t n = 1; n < n_obs; ++n) {
+    std::size_t best_state = 0;
+    double best_score = viterbi.scores(n - 1, 0);
+    for (std::size_t i = 1; i < k; ++i) {
+      if (viterbi.scores(n - 1, i) > best_score) {
+        best_score = viterbi.scores(n - 1, i);
+        best_state = i;
+      }
+    }
+    predictions.push_back(predict_from_state(best_state, deltas[n],
+                                             observations[n].tcp,
+                                             observations[n].size_bytes, ehmm));
+  }
+  return predictions;
+}
+
+trace::BandwidthTrace Veritas::baseline(const sim::SessionLog& log) const {
+  return baseline_trace(log);
+}
+
+}  // namespace veritas::core

@@ -1,0 +1,128 @@
+// The Veritas facade: the library's primary public API.
+//
+// Given a deployed system's session log (chunk sizes, timings and TCP
+// states — no ground-truth bandwidth), Veritas performs the paper's
+// abduction step: it infers the posterior over the latent GTBW process
+// via its EHMM and returns (a) the MAP trace and (b) K posterior sample
+// traces that a counterfactual engine can replay under a new setting,
+// plus (c) interventional next-chunk predictions.
+//
+// Typical use:
+//   veritas::core::Veritas veritas;                  // paper defaults
+//   auto result = veritas.infer(session_log);
+//   for (const auto& trace : result.samples) { /* replay Setting B */ }
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/ehmm.hpp"
+#include "core/reconstruction.hpp"
+#include "core/sampler.hpp"
+#include "trace/bandwidth_trace.hpp"
+
+namespace veritas::core {
+
+/// Hyperparameters (defaults are the paper's §4.1 settings).
+struct VeritasConfig {
+  double delta_s = 5.0;          ///< GTBW transition interval δ
+  double epsilon_mbps = 0.5;     ///< GTBW quantization ε
+  double sigma_mbps = 0.5;       ///< emission noise σ
+  double max_mbps = 10.0;        ///< top of the state space
+  double transition_stay = 0.8;  ///< tridiagonal stay probability
+  TransitionPrior prior = TransitionPrior::kTridiagonal;
+  std::size_t band_width = 3;    ///< used when prior == kBanded
+  std::size_t num_samples = 5;   ///< posterior samples per query
+  Interpolation interpolation = Interpolation::kLinear;
+  EmissionModel::Estimator estimator = EmissionModel::Estimator::kFullTcp;
+  SamplerConfig sampler;
+  net::TcpConfig tcp;
+  std::uint64_t seed = 1234;
+};
+
+/// Output of the abduction step.
+struct VeritasResult {
+  trace::BandwidthTrace map_trace;             ///< Viterbi MAP GTBW trace
+  std::vector<trace::BandwidthTrace> samples;  ///< K posterior samples
+  std::vector<double> map_states_mbps;         ///< MAP GTBW per chunk
+  math::Matrix posterior_marginals;            ///< gamma: N x K
+  double log_likelihood = 0.0;                 ///< log P(observations)
+};
+
+/// Interventional prediction for one hypothetical next chunk.
+struct NextChunkPrediction {
+  double expected_gtbw_mbps = 0.0;  ///< E[C at next start | history]
+  double throughput_mbps = 0.0;     ///< f(E[C], W, S)
+  double download_time_s = 0.0;     ///< S / throughput
+};
+
+/// Full posterior-predictive distribution for one hypothetical next
+/// chunk (extension beyond the paper's single most-likely sample):
+/// the smoothed posterior over the current GTBW state propagated through
+/// A^Δ, mapped through the estimator f per candidate state.
+struct NextChunkDistribution {
+  std::vector<double> gtbw_mbps;        ///< state values (ascending)
+  std::vector<double> probabilities;    ///< P(next GTBW = value | history)
+  std::vector<double> download_time_s;  ///< per-state predicted time
+
+  /// Weighted quantile of the predicted download time, q in [0, 1].
+  double time_quantile_s(double q) const;
+
+  /// Posterior-mean predicted download time (states with zero estimated
+  /// throughput contribute the worst finite state's time).
+  double mean_time_s() const;
+};
+
+class Veritas {
+ public:
+  explicit Veritas(VeritasConfig config = {});
+
+  /// Abduction (paper Eq. 1): posterior over GTBW given the log.
+  /// Requires a non-empty log. Deterministic in config().seed.
+  VeritasResult infer(const sim::SessionLog& log) const;
+
+  /// Predicts the download time of a hypothetical next chunk of
+  /// `next_size_bytes` starting at `next_start_s` in TCP state `w`,
+  /// given the session so far (paper §4.4: a single most-likely GTBW
+  /// sample advanced through the transition matrix).
+  NextChunkPrediction predict_next(const sim::SessionLog& history,
+                                   double next_start_s,
+                                   const net::TcpState& w,
+                                   double next_size_bytes) const;
+
+  /// Posterior-predictive variant of predict_next: instead of a point
+  /// estimate from the most-likely state, returns the full distribution
+  /// over next-chunk GTBW (smoothed posterior at the last chunk pushed
+  /// through A^Δ) with per-state download-time predictions.
+  NextChunkDistribution predict_next_distribution(
+      const sim::SessionLog& history, double next_start_s,
+      const net::TcpState& w, double next_size_bytes) const;
+
+  /// Batch interventional sweep for evaluation (paper Fig. 12): for each
+  /// chunk n >= 1 of `log`, predicts its download time from the prefix
+  /// [0, n) using the chunk's recorded start time, TCP state and size.
+  /// Entry 0 is a prior-only prediction. Cost: one Viterbi pass total.
+  std::vector<NextChunkPrediction> predict_sequence(
+      const sim::SessionLog& log) const;
+
+  /// The Baseline reconstruction for the same log (paper §4.1), exposed
+  /// here for side-by-side comparisons.
+  trace::BandwidthTrace baseline(const sim::SessionLog& log) const;
+
+  /// Builds the configured EHMM (for tests / advanced use).
+  Ehmm make_ehmm() const;
+
+  const VeritasConfig& config() const noexcept { return config_; }
+
+ private:
+  NextChunkPrediction predict_from_state(std::size_t state,
+                                         std::size_t delta_windows,
+                                         const net::TcpState& w,
+                                         double next_size_bytes,
+                                         const Ehmm& ehmm) const;
+
+  VeritasConfig config_;
+};
+
+}  // namespace veritas::core

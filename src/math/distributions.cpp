@@ -1,0 +1,66 @@
+#include "math/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/expects.hpp"
+
+namespace veritas::math {
+
+double log_normal_pdf(double x, double mean, double sigma) {
+  VERITAS_EXPECTS(sigma > 0.0);
+  const double z = (x - mean) / sigma;
+  return -0.5 * z * z - std::log(sigma) -
+         0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+double normal_pdf(double x, double mean, double sigma) {
+  return std::exp(log_normal_pdf(x, mean, sigma));
+}
+
+double log_sum_exp(std::span<const double> xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;  // all -inf (or a +inf dominates)
+  double acc = 0.0;
+  for (const double x : xs) acc += std::exp(x - m);
+  return m + std::log(acc);
+}
+
+double normalize(std::span<double> weights) {
+  VERITAS_EXPECTS(!weights.empty());
+  double sum = 0.0;
+  for (const double w : weights) {
+    VERITAS_EXPECTS(w >= 0.0);
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    const double u = 1.0 / static_cast<double>(weights.size());
+    for (double& w : weights) w = u;
+    return 0.0;
+  }
+  for (double& w : weights) w /= sum;
+  return sum;
+}
+
+double entropy(std::span<const double> probabilities) {
+  double h = 0.0;
+  for (const double p : probabilities) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+double expectation(std::span<const double> values,
+                   std::span<const double> probabilities) {
+  VERITAS_EXPECTS(values.size() == probabilities.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc += values[i] * probabilities[i];
+  }
+  return acc;
+}
+
+}  // namespace veritas::math

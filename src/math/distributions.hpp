@@ -1,0 +1,33 @@
+// Probability helpers for the EHMM: Gaussian log-density (the emission
+// noise of paper Eq. 3), numerically stable log-sum-exp, and in-place
+// normalization of weight vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace veritas::math {
+
+/// log N(x; mean, sigma^2). Requires sigma > 0.
+double log_normal_pdf(double x, double mean, double sigma);
+
+/// N(x; mean, sigma^2). Requires sigma > 0.
+double normal_pdf(double x, double mean, double sigma);
+
+/// log(sum_i exp(xs[i])) computed stably. Returns -inf for empty input or
+/// when all entries are -inf.
+double log_sum_exp(std::span<const double> xs);
+
+/// Normalizes non-negative weights to sum to 1 in place.
+/// Returns the pre-normalization sum (useful as a scaling likelihood).
+/// If the sum is zero, leaves a uniform distribution.
+double normalize(std::span<double> weights);
+
+/// Entropy (nats) of a normalized distribution; 0log0 := 0.
+double entropy(std::span<const double> probabilities);
+
+/// Expected value sum_i values[i] * probabilities[i]; sizes must match.
+double expectation(std::span<const double> values,
+                   std::span<const double> probabilities);
+
+}  // namespace veritas::math

@@ -1,0 +1,99 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace veritas::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  VERITAS_EXPECTS(rows > 0 && cols > 0);
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  VERITAS_EXPECTS(!rows.empty() && !rows.front().empty());
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    VERITAS_EXPECTS(rows[r].size() == m.cols());
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  VERITAS_EXPECTS(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> v) const {
+  VERITAS_EXPECTS(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& rhs) const {
+  VERITAS_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - rhs.data_[i]));
+  }
+  return worst;
+}
+
+bool Matrix::is_row_stochastic(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if ((*this)(r, c) < -tol) return false;
+      sum += (*this)(r, c);
+    }
+    if (std::abs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+Matrix matrix_power(const Matrix& a, std::size_t power) {
+  VERITAS_EXPECTS(a.rows() == a.cols());
+  Matrix result = Matrix::identity(a.rows());
+  Matrix base = a;
+  std::size_t p = power;
+  while (p > 0) {
+    if (p & 1U) result = result * base;
+    p >>= 1U;
+    if (p > 0) base = base * base;
+  }
+  return result;
+}
+
+}  // namespace veritas::math

@@ -1,0 +1,70 @@
+// Small dense matrix used for HMM transition matrices (tens of states).
+// Row-major storage; the only non-trivial operation the EHMM needs is the
+// integer matrix power A^Δ (exponentiation by squaring).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace veritas::math {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer-like data; each inner vector is a row
+  /// and all rows must have equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Read-only view of row r.
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Matrix product; requires this->cols() == rhs.rows().
+  Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix-vector product; requires v.size() == cols().
+  std::vector<double> operator*(std::span<const double> v) const;
+
+  /// Transpose.
+  Matrix transposed() const;
+
+  /// Element-wise maximum absolute difference; requires equal shapes.
+  double max_abs_diff(const Matrix& rhs) const;
+
+  /// True when square, entries >= -tol and every row sums to 1 +- tol.
+  bool is_row_stochastic(double tol = 1e-9) const;
+
+  /// Underlying storage (row-major), e.g. for serialization.
+  std::span<const double> data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// A^power for a square matrix via exponentiation by squaring.
+/// power == 0 yields the identity.
+Matrix matrix_power(const Matrix& a, std::size_t power);
+
+}  // namespace veritas::math

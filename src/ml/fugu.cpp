@@ -1,0 +1,154 @@
+#include "ml/fugu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+#include "util/rng.hpp"
+
+namespace veritas::ml {
+
+namespace {
+
+MlpConfig make_mlp_config(const FuguConfig& config) {
+  MlpConfig mlp;
+  mlp.layer_sizes.push_back(2 * config.past_chunks + 1);
+  for (const std::size_t h : config.hidden) mlp.layer_sizes.push_back(h);
+  mlp.layer_sizes.push_back(1);
+  mlp.learning_rate = config.learning_rate;
+  mlp.seed = config.seed;
+  return mlp;
+}
+
+}  // namespace
+
+FuguNN::FuguNN(FuguConfig config)
+    : config_(std::move(config)), mlp_(make_mlp_config(config_)) {
+  VERITAS_EXPECTS(config_.past_chunks >= 1);
+  VERITAS_EXPECTS(config_.epochs >= 1);
+  VERITAS_EXPECTS(config_.batch_size >= 1);
+}
+
+std::vector<double> FuguNN::make_features(
+    std::span<const double> past_sizes_bytes,
+    std::span<const double> past_times_s, double next_size_bytes) const {
+  VERITAS_EXPECTS(past_sizes_bytes.size() == past_times_s.size());
+  VERITAS_EXPECTS(!past_sizes_bytes.empty());
+  const std::size_t k = config_.past_chunks;
+  std::vector<double> features;
+  features.reserve(2 * k + 1);
+  // Left-pad short histories with the oldest entry; sizes in MB.
+  for (std::size_t slot = 0; slot < k; ++slot) {
+    const std::size_t have = past_sizes_bytes.size();
+    const std::size_t idx = (slot + have >= k) ? slot + have - k : 0;
+    features.push_back(past_sizes_bytes[idx] / 1e6);
+  }
+  for (std::size_t slot = 0; slot < k; ++slot) {
+    const std::size_t have = past_times_s.size();
+    const std::size_t idx = (slot + have >= k) ? slot + have - k : 0;
+    features.push_back(past_times_s[idx]);
+  }
+  features.push_back(next_size_bytes / 1e6);
+  return features;
+}
+
+double FuguNN::fit(std::span<const sim::SessionLog> logs) {
+  VERITAS_EXPECTS(!logs.empty());
+
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> targets;
+  for (const sim::SessionLog& log : logs) {
+    if (log.size() <= config_.past_chunks) continue;
+    std::vector<double> sizes;
+    std::vector<double> times;
+    sizes.reserve(log.size());
+    times.reserve(log.size());
+    for (const sim::ChunkLog& c : log.chunks) {
+      sizes.push_back(c.size_bytes);
+      times.push_back(c.download_time_s());
+    }
+    for (std::size_t n = config_.past_chunks; n < log.size(); ++n) {
+      const std::span<const double> past_sizes(sizes.data() + n - config_.past_chunks,
+                                               config_.past_chunks);
+      const std::span<const double> past_times(times.data() + n - config_.past_chunks,
+                                               config_.past_chunks);
+      inputs.push_back(make_features(past_sizes, past_times, sizes[n]));
+      const double d = times[n];
+      targets.push_back(
+          {config_.predict_log_time ? std::log(std::max(d, 1e-4)) : d});
+    }
+  }
+  VERITAS_EXPECTS(!inputs.empty());
+
+  scaler_.fit(inputs);
+  for (auto& row : inputs) row = scaler_.transform(row);
+
+  // Shuffle and split off a validation tail.
+  util::Rng rng(config_.seed ^ 0xf09dULL);
+  std::vector<std::size_t> order(inputs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  util::shuffle(order, rng);
+  const std::size_t val_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.validation_fraction *
+                                  static_cast<double>(inputs.size())));
+  const std::size_t train_count = inputs.size() - val_count;
+
+  std::vector<std::vector<double>> train_x, train_y, val_x, val_y;
+  train_x.reserve(train_count);
+  train_y.reserve(train_count);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto& dst_x = (i < train_count) ? train_x : val_x;
+    auto& dst_y = (i < train_count) ? train_y : val_y;
+    dst_x.push_back(inputs[order[i]]);
+    dst_y.push_back(targets[order[i]]);
+  }
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    util::shuffle(order, rng);  // reshuffle batch composition per epoch
+    for (std::size_t begin = 0; begin < train_x.size();
+         begin += config_.batch_size) {
+      const std::size_t end =
+          std::min(begin + config_.batch_size, train_x.size());
+      mlp_.train_batch(
+          std::span<const std::vector<double>>(train_x.data() + begin,
+                                               end - begin),
+          std::span<const std::vector<double>>(train_y.data() + begin,
+                                               end - begin));
+    }
+  }
+  trained_ = true;
+  return mlp_.evaluate_mse(val_x, val_y);
+}
+
+double FuguNN::predict_download_time_s(
+    std::span<const double> past_sizes_bytes,
+    std::span<const double> past_times_s, double next_size_bytes) const {
+  VERITAS_EXPECTS(trained_);
+  VERITAS_EXPECTS(next_size_bytes > 0.0);
+  const std::vector<double> features =
+      scaler_.transform(make_features(past_sizes_bytes, past_times_s,
+                                      next_size_bytes));
+  const double raw = mlp_.predict(features)[0];
+  const double time =
+      config_.predict_log_time ? std::exp(raw) : std::max(raw, 0.0);
+  // Guard against extrapolation blow-ups far off the training manifold
+  // (a real predictor bounds its output range).
+  return std::min(time, config_.max_prediction_s);
+}
+
+double FuguNN::predict_chunk(const sim::SessionLog& log,
+                             std::size_t index) const {
+  VERITAS_EXPECTS(index >= 1 && index < log.size());
+  const std::size_t k = std::min(config_.past_chunks, index);
+  std::vector<double> sizes;
+  std::vector<double> times;
+  sizes.reserve(k);
+  times.reserve(k);
+  for (std::size_t n = index - k; n < index; ++n) {
+    sizes.push_back(log.chunks[n].size_bytes);
+    times.push_back(log.chunks[n].download_time_s());
+  }
+  return predict_download_time_s(sizes, times, log.chunks[index].size_bytes);
+}
+
+}  // namespace veritas::ml

@@ -1,0 +1,68 @@
+// FuguNN: the associational download-time predictor the paper compares
+// against (Yan et al., NSDI'20; paper §2.2 and §4.4).
+//
+// Predicts the download time of the next chunk from its size and the
+// sizes and download times of the previous K chunks. Trained on logs of
+// a deployed ABR, it learns the *association* between size and download
+// time under that ABR's policy — which is biased for causal queries
+// (forced sizes the ABR would not have chosen). Veritas is the causal
+// alternative; this class exists to reproduce Figs. 2(b) and 12.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/mlp.hpp"
+#include "sim/session_log.hpp"
+
+namespace veritas::ml {
+
+struct FuguConfig {
+  std::size_t past_chunks = 8;        ///< K in the paper's description
+  std::vector<std::size_t> hidden = {64, 64};
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  double validation_fraction = 0.1;   ///< held out for early-stop reporting
+  std::uint64_t seed = 17;
+  bool predict_log_time = true;       ///< regress log(D) (times are heavy-tailed)
+  double max_prediction_s = 120.0;    ///< clamp on predicted download times
+};
+
+/// A trained Fugu model.
+class FuguNN {
+ public:
+  explicit FuguNN(FuguConfig config = {});
+
+  /// Trains on the chunk sequences of the given session logs. Returns
+  /// the final validation MSE (in model target units). Requires at least
+  /// one log with more than past_chunks chunks.
+  double fit(std::span<const sim::SessionLog> logs);
+
+  /// Predicts the download time (seconds) of a next chunk of
+  /// `next_size_bytes`, given the previous chunks' sizes and download
+  /// times (most recent last). Requires fit() first; histories shorter
+  /// than K are left-padded with the oldest entry.
+  double predict_download_time_s(std::span<const double> past_sizes_bytes,
+                                 std::span<const double> past_times_s,
+                                 double next_size_bytes) const;
+
+  /// Convenience: predicts chunk `index` of a log from its in-log history.
+  /// Requires index >= 1.
+  double predict_chunk(const sim::SessionLog& log, std::size_t index) const;
+
+  const FuguConfig& config() const noexcept { return config_; }
+  bool trained() const noexcept { return trained_; }
+
+ private:
+  std::vector<double> make_features(std::span<const double> past_sizes_bytes,
+                                    std::span<const double> past_times_s,
+                                    double next_size_bytes) const;
+
+  FuguConfig config_;
+  Mlp mlp_;
+  StandardScaler scaler_;
+  bool trained_ = false;
+};
+
+}  // namespace veritas::ml

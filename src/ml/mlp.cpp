@@ -1,0 +1,257 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace veritas::ml {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  VERITAS_EXPECTS(config_.layer_sizes.size() >= 2);
+  for (const std::size_t s : config_.layer_sizes) VERITAS_EXPECTS(s > 0);
+  util::Rng rng(config_.seed);
+  layers_.reserve(config_.layer_sizes.size() - 1);
+  for (std::size_t l = 0; l + 1 < config_.layer_sizes.size(); ++l) {
+    Layer layer;
+    layer.in = config_.layer_sizes[l];
+    layer.out = config_.layer_sizes[l + 1];
+    layer.weights.resize(layer.in * layer.out);
+    layer.bias.assign(layer.out, 0.0);
+    // He initialization (ReLU-friendly).
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (double& w : layer.weights) w = rng.normal(0.0, scale);
+    layer.m_w.assign(layer.weights.size(), 0.0);
+    layer.v_w.assign(layer.weights.size(), 0.0);
+    layer.m_b.assign(layer.out, 0.0);
+    layer.v_b.assign(layer.out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::size_t Mlp::input_size() const noexcept { return layers_.front().in; }
+std::size_t Mlp::output_size() const noexcept { return layers_.back().out; }
+
+std::vector<double> Mlp::forward(std::span<const double> input,
+                                 ForwardCache* cache) const {
+  VERITAS_EXPECTS(input.size() == input_size());
+  std::vector<double> current(input.begin(), input.end());
+  if (cache != nullptr) {
+    cache->activations.clear();
+    cache->pre_activations.clear();
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    if (cache != nullptr) cache->activations.push_back(current);
+    std::vector<double> z(layer.out, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double acc = layer.bias[o];
+      const double* w_row = layer.weights.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) acc += w_row[i] * current[i];
+      z[o] = acc;
+    }
+    if (cache != nullptr) cache->pre_activations.push_back(z);
+    const bool is_output = (l + 1 == layers_.size());
+    if (!is_output) {
+      for (double& v : z) v = std::max(0.0, v);  // ReLU
+    }
+    current = std::move(z);
+  }
+  return current;
+}
+
+std::vector<double> Mlp::predict(std::span<const double> input) const {
+  return forward(input, nullptr);
+}
+
+void Mlp::accumulate_gradients(std::span<const double> input,
+                               std::span<const double> target,
+                               std::vector<std::vector<double>>& grad_w,
+                               std::vector<std::vector<double>>& grad_b,
+                               double scale) const {
+  VERITAS_EXPECTS(target.size() == output_size());
+  ForwardCache cache;
+  const std::vector<double> output = forward(input, &cache);
+
+  // dL/dy for L = mean over outputs of (y - t)^2.
+  std::vector<double> delta(output.size());
+  for (std::size_t o = 0; o < output.size(); ++o) {
+    delta[o] = 2.0 * (output[o] - target[o]) /
+               static_cast<double>(output.size());
+  }
+
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const Layer& layer = layers_[l];
+    const std::vector<double>& a_in = cache.activations[l];
+    const bool is_output = (l + 1 == layers_.size());
+    // Through the activation: ReLU' on hidden layers.
+    if (!is_output) {
+      const std::vector<double>& z = cache.pre_activations[l];
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        if (z[o] <= 0.0) delta[o] = 0.0;
+      }
+    }
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      grad_b[l][o] += scale * delta[o];
+      double* gw_row = grad_w[l].data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        gw_row[i] += scale * delta[o] * a_in[i];
+      }
+    }
+    if (l > 0) {
+      std::vector<double> next_delta(layer.in, 0.0);
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        double acc = 0.0;
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          acc += layer.weights[o * layer.in + i] * delta[o];
+        }
+        next_delta[i] = acc;
+      }
+      delta = std::move(next_delta);
+    }
+  }
+}
+
+double Mlp::train_batch(std::span<const std::vector<double>> inputs,
+                        std::span<const std::vector<double>> targets) {
+  VERITAS_EXPECTS(!inputs.empty());
+  VERITAS_EXPECTS(inputs.size() == targets.size());
+
+  std::vector<std::vector<double>> grad_w(layers_.size());
+  std::vector<std::vector<double>> grad_b(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    grad_w[l].assign(layers_[l].weights.size(), 0.0);
+    grad_b[l].assign(layers_[l].bias.size(), 0.0);
+  }
+
+  const double scale = 1.0 / static_cast<double>(inputs.size());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    const std::vector<double> out = predict(inputs[r]);
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      const double d = out[o] - targets[r][o];
+      loss += d * d / static_cast<double>(out.size());
+    }
+    accumulate_gradients(inputs[r], targets[r], grad_w, grad_b, scale);
+  }
+  loss *= scale;
+
+  // Adam update.
+  ++adam_step_;
+  const double b1 = config_.adam_beta1;
+  const double b2 = config_.adam_beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(adam_step_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(adam_step_));
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+      layer.m_w[i] = b1 * layer.m_w[i] + (1.0 - b1) * grad_w[l][i];
+      layer.v_w[i] = b2 * layer.v_w[i] + (1.0 - b2) * grad_w[l][i] * grad_w[l][i];
+      const double m_hat = layer.m_w[i] / bias1;
+      const double v_hat = layer.v_w[i] / bias2;
+      layer.weights[i] -= config_.learning_rate * m_hat /
+                          (std::sqrt(v_hat) + config_.adam_epsilon);
+    }
+    for (std::size_t i = 0; i < layer.bias.size(); ++i) {
+      layer.m_b[i] = b1 * layer.m_b[i] + (1.0 - b1) * grad_b[l][i];
+      layer.v_b[i] = b2 * layer.v_b[i] + (1.0 - b2) * grad_b[l][i] * grad_b[l][i];
+      const double m_hat = layer.m_b[i] / bias1;
+      const double v_hat = layer.v_b[i] / bias2;
+      layer.bias[i] -= config_.learning_rate * m_hat /
+                       (std::sqrt(v_hat) + config_.adam_epsilon);
+    }
+  }
+  return loss;
+}
+
+double Mlp::evaluate_mse(std::span<const std::vector<double>> inputs,
+                         std::span<const std::vector<double>> targets) const {
+  VERITAS_EXPECTS(!inputs.empty());
+  VERITAS_EXPECTS(inputs.size() == targets.size());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    const std::vector<double> out = predict(inputs[r]);
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      const double d = out[o] - targets[r][o];
+      loss += d * d / static_cast<double>(out.size());
+    }
+  }
+  return loss / static_cast<double>(inputs.size());
+}
+
+std::vector<double> Mlp::parameter_gradient(
+    std::span<const double> input, std::span<const double> target) const {
+  std::vector<std::vector<double>> grad_w(layers_.size());
+  std::vector<std::vector<double>> grad_b(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    grad_w[l].assign(layers_[l].weights.size(), 0.0);
+    grad_b[l].assign(layers_[l].bias.size(), 0.0);
+  }
+  accumulate_gradients(input, target, grad_w, grad_b, 1.0);
+  std::vector<double> flat;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    flat.insert(flat.end(), grad_w[l].begin(), grad_w[l].end());
+    flat.insert(flat.end(), grad_b[l].begin(), grad_b[l].end());
+  }
+  return flat;
+}
+
+std::vector<double> Mlp::parameters() const {
+  std::vector<double> flat;
+  for (const Layer& layer : layers_) {
+    flat.insert(flat.end(), layer.weights.begin(), layer.weights.end());
+    flat.insert(flat.end(), layer.bias.begin(), layer.bias.end());
+  }
+  return flat;
+}
+
+void Mlp::set_parameters(std::span<const double> flat) {
+  std::size_t offset = 0;
+  for (Layer& layer : layers_) {
+    VERITAS_EXPECTS(offset + layer.weights.size() + layer.bias.size() <=
+                    flat.size());
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                layer.weights.size(), layer.weights.begin());
+    offset += layer.weights.size();
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                layer.bias.size(), layer.bias.begin());
+    offset += layer.bias.size();
+  }
+  VERITAS_EXPECTS(offset == flat.size());
+}
+
+void StandardScaler::fit(std::span<const std::vector<double>> rows) {
+  VERITAS_EXPECTS(!rows.empty());
+  const std::size_t width = rows.front().size();
+  VERITAS_EXPECTS(width > 0);
+  mean_.assign(width, 0.0);
+  std_.assign(width, 0.0);
+  for (const auto& row : rows) {
+    VERITAS_EXPECTS(row.size() == width);
+    for (std::size_t c = 0; c < width; ++c) mean_[c] += row[c];
+  }
+  for (double& m : mean_) m /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < width; ++c) {
+      const double d = row[c] - mean_[c];
+      std_[c] += d * d;
+    }
+  }
+  for (double& s : std_) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature
+  }
+}
+
+std::vector<double> StandardScaler::transform(
+    std::span<const double> row) const {
+  VERITAS_EXPECTS(fitted());
+  VERITAS_EXPECTS(row.size() == mean_.size());
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) / std_[c];
+  }
+  return out;
+}
+
+}  // namespace veritas::ml

@@ -1,0 +1,97 @@
+// Hand-rolled multilayer perceptron with Adam, used to reproduce Fugu's
+// transmission-time predictor (the paper's associational baseline).
+//
+// Deliberately small and dependency-free: dense layers, ReLU hidden
+// activations, linear output, mean-squared-error loss. Gradients are
+// verified against finite differences in tests/ml/mlp_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace veritas::ml {
+
+struct MlpConfig {
+  std::vector<std::size_t> layer_sizes;  ///< e.g. {17, 64, 64, 1}
+  double learning_rate = 1e-3;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_epsilon = 1e-8;
+  std::uint64_t seed = 7;
+};
+
+/// Feedforward network: ReLU hidden layers, linear scalar-or-vector output.
+class Mlp {
+ public:
+  /// Requires >= 2 layer sizes, all positive.
+  explicit Mlp(MlpConfig config);
+
+  std::size_t input_size() const noexcept;
+  std::size_t output_size() const noexcept;
+
+  /// Forward pass for a single input row.
+  std::vector<double> predict(std::span<const double> input) const;
+
+  /// One Adam step on a mini-batch; rows of inputs/targets correspond.
+  /// Returns the batch mean-squared-error *before* the update.
+  double train_batch(std::span<const std::vector<double>> inputs,
+                     std::span<const std::vector<double>> targets);
+
+  /// MSE over a dataset (no update).
+  double evaluate_mse(std::span<const std::vector<double>> inputs,
+                      std::span<const std::vector<double>> targets) const;
+
+  /// Loss gradient w.r.t. all parameters for one example, flattened in
+  /// parameter order. Exposed for gradient-check tests.
+  std::vector<double> parameter_gradient(std::span<const double> input,
+                                         std::span<const double> target) const;
+
+  /// Flattened parameter vector (weights then biases, layer by layer).
+  std::vector<double> parameters() const;
+  void set_parameters(std::span<const double> flat);
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::vector<double> weights;  ///< row-major out x in
+    std::vector<double> bias;
+    // Adam moments.
+    std::vector<double> m_w, v_w, m_b, v_b;
+  };
+
+  struct ForwardCache {
+    std::vector<std::vector<double>> activations;      ///< per layer input
+    std::vector<std::vector<double>> pre_activations;  ///< per layer z
+  };
+
+  std::vector<double> forward(std::span<const double> input,
+                              ForwardCache* cache) const;
+  void accumulate_gradients(std::span<const double> input,
+                            std::span<const double> target,
+                            std::vector<std::vector<double>>& grad_w,
+                            std::vector<std::vector<double>>& grad_b,
+                            double scale) const;
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  std::size_t adam_step_ = 0;
+};
+
+/// Z-score feature scaler fitted on training data (stored with the model
+/// so prediction inputs are normalized identically).
+class StandardScaler {
+ public:
+  /// Fits mean/std per column. Requires non-empty rows of equal width.
+  void fit(std::span<const std::vector<double>> rows);
+  std::vector<double> transform(std::span<const double> row) const;
+  bool fitted() const noexcept { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace veritas::ml

@@ -1,0 +1,17 @@
+#include "net/network_path.hpp"
+
+#include "util/expects.hpp"
+
+namespace veritas::net {
+
+NetworkPath::NetworkPath(trace::BandwidthTrace bandwidth, double rtt_s,
+                         TcpConfig config)
+    : bandwidth_(std::move(bandwidth)), rtt_s_(rtt_s), config_(config) {
+  VERITAS_EXPECTS(rtt_s > 0.0);
+}
+
+TcpConnection NetworkPath::make_connection() const {
+  return TcpConnection(config_, rtt_s_);
+}
+
+}  // namespace veritas::net

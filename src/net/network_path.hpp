@@ -1,0 +1,32 @@
+// A network path = bandwidth trace + round-trip time. Owns the trace;
+// hands out connections bound to the path's RTT.
+#pragma once
+
+#include <utility>
+
+#include "net/tcp_model.hpp"
+#include "trace/bandwidth_trace.hpp"
+
+namespace veritas::net {
+
+/// The emulated network between video client and server.
+class NetworkPath {
+ public:
+  /// Requires rtt_s > 0. The paper's session experiments use 80 ms.
+  NetworkPath(trace::BandwidthTrace bandwidth, double rtt_s,
+              TcpConfig config = {});
+
+  const trace::BandwidthTrace& bandwidth() const noexcept { return bandwidth_; }
+  double rtt_s() const noexcept { return rtt_s_; }
+  const TcpConfig& config() const noexcept { return config_; }
+
+  /// A fresh connection over this path.
+  TcpConnection make_connection() const;
+
+ private:
+  trace::BandwidthTrace bandwidth_;
+  double rtt_s_;
+  TcpConfig config_;
+};
+
+}  // namespace veritas::net

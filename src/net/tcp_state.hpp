@@ -1,0 +1,98 @@
+// TCP state snapshot W_sn (paper §3.1).
+//
+// Veritas conditions its EHMM on the TCP state observed at the start of
+// each chunk download; in a real deployment these fields come from the
+// kernel (tcp_info / `ss`). Our simulator captures the same snapshot.
+#pragma once
+
+namespace veritas::net {
+
+/// Congestion-control flavour of the deployed stack. The paper's model
+/// (Algorithm 4) targets a cubic/Reno-style loss-based stack with
+/// RFC 2861 slow-start restart; the BBR-like variant is the extension
+/// the paper's §3.2 anticipates ("more detailed models that capture
+/// intricate details of specific TCP versions can be easily
+/// incorporated"). BBR keeps a rate estimate across idle periods, does
+/// not halve on idle, and paces at the estimated bottleneck rate once
+/// startup has filled the pipe.
+enum class CongestionControl {
+  kCubicLike,  ///< loss-based: SSR on idle, halve on overshoot (default)
+  kBbrLike,    ///< rate-based: no SSR halving, no loss halving
+};
+
+/// Fixed protocol parameters shared by the simulator and the estimator f.
+struct TcpConfig {
+  CongestionControl congestion_control = CongestionControl::kCubicLike;
+  double mss_bytes = 1448.0;     ///< maximum segment size
+  double init_cwnd = 10.0;       ///< initial / restart congestion window (segments)
+  double initial_ssthresh = 1e9; ///< "infinite" initial slow start threshold
+  double min_rto_s = 0.2;        ///< Linux TCP_RTO_MIN is 200 ms
+  double rwnd_segments = 20000;  ///< receive-window clamp on cwnd
+  bool enable_ssr = true;        ///< model slow-start restart (RFC 2861)
+
+  // Ground-truth simulator only (the estimator f is loss-free, per paper):
+  // the bottleneck holds queue_bdp_factor * BDP of packets; when the
+  // window overshoots BDP + queue the simulator emulates a loss episode
+  // (ssthresh = cwnd/2, enter congestion avoidance). This is what keeps
+  // recorded ssthresh values finite and post-idle recovery slow — the
+  // source of the throughput-vs-size bias the paper studies (Fig. 2c).
+  bool enable_loss = true;
+  double queue_bdp_factor = 1.0;
+
+  // Delay-based slow-start exit (hystart, the Linux cubic default):
+  // exponential growth stops once the window covers this fraction of the
+  // BDP; growth continues linearly from there. This is what makes
+  // post-idle recovery slow in practice and drives the magnitude of the
+  // throughput-vs-size effect in paper Fig. 2(c). Shared by the
+  // simulator and the estimator f (both model the same deployed stack).
+  // 0.25 is calibrated so the throughput-vs-size curve of the simulator
+  // matches the magnitudes of paper Fig. 2(c) (hystart exits early and
+  // cubic's concave region climbs slowly at residential BDPs).
+  bool enable_hystart = true;
+  double hystart_bdp_fraction = 0.25;
+
+  // Ground-truth simulator only: per-round multiplicative noise on the
+  // deliverable link rate (deterministic hash of download identity, no
+  // RNG state). Real testbeds are not perfectly fluid; this keeps the
+  // estimator f honestly imperfect (paper Fig. 5 shows residual error).
+  double rate_jitter = 0.05;
+};
+
+/// Snapshot of the connection at the moment a chunk download begins.
+/// Mirrors the fields the paper lists: congestion window, slow start
+/// threshold, RTO, min RTT, RTT, and time since the last data send.
+struct TcpState {
+  double cwnd_segments = 10.0;
+  double ssthresh_segments = 1e9;
+  double rto_s = 0.2;
+  double min_rtt_s = 0.08;
+  double rtt_s = 0.08;
+  double last_send_gap_s = 0.0;  ///< now - time of last data send
+};
+
+/// Applies slow-start restart (RFC 2861 / Linux tcp_cwnd_restart) to a
+/// snapshot: when the connection has idled longer than the RTO, ssthresh
+/// is raised to max(ssthresh, 3/4 * cwnd) and the congestion window is
+/// halved once per elapsed RTO, floored at the initial window.
+///
+/// Note: paper Algorithm 4 writes the decay as `cwnd << 2` (growth); that
+/// contradicts RFC 2861 and the Linux implementation it cites, so we use
+/// the kernel semantics (halving). See DESIGN.md §3.
+void apply_slow_start_restart(TcpState& w, const TcpConfig& config);
+
+/// Bandwidth-delay product in segments for the given rate and RTT.
+double bdp_segments(double mbps, double rtt_s, const TcpConfig& config);
+
+/// One round of congestion-window growth: slow start doubles the window
+/// until it reaches ssthresh or (with hystart) the configured fraction of
+/// the BDP; afterwards congestion avoidance adds one segment per round.
+/// Clamped by the receive window. Shared by the ground-truth simulator
+/// and the estimator f so both model the same deployed TCP stack.
+double grow_window(double cwnd_segments, double ssthresh_segments,
+                   double bdp_segments, const TcpConfig& config);
+
+/// Number of MSS-sized segments needed for `size_bytes` (ceiling, >= 1
+/// for any positive size).
+double segments_for_bytes(double size_bytes, const TcpConfig& config);
+
+}  // namespace veritas::net

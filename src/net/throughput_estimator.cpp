@@ -1,0 +1,65 @@
+#include "net/throughput_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expects.hpp"
+
+namespace veritas::net {
+
+double estimate_throughput_mbps(double gtbw_mbps, const TcpState& w,
+                                double size_bytes, const TcpConfig& config) {
+  VERITAS_EXPECTS(size_bytes > 0.0);
+  VERITAS_EXPECTS(gtbw_mbps >= 0.0);
+  if (gtbw_mbps == 0.0) return 0.0;
+
+  TcpState state = w;
+  apply_slow_start_restart(state, config);
+
+  const double data_segments = segments_for_bytes(size_bytes, config);
+  const double bdp = bdp_segments(gtbw_mbps, state.min_rtt_s, config);
+
+  // Paper Algorithm 4, branch 1: the window already covers the pipe.
+  if (state.cwnd_segments > bdp) {
+    if (data_segments > bdp) {
+      return gtbw_mbps;  // long transfer saturates the link
+    }
+    // Fits in one round trip.
+    return size_bytes * 8.0 / 1e6 / state.min_rtt_s;
+  }
+
+  // Branch 2: count transmission rounds while the window opens (same
+  // growth law as the deployed stack, see net::grow_window).
+  double cwnd = state.cwnd_segments;
+  double sent = 0.0;
+  int rounds = 0;
+  while (sent < data_segments) {
+    sent += std::min(cwnd, bdp);
+    cwnd = grow_window(cwnd, state.ssthresh_segments, bdp, config);
+    ++rounds;
+  }
+  const double estimated =
+      size_bytes * 8.0 / 1e6 / (static_cast<double>(rounds) * state.min_rtt_s);
+  return std::min(estimated, gtbw_mbps);
+}
+
+double estimate_download_time_s(double gtbw_mbps, const TcpState& w,
+                                double size_bytes, const TcpConfig& config) {
+  const double y = estimate_throughput_mbps(gtbw_mbps, w, size_bytes, config);
+  if (y <= 0.0) return std::numeric_limits<double>::infinity();
+  return size_bytes * 8.0 / 1e6 / y;
+}
+
+double estimate_throughput_no_tcp_state_mbps(double gtbw_mbps,
+                                             const TcpState& w,
+                                             double size_bytes,
+                                             const TcpConfig& config) {
+  VERITAS_EXPECTS(size_bytes > 0.0);
+  (void)config;
+  // Steady-state assumption: either link-limited or one-RTT-limited.
+  const double one_rtt_mbps = size_bytes * 8.0 / 1e6 / w.min_rtt_s;
+  return std::min(gtbw_mbps, one_rtt_mbps);
+}
+
+}  // namespace veritas::net

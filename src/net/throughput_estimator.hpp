@@ -1,0 +1,38 @@
+// The Veritas domain-specific emission model f (paper Algorithm 4).
+//
+// f estimates the throughput a chunk of size S would observe when the
+// ground-truth bandwidth is a *candidate* constant c and the connection
+// starts the download in TCP state W. It models slow start, additive
+// congestion avoidance and slow-start restart, but deliberately ignores
+// GTBW changes during the download (paper Eq. 3 simplification) — the
+// EHMM's Gaussian noise term absorbs the residual error (paper Fig. 5).
+#pragma once
+
+#include "net/tcp_state.hpp"
+
+namespace veritas::net {
+
+/// Estimated throughput (Mbps) for downloading `size_bytes` at candidate
+/// GTBW `gtbw_mbps` from TCP state `w`. Pure function; `w` is copied and
+/// slow-start restart applied internally. Requires size_bytes > 0.
+/// Returns 0 when gtbw_mbps == 0.
+double estimate_throughput_mbps(double gtbw_mbps, const TcpState& w,
+                                double size_bytes,
+                                const TcpConfig& config = {});
+
+/// Estimated download time (seconds) = size / f(...); +inf when the
+/// estimated throughput is 0.
+double estimate_download_time_s(double gtbw_mbps, const TcpState& w,
+                                double size_bytes,
+                                const TcpConfig& config = {});
+
+/// Ablation hook (bench_ablate_tcp_state): a deliberately broken variant
+/// of f that ignores the TCP state entirely and assumes the connection is
+/// in steady state, i.e. returns min(gtbw, size/min_rtt). Demonstrates why
+/// conditioning on W_sn matters (paper §3.2 d-separation argument).
+double estimate_throughput_no_tcp_state_mbps(double gtbw_mbps,
+                                             const TcpState& w,
+                                             double size_bytes,
+                                             const TcpConfig& config = {});
+
+}  // namespace veritas::net

@@ -1,0 +1,93 @@
+// Counterfactual query engine (paper §3.3, Fig. 6 and §4.1-§4.3).
+//
+// Workflow per ground-truth trace:
+//   1. run the deployed system (Setting A) on the GT trace -> session log;
+//   2. Veritas abduction on the log -> K posterior GTBW sample traces;
+//   3. build the Baseline reconstruction from the same log;
+//   4. replay the counterfactual system (Setting B: different ABR, buffer
+//      size or quality ladder) under (a) the GT trace — the true what-if
+//      answer, (b) the Baseline trace, (c) each Veritas sample;
+//   5. report QoE metrics; Veritas(Low)/(High) are the 2nd-lowest and
+//      2nd-highest per-metric values across the K samples (paper §4.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/veritas.hpp"
+#include "net/tcp_state.hpp"
+#include "sim/metrics.hpp"
+#include "trace/bandwidth_trace.hpp"
+#include "video/video.hpp"
+
+namespace veritas::query {
+
+/// A system design: which ABR, what buffer, which quality ladder.
+struct Setting {
+  std::string abr = "mpc";
+  double buffer_capacity_s = 5.0;
+  video::Ladder ladder;  ///< empty = keep the deployment video's ladder
+};
+
+/// What a production operator can compute from a log alone (no ground
+/// truth): the Baseline answer and the Veritas posterior bracket.
+struct WhatIfPrediction {
+  sim::QoeMetrics baseline;  ///< Setting B on the Baseline reconstruction
+  std::vector<sim::QoeMetrics> veritas_samples;
+  sim::QoeMetrics veritas_low;   ///< per-metric 2nd-lowest across samples
+  sim::QoeMetrics veritas_high;  ///< per-metric 2nd-highest across samples
+};
+
+/// Metrics for one replayed scheme, plus Veritas's per-metric bracket.
+/// Extends WhatIfPrediction with the oracle answer, which only an
+/// emulation study (where GT is known) can provide.
+struct CounterfactualOutcome {
+  sim::QoeMetrics actual;    ///< Setting B on the GT trace (oracle answer)
+  sim::QoeMetrics setting_a; ///< deployed system's own metrics (context)
+  sim::QoeMetrics baseline;  ///< Setting B on the Baseline reconstruction
+  std::vector<sim::QoeMetrics> veritas_samples;
+  sim::QoeMetrics veritas_low;   ///< per-metric 2nd-lowest across samples
+  sim::QoeMetrics veritas_high;  ///< per-metric 2nd-highest across samples
+};
+
+/// Runs one session of `setting` on `bandwidth` and returns its metrics.
+/// The setting's ladder (when non-empty) re-encodes the video with
+/// identical per-chunk content.
+sim::QoeMetrics run_under_setting(const trace::BandwidthTrace& bandwidth,
+                                  const video::Video& video,
+                                  const Setting& setting, double rtt_s,
+                                  std::uint64_t seed);
+
+class CounterfactualEngine {
+ public:
+  explicit CounterfactualEngine(core::VeritasConfig veritas_config = {},
+                                double rtt_s = 0.08);
+
+  /// Full pipeline for one GT trace (steps 1-5 above). `seed` drives the
+  /// stochastic pieces (posterior sampling, any stochastic ABR).
+  CounterfactualOutcome evaluate(const trace::BandwidthTrace& gt_trace,
+                                 const video::Video& video,
+                                 const Setting& setting_a,
+                                 const Setting& setting_b,
+                                 std::uint64_t seed = 0) const;
+
+  /// The production workflow: answers the what-if query from a recorded
+  /// log alone (steps 2-5; no ground-truth bandwidth required). This is
+  /// what an operator runs on real deployment logs.
+  WhatIfPrediction predict_whatif(const sim::SessionLog& log,
+                                  const video::Video& video,
+                                  const Setting& setting_b,
+                                  std::uint64_t seed = 0) const;
+
+  const core::VeritasConfig& veritas_config() const noexcept {
+    return veritas_config_;
+  }
+  double rtt_s() const noexcept { return rtt_s_; }
+
+ private:
+  core::VeritasConfig veritas_config_;
+  double rtt_s_;
+};
+
+}  // namespace veritas::query

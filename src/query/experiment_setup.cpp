@@ -1,0 +1,80 @@
+#include "query/experiment_setup.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+
+#include "abr/abr_factory.hpp"
+#include "net/network_path.hpp"
+#include "sim/session.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::query {
+
+std::vector<trace::BandwidthTrace> deployment_traces(
+    const DeploymentConfig& config) {
+  return trace::make_traces(config.family, config.num_traces,
+                            config.trace_seed);
+}
+
+std::vector<sim::SessionLog> run_deployment(const DeploymentConfig& config,
+                                            const video::Video& video) {
+  const video::Video deployed_video =
+      config.setting.ladder.empty() ? video
+                                    : video.with_ladder(config.setting.ladder);
+  const std::vector<trace::BandwidthTrace> traces =
+      deployment_traces(config);
+  std::vector<sim::SessionLog> logs;
+  logs.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const net::NetworkPath path(traces[i], config.rtt_s);
+    const auto abr =
+        abr::make_abr(config.setting.abr, config.session_seed + i);
+    sim::SessionConfig session_config;
+    session_config.buffer_capacity_s = config.setting.buffer_capacity_s;
+    logs.push_back(
+        sim::run_session(deployed_video, *abr, path, session_config).log);
+  }
+  return logs;
+}
+
+std::size_t bench_trace_count(std::size_t fallback) {
+  std::size_t count = fallback;
+  if (const char* env = std::getenv("VERITAS_BENCH_TRACES")) {
+    std::size_t parsed = 0;
+    const std::string text(env);
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    if (ec == std::errc{} && ptr == text.data() + text.size() && parsed > 0) {
+      count = parsed;
+    }
+  }
+  if (bench_fast_mode()) count = std::min<std::size_t>(count, 6);
+  return count;
+}
+
+bool bench_fast_mode() {
+  const char* env = std::getenv("VERITAS_BENCH_FAST");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::optional<std::filesystem::path> bench_output_dir() {
+  std::error_code ec;
+  const std::filesystem::path dir = "bench_results";
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return std::nullopt;
+  return dir;
+}
+
+std::optional<std::filesystem::path> write_bench_artifact(
+    const std::string& name, const std::string& csv_text) {
+  const auto dir = bench_output_dir();
+  if (!dir) return std::nullopt;
+  const std::filesystem::path path = *dir / name;
+  std::ofstream out(path);
+  if (!out) return std::nullopt;
+  out << csv_text;
+  return path;
+}
+
+}  // namespace veritas::query

@@ -1,0 +1,53 @@
+// Shared experiment plumbing for benches, examples and integration tests:
+// deployment runs over trace families, environment-variable scaling, and
+// CSV artifact output.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/counterfactual.hpp"
+#include "sim/session_log.hpp"
+#include "trace/trace_generator.hpp"
+#include "video/video.hpp"
+
+namespace veritas::query {
+
+/// A deployment: one setting run over every trace of a family.
+struct DeploymentConfig {
+  trace::TraceFamily family = trace::TraceFamily::kFccLike;
+  std::size_t num_traces = 40;
+  Setting setting;                ///< defaults to MPC / 5 s / default ladder
+  double rtt_s = 0.08;
+  std::uint64_t trace_seed = 2024;
+  std::uint64_t session_seed = 9;
+};
+
+/// Runs the deployment and returns one session log per trace.
+std::vector<sim::SessionLog> run_deployment(const DeploymentConfig& config,
+                                            const video::Video& video);
+
+/// Ground-truth traces for a deployment (same seeds as run_deployment).
+std::vector<trace::BandwidthTrace> deployment_traces(
+    const DeploymentConfig& config);
+
+/// Number of traces benches should use: VERITAS_BENCH_TRACES if set,
+/// else `fallback`; VERITAS_BENCH_FAST=1 caps it at 6.
+std::size_t bench_trace_count(std::size_t fallback = 40);
+
+/// True when VERITAS_BENCH_FAST=1 (shrinks sweeps for smoke runs).
+bool bench_fast_mode();
+
+/// Directory for bench CSV artifacts (bench_results/ under the current
+/// directory); returns std::nullopt when it cannot be created.
+std::optional<std::filesystem::path> bench_output_dir();
+
+/// Writes `csv_text` to bench_results/<name> when possible; returns the
+/// path written to, if any. Never throws.
+std::optional<std::filesystem::path> write_bench_artifact(
+    const std::string& name, const std::string& csv_text);
+
+}  // namespace veritas::query

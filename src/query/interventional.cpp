@@ -1,0 +1,72 @@
+#include "query/interventional.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+#include "util/stats.hpp"
+
+namespace veritas::query {
+
+PredictorErrors summarize_errors(const std::vector<PredictionRecord>& records,
+                                 bool veritas) {
+  VERITAS_EXPECTS(!records.empty());
+  std::vector<double> signed_errors;
+  std::vector<double> abs_errors;
+  signed_errors.reserve(records.size());
+  abs_errors.reserve(records.size());
+  PredictorErrors e;
+  for (const PredictionRecord& r : records) {
+    const double predicted = veritas ? r.veritas_time_s : r.fugu_time_s;
+    const double err = predicted - r.true_time_s;
+    signed_errors.push_back(err);
+    abs_errors.push_back(std::abs(err));
+    e.worst_underestimate_s = std::max(e.worst_underestimate_s, -err);
+    e.worst_overestimate_s = std::max(e.worst_overestimate_s, err);
+  }
+  e.mean_abs_error_s = util::mean(abs_errors);
+  e.median_error_s = util::median(signed_errors);
+  e.p10_error_s = util::quantile(signed_errors, 0.10);
+  return e;
+}
+
+InterventionalResult run_interventional_study(
+    std::vector<sim::SessionLog> train_logs,
+    std::vector<sim::SessionLog> test_logs,
+    const core::VeritasConfig& veritas_config,
+    const ml::FuguConfig& fugu_config, std::size_t warmup) {
+  VERITAS_EXPECTS(!train_logs.empty());
+  VERITAS_EXPECTS(!test_logs.empty());
+
+  ml::FuguNN fugu(fugu_config);
+  fugu.fit(train_logs);
+
+  const core::Veritas veritas(veritas_config);
+  if (warmup == 0) warmup = fugu_config.past_chunks;
+  VERITAS_EXPECTS(warmup >= 1);
+
+  InterventionalResult result;
+  for (std::size_t s = 0; s < test_logs.size(); ++s) {
+    const sim::SessionLog& log = test_logs[s];
+    if (log.size() <= warmup) continue;
+    // One Viterbi pass per session covers all prefixes.
+    const std::vector<core::NextChunkPrediction> veritas_predictions =
+        veritas.predict_sequence(log);
+    for (std::size_t n = warmup; n < log.size(); ++n) {
+      PredictionRecord record;
+      record.session = s;
+      record.chunk = n;
+      record.size_bytes = log.chunks[n].size_bytes;
+      record.true_time_s = log.chunks[n].download_time_s();
+      record.fugu_time_s = fugu.predict_chunk(log, n);
+      record.veritas_time_s = veritas_predictions[n].download_time_s;
+      result.records.push_back(record);
+    }
+  }
+  VERITAS_EXPECTS(!result.records.empty());
+  result.fugu = summarize_errors(result.records, false);
+  result.veritas = summarize_errors(result.records, true);
+  return result;
+}
+
+}  // namespace veritas::query

@@ -1,0 +1,64 @@
+// Interventional query engine (paper §4.4, Fig. 12).
+//
+// Question: for a session in progress, what would the download time of
+// the *next* chunk be for an arbitrary size — including sizes the
+// deployed ABR would never have chosen? The study:
+//   * train FuguNN on logs from the deployed ABR (MPC) over wide-range
+//     traces (the associational predictor);
+//   * test on sessions whose bitrates are chosen *randomly* (chunk-size
+//     sequences off the training distribution);
+//   * per test chunk, predict the download time with Fugu and with
+//     Veritas (most-likely posterior state advanced through A^Δ) and
+//     compare against the simulated truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/veritas.hpp"
+#include "ml/fugu.hpp"
+#include "sim/session_log.hpp"
+
+namespace veritas::query {
+
+/// One prediction comparison point (one test chunk).
+struct PredictionRecord {
+  std::size_t session = 0;
+  std::size_t chunk = 0;
+  double size_bytes = 0.0;
+  double true_time_s = 0.0;
+  double fugu_time_s = 0.0;
+  double veritas_time_s = 0.0;
+};
+
+/// Aggregate error statistics for one predictor.
+struct PredictorErrors {
+  double mean_abs_error_s = 0.0;
+  double median_error_s = 0.0;          ///< signed (predicted - true)
+  double p10_error_s = 0.0;             ///< signed 10th percentile
+  double worst_underestimate_s = 0.0;   ///< max(true - predicted)
+  double worst_overestimate_s = 0.0;    ///< max(predicted - true)
+};
+
+struct InterventionalResult {
+  std::vector<PredictionRecord> records;
+  PredictorErrors fugu;
+  PredictorErrors veritas;
+};
+
+/// Runs the prediction comparison for pre-built training/test logs:
+/// trains Fugu on `train_logs`, then for every chunk n >= warmup of each
+/// test log predicts with both schemes. `warmup` defaults to Fugu's
+/// history window.
+InterventionalResult run_interventional_study(
+    std::vector<sim::SessionLog> train_logs,
+    std::vector<sim::SessionLog> test_logs,
+    const core::VeritasConfig& veritas_config = {},
+    const ml::FuguConfig& fugu_config = {}, std::size_t warmup = 0);
+
+/// Computes signed-error statistics from records using the given
+/// predictor accessor ("fugu" or "veritas").
+PredictorErrors summarize_errors(const std::vector<PredictionRecord>& records,
+                                 bool veritas);
+
+}  // namespace veritas::query

@@ -1,0 +1,24 @@
+// QoE metrics reported in the paper's evaluation: mean SSIM, rebuffering
+// ratio (% of session), average bitrate (Fig. 14) plus auxiliary metrics.
+#pragma once
+
+#include "sim/session.hpp"
+#include "video/video.hpp"
+
+namespace veritas::sim {
+
+struct QoeMetrics {
+  double mean_ssim = 0.0;          ///< mean per-chunk SSIM index
+  double mean_ssim_db = 0.0;       ///< mean -10log10(1-SSIM)
+  double rebuffer_ratio_pct = 0.0; ///< stall time / session wall time * 100
+  double avg_bitrate_mbps = 0.0;   ///< mean nominal bitrate of chosen rungs
+  double startup_delay_s = 0.0;
+  std::size_t quality_switches = 0;
+};
+
+/// Computes metrics for a session played from `video` (the video the
+/// session actually used — pass the Setting B video when replaying).
+QoeMetrics compute_metrics(const video::Video& video,
+                           const SessionResult& result);
+
+}  // namespace veritas::sim

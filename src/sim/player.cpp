@@ -1,0 +1,37 @@
+#include "sim/player.hpp"
+
+#include <algorithm>
+
+#include "util/expects.hpp"
+
+namespace veritas::sim {
+
+PlayerBuffer::PlayerBuffer(double capacity_s) : capacity_s_(capacity_s) {
+  VERITAS_EXPECTS(capacity_s > 0.0);
+}
+
+double PlayerBuffer::advance(double dt_s) {
+  VERITAS_EXPECTS(dt_s >= 0.0);
+  if (!playing_) return 0.0;
+  const double played = std::min(level_s_, dt_s);
+  const double stall = dt_s - played;
+  level_s_ -= played;
+  total_stall_s_ += stall;
+  return stall;
+}
+
+bool PlayerBuffer::has_room(double chunk_duration_s) const noexcept {
+  return level_s_ + chunk_duration_s <= capacity_s_ + 1e-9;
+}
+
+double PlayerBuffer::time_until_room(double chunk_duration_s) const noexcept {
+  return std::max(0.0, level_s_ + chunk_duration_s - capacity_s_);
+}
+
+void PlayerBuffer::push_chunk(double chunk_duration_s) {
+  VERITAS_EXPECTS(chunk_duration_s > 0.0);
+  VERITAS_EXPECTS(has_room(chunk_duration_s));
+  level_s_ += chunk_duration_s;
+}
+
+}  // namespace veritas::sim

@@ -1,0 +1,48 @@
+// Client-side playback buffer dynamics.
+//
+// The buffer holds downloaded-but-unplayed seconds of video. While
+// playback runs it drains in real time; when it empties mid-download the
+// session stalls (rebuffering). The player requests the next chunk only
+// when the buffer has room for it (this pacing creates the idle gaps that
+// trigger TCP slow-start restart — the effect Veritas controls for).
+#pragma once
+
+namespace veritas::sim {
+
+class PlayerBuffer {
+ public:
+  /// Requires capacity_s > 0.
+  explicit PlayerBuffer(double capacity_s);
+
+  double level_s() const noexcept { return level_s_; }
+  double capacity_s() const noexcept { return capacity_s_; }
+  bool playback_started() const noexcept { return playing_; }
+  double total_stall_s() const noexcept { return total_stall_s_; }
+
+  /// Begins playback (idempotent).
+  void start_playback() noexcept { playing_ = true; }
+
+  /// Advances wall-clock by dt (>= 0). If playing, drains the buffer and
+  /// returns the stall time incurred within this interval (0 if the
+  /// buffer covered it). If not playing, returns 0 and drains nothing.
+  double advance(double dt_s);
+
+  /// True when a chunk of the given duration fits without exceeding
+  /// capacity.
+  bool has_room(double chunk_duration_s) const noexcept;
+
+  /// Seconds of draining needed before a chunk fits (0 when it already
+  /// fits). Only meaningful while playing.
+  double time_until_room(double chunk_duration_s) const noexcept;
+
+  /// Adds a downloaded chunk. Requires has_room(chunk_duration_s).
+  void push_chunk(double chunk_duration_s);
+
+ private:
+  double capacity_s_;
+  double level_s_ = 0.0;
+  double total_stall_s_ = 0.0;
+  bool playing_ = false;
+};
+
+}  // namespace veritas::sim

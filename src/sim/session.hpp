@@ -1,0 +1,38 @@
+// Video streaming session simulation: the substrate standing in for the
+// paper's mahimahi/Puffer emulation testbed. Plays the whole video over a
+// NetworkPath under a given ABR algorithm and records the session log a
+// deployed system would produce.
+#pragma once
+
+#include <vector>
+
+#include "abr/abr.hpp"
+#include "net/network_path.hpp"
+#include "sim/player.hpp"
+#include "sim/session_log.hpp"
+#include "video/video.hpp"
+
+namespace veritas::sim {
+
+struct SessionConfig {
+  double buffer_capacity_s = 5.0;  ///< paper Setting A default
+  std::size_t startup_chunks = 1;  ///< playback begins after this many chunks
+};
+
+/// Complete outcome of one simulated session.
+struct SessionResult {
+  SessionLog log;
+  std::vector<std::size_t> qualities;  ///< rung chosen per chunk
+  double startup_delay_s = 0.0;        ///< arrival of the startup_chunks-th chunk
+  double total_stall_s = 0.0;          ///< rebuffering time after startup
+  double session_end_s = 0.0;          ///< wall time when the last second plays
+};
+
+/// Runs one session. The ABR is reset() first; the TCP connection
+/// persists across chunks (idle gaps trigger slow-start restart).
+/// Requires buffer capacity >= one chunk duration.
+SessionResult run_session(const video::Video& video, abr::AbrAlgorithm& abr,
+                          const net::NetworkPath& path,
+                          const SessionConfig& config = {});
+
+}  // namespace veritas::sim

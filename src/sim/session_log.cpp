@@ -1,0 +1,63 @@
+#include "sim/session_log.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::sim {
+
+SessionLog SessionLog::prefix(std::size_t n) const {
+  VERITAS_EXPECTS(n <= chunks.size());
+  SessionLog out;
+  out.chunk_duration_s = chunk_duration_s;
+  out.rtt_s = rtt_s;
+  out.chunks.assign(chunks.begin(),
+                    chunks.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+std::string to_csv(const SessionLog& log) {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.header({"index", "quality", "size_bytes", "start_s", "end_s",
+                 "cwnd", "ssthresh", "rto_s", "min_rtt_s", "rtt_s",
+                 "last_send_gap_s", "buffer_s", "chunk_duration_s",
+                 "session_rtt_s"});
+  for (const ChunkLog& c : log.chunks) {
+    writer.row(std::vector<double>{
+        static_cast<double>(c.index), static_cast<double>(c.quality),
+        c.size_bytes, c.start_s, c.end_s, c.tcp_at_start.cwnd_segments,
+        c.tcp_at_start.ssthresh_segments, c.tcp_at_start.rto_s,
+        c.tcp_at_start.min_rtt_s, c.tcp_at_start.rtt_s,
+        c.tcp_at_start.last_send_gap_s, c.buffer_at_start_s,
+        log.chunk_duration_s, log.rtt_s});
+  }
+  return out.str();
+}
+
+SessionLog session_log_from_csv(const std::string& text) {
+  const util::CsvTable table = util::parse_csv(text);
+  SessionLog log;
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    ChunkLog c;
+    c.index = static_cast<std::size_t>(table.number(r, "index"));
+    c.quality = static_cast<std::size_t>(table.number(r, "quality"));
+    c.size_bytes = table.number(r, "size_bytes");
+    c.start_s = table.number(r, "start_s");
+    c.end_s = table.number(r, "end_s");
+    c.tcp_at_start.cwnd_segments = table.number(r, "cwnd");
+    c.tcp_at_start.ssthresh_segments = table.number(r, "ssthresh");
+    c.tcp_at_start.rto_s = table.number(r, "rto_s");
+    c.tcp_at_start.min_rtt_s = table.number(r, "min_rtt_s");
+    c.tcp_at_start.rtt_s = table.number(r, "rtt_s");
+    c.tcp_at_start.last_send_gap_s = table.number(r, "last_send_gap_s");
+    c.buffer_at_start_s = table.number(r, "buffer_s");
+    log.chunk_duration_s = table.number(r, "chunk_duration_s");
+    log.rtt_s = table.number(r, "session_rtt_s");
+    log.chunks.push_back(c);
+  }
+  return log;
+}
+
+}  // namespace veritas::sim

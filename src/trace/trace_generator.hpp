@@ -1,0 +1,75 @@
+// Synthetic ground-truth bandwidth (GTBW) generation.
+//
+// Substitute for the FCC broadband traces used in the paper (see
+// DESIGN.md §3): Markov-modulated piecewise-constant processes on an
+// ε-grid with δ-second dwell windows, plus square-wave / constant /
+// random-walk families for stress tests. Each experiment family in the
+// paper maps to a preset below with the stated bandwidth range.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/bandwidth_trace.hpp"
+
+namespace veritas::trace {
+
+/// Parameters of the Markov-modulated generator.
+struct MarkovTraceConfig {
+  double duration_s = 600.0;   ///< paper sessions: 10-minute video
+  double interval_s = 5.0;     ///< dwell window (matches EHMM δ by default)
+  double min_mbps = 3.0;       ///< lower bound of the bandwidth range
+  double max_mbps = 8.0;       ///< upper bound of the bandwidth range
+  double grid_mbps = 0.5;      ///< values land on this grid (EHMM ε)
+  double stay_prob = 0.70;     ///< P(no change at a window boundary)
+  double step_prob = 0.25;     ///< P(move +-1 grid step)
+  // Remaining mass (1 - stay - step) makes a uniform jump in range.
+};
+
+/// Generates one Markov-modulated trace. Deterministic in `seed`.
+BandwidthTrace markov_trace(const MarkovTraceConfig& config,
+                            std::uint64_t seed);
+
+/// Parameters of the regime-switching generator: bandwidth alternates
+/// between a low and a high plateau (long dwells, like residential FCC
+/// traces), with small per-window jitter on top.
+struct RegimeTraceConfig {
+  double duration_s = 600.0;
+  double interval_s = 5.0;
+  double low_mbps = 2.5;        ///< low-regime centre
+  double high_mbps = 6.0;       ///< high-regime centre
+  double jitter_mbps = 0.5;     ///< +- jitter steps within a regime
+  double grid_mbps = 0.5;
+  double mean_dwell_s = 60.0;   ///< expected plateau length
+  double absolute_min_mbps = 0.5;
+  double absolute_max_mbps = 10.0;
+};
+
+/// Generates one regime-switching trace. Deterministic in `seed`.
+BandwidthTrace regime_trace(const RegimeTraceConfig& config,
+                            std::uint64_t seed);
+
+/// Square wave alternating `low_mbps` / `high_mbps` every `period_s`.
+BandwidthTrace square_wave_trace(double low_mbps, double high_mbps,
+                                 double period_s, double duration_s,
+                                 double interval_s = 1.0);
+
+/// Named trace families matching the paper's experiment setups.
+enum class TraceFamily {
+  kFccLike,       ///< 3-8 Mbps (counterfactual evaluation, paper §4.1)
+  kPoor,          ///< 0-0.3 Mbps (Fig. 2 bias demonstration)
+  kGood,          ///< 9-10 Mbps (Fig. 2 bias demonstration)
+  kWideRange,     ///< 0.5-10 Mbps (interventional evaluation, §4.4)
+  kSquareWave,    ///< 1 <-> 6 Mbps square wave (stress test)
+  kConstant4,     ///< constant 4 Mbps (sanity/oracle tests)
+};
+
+/// Generates `count` traces of the given family with seeds derived from
+/// `seed`. Each trace is 600 s unless the family dictates otherwise.
+std::vector<BandwidthTrace> make_traces(TraceFamily family, std::size_t count,
+                                        std::uint64_t seed);
+
+/// Human-readable family name (for bench output).
+const char* family_name(TraceFamily family);
+
+}  // namespace veritas::trace

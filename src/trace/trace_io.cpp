@@ -1,0 +1,114 @@
+#include "trace/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::trace {
+
+namespace {
+constexpr double kMahimahiPacketBytes = 1500.0;
+constexpr double kMahimahiPacketMbit = kMahimahiPacketBytes * 8.0 / 1e6;
+}  // namespace
+
+std::string to_csv(const BandwidthTrace& trace) {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.header({"time_s", "mbps"});
+  const auto values = trace.values_mbps();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    writer.row(std::vector<double>{static_cast<double>(i) * trace.interval_s(),
+                                   values[i]});
+  }
+  return out.str();
+}
+
+BandwidthTrace from_csv(const std::string& text) {
+  const util::CsvTable table = util::parse_csv(text);
+  VERITAS_EXPECTS(!table.rows.empty());
+  std::vector<double> values;
+  values.reserve(table.rows.size());
+  double interval = 1.0;
+  double prev_time = 0.0;
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const double t = table.number(r, "time_s");
+    const double v = table.number(r, "mbps");
+    if (r == 1) {
+      interval = t - prev_time;
+      VERITAS_EXPECTS(interval > 0.0);
+    } else if (r > 1) {
+      VERITAS_EXPECTS(std::abs((t - prev_time) - interval) < 1e-6);
+    }
+    prev_time = t;
+    values.push_back(v);
+  }
+  if (table.rows.size() == 1) interval = 1.0;
+  return BandwidthTrace(interval, std::move(values));
+}
+
+void write_csv_file(const BandwidthTrace& trace,
+                    const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace: " + path.string());
+  out << to_csv(trace);
+}
+
+BandwidthTrace read_csv_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read trace: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_csv(buffer.str());
+}
+
+std::string to_mahimahi(const BandwidthTrace& trace) {
+  // Accumulate fractional packets so low rates still emit opportunities.
+  std::ostringstream out;
+  double credit_packets = 0.0;
+  const auto total_ms =
+      static_cast<long long>(std::llround(trace.duration_s() * 1000.0));
+  for (long long ms = 1; ms <= total_ms; ++ms) {
+    const double t = (static_cast<double>(ms) - 0.5) / 1000.0;
+    credit_packets += trace.at(t) / 1000.0 / kMahimahiPacketMbit;
+    while (credit_packets >= 1.0) {
+      out << ms << '\n';
+      credit_packets -= 1.0;
+    }
+  }
+  return out.str();
+}
+
+BandwidthTrace from_mahimahi(const std::string& text, double interval_s) {
+  VERITAS_EXPECTS(interval_s > 0.0);
+  std::istringstream in(text);
+  std::vector<std::size_t> packets_per_window;
+  long long ms = 0;
+  long long last_ms = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ms = std::stoll(line);
+    VERITAS_EXPECTS(ms >= last_ms);
+    last_ms = ms;
+    const auto window =
+        static_cast<std::size_t>(static_cast<double>(ms) / 1000.0 / interval_s);
+    if (window >= packets_per_window.size()) {
+      packets_per_window.resize(window + 1, 0);
+    }
+    ++packets_per_window[window];
+  }
+  VERITAS_EXPECTS(!packets_per_window.empty());
+  std::vector<double> values;
+  values.reserve(packets_per_window.size());
+  for (const std::size_t count : packets_per_window) {
+    values.push_back(static_cast<double>(count) * kMahimahiPacketMbit /
+                     interval_s);
+  }
+  return BandwidthTrace(interval_s, std::move(values));
+}
+
+}  // namespace veritas::trace

@@ -1,0 +1,97 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/expects.hpp"
+
+namespace veritas::util {
+
+namespace {
+
+double sample_series(const std::vector<double>& values, double fraction) {
+  if (values.size() == 1) return values.front();
+  const double pos = fraction * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace
+
+std::string render_plot(std::span<const PlotSeries> series,
+                        const PlotOptions& options) {
+  VERITAS_EXPECTS(!series.empty());
+  VERITAS_EXPECTS(options.width >= 10 && options.height >= 4);
+  for (const PlotSeries& s : series) VERITAS_EXPECTS(!s.values.empty());
+
+  double y_min = options.y_min;
+  double y_max = options.y_max;
+  if (options.y_auto) {
+    y_min = series[0].values[0];
+    y_max = y_min;
+    for (const PlotSeries& s : series) {
+      for (const double v : s.values) {
+        y_min = std::min(y_min, v);
+        y_max = std::max(y_max, v);
+      }
+    }
+    const double pad = std::max(0.05 * (y_max - y_min), 1e-9);
+    y_min -= pad;
+    y_max += pad;
+  }
+  VERITAS_EXPECTS(y_max > y_min);
+
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  for (const PlotSeries& s : series) {
+    for (std::size_t col = 0; col < options.width; ++col) {
+      const double fraction =
+          static_cast<double>(col) / static_cast<double>(options.width - 1);
+      const double v = sample_series(s.values, fraction);
+      const double clamped = std::clamp(v, y_min, y_max);
+      const double rel = (clamped - y_min) / (y_max - y_min);
+      const auto row = static_cast<std::size_t>(std::llround(
+          (1.0 - rel) * static_cast<double>(options.height - 1)));
+      canvas[row][col] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  char label[32];
+  for (std::size_t row = 0; row < options.height; ++row) {
+    const double rel = 1.0 - static_cast<double>(row) /
+                                 static_cast<double>(options.height - 1);
+    const double y = y_min + rel * (y_max - y_min);
+    std::snprintf(label, sizeof(label), "%8.2f |", y);
+    out << label << canvas[row] << '\n';
+  }
+  out << std::string(10, ' ') << std::string(options.width, '-') << '\n';
+  out << "  legend: ";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) out << "   ";
+    out << "'" << series[i].glyph << "' = " << series[i].name;
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string sparkline(std::span<const double> values) {
+  VERITAS_EXPECTS(!values.empty());
+  static const char* kLevels = " .:-=+*#@";
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  std::string out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    const double rel = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    const auto level = static_cast<std::size_t>(std::llround(rel * 8.0));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace veritas::util

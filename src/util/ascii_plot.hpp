@@ -1,0 +1,36 @@
+// Terminal rendering of time series: the bench binaries regenerate the
+// paper's *figures*, so give the reader an actual picture, not only a
+// table. Multiple series share one canvas; each series gets a glyph.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace veritas::util {
+
+/// One plotted series: samples at uniform x spacing plus a glyph.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> values;
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  std::size_t width = 100;   ///< canvas columns
+  std::size_t height = 16;   ///< canvas rows
+  double y_min = 0.0;        ///< y-axis low (used when y_auto is false)
+  double y_max = 1.0;        ///< y-axis high
+  bool y_auto = true;        ///< derive the y range from the data
+};
+
+/// Renders all series on one canvas with a y-axis scale and a legend.
+/// Series may have different lengths; each is stretched to the canvas
+/// width. Requires at least one non-empty series.
+std::string render_plot(std::span<const PlotSeries> series,
+                        const PlotOptions& options = {});
+
+/// One-line sparkline of a single series (eight-level resolution).
+std::string sparkline(std::span<const double> values);
+
+}  // namespace veritas::util

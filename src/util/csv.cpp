@@ -1,0 +1,158 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/expects.hpp"
+
+namespace veritas::util {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  VERITAS_EXPECTS(!header_written_ && rows_ == 0);
+  VERITAS_EXPECTS(!names.empty());
+  columns_ = names.size();
+  header_written_ = true;
+  write_fields(names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (columns_ == 0) columns_ = fields.size();
+  VERITAS_EXPECTS(fields.size() == columns_);
+  write_fields(fields);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) fields.push_back(format_double(v));
+  row(fields);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (needs_quoting(fields[i]) ? quote(fields[i]) : fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ContractViolation("CSV column not found: " + name);
+}
+
+double CsvTable::number(std::size_t row, const std::string& name) const {
+  VERITAS_EXPECTS(row < rows.size());
+  const std::string& cell = rows[row][column(name)];
+  double value = 0.0;
+  const auto* begin = cell.data();
+  const auto* end = cell.data() + cell.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw ContractViolation("CSV cell is not a number: '" + cell + "'");
+  }
+  return value;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    fields.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    if (!fields.empty() || row_has_content) {
+      end_field();
+      if (table.header.empty()) {
+        table.header = std::move(fields);
+      } else {
+        table.rows.push_back(std::move(fields));
+      }
+      fields.clear();
+      row_has_content = false;
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == ',') {
+      end_field();
+      row_has_content = true;
+    } else if (c == '\n') {
+      end_row();
+    } else if (c != '\r') {
+      field += c;
+      row_has_content = true;
+    }
+  }
+  end_row();  // final row without trailing newline
+
+  for (const auto& r : table.rows) {
+    if (r.size() != table.header.size()) {
+      throw ContractViolation("CSV row width mismatch");
+    }
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace veritas::util

@@ -1,0 +1,63 @@
+// Minimal CSV writing/reading for experiment artifacts (bench outputs,
+// session logs, traces). Values are written with enough precision to
+// round-trip doubles; fields containing separators or quotes are quoted.
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace veritas::util {
+
+/// Streams rows of a CSV table. The header (if any) is written first; each
+/// row must then have exactly as many fields as the header.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (kept by reference).
+  explicit CsvWriter(std::ostream& out);
+
+  /// Sets the header row; must be called before the first data row.
+  void header(const std::vector<std::string>& names);
+
+  /// Writes one row of string fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Writes one row of numeric fields (formatted with max_digits10).
+  void row(const std::vector<double>& values);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// An in-memory CSV table: one header row plus data rows of strings.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws ContractViolation when absent.
+  std::size_t column(const std::string& name) const;
+
+  /// Parses cell (row, column-name) as double.
+  double number(std::size_t row, const std::string& name) const;
+};
+
+/// Parses CSV text (first row = header). Handles quoted fields with
+/// embedded separators, quotes and newlines.
+CsvTable parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error on IO failure.
+CsvTable read_csv_file(const std::filesystem::path& path);
+
+/// Formats a double with round-trip precision.
+std::string format_double(double v);
+
+}  // namespace veritas::util

@@ -1,0 +1,43 @@
+// Contract-checking helpers in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Violations throw veritas::ContractViolation so that tests can assert on
+// misuse and library users get a diagnosable error instead of UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace veritas {
+
+/// Thrown when a precondition or postcondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace veritas
+
+/// Precondition check: document and enforce what a function requires.
+#define VERITAS_EXPECTS(cond)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::veritas::detail::contract_fail("Precondition", #cond, __FILE__,    \
+                                       __LINE__);                          \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define VERITAS_ENSURES(cond)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::veritas::detail::contract_fail("Postcondition", #cond, __FILE__,   \
+                                       __LINE__);                          \
+  } while (false)

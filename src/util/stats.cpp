@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/expects.hpp"
+
+namespace veritas::util {
+
+double mean(std::span<const double> xs) {
+  VERITAS_EXPECTS(!xs.empty());
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  VERITAS_EXPECTS(xs.size() >= 2);
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::span<const double> xs, double q) {
+  VERITAS_EXPECTS(!xs.empty());
+  VERITAS_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double min(std::span<const double> xs) {
+  VERITAS_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  VERITAS_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+BoxplotStats boxplot(std::span<const double> xs) {
+  VERITAS_EXPECTS(!xs.empty());
+  BoxplotStats b;
+  b.min = min(xs);
+  b.q1 = quantile(xs, 0.25);
+  b.median = median(xs);
+  b.q3 = quantile(xs, 0.75);
+  b.max = max(xs);
+  b.count = xs.size();
+  return b;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs,
+                                    std::size_t max_points) {
+  VERITAS_EXPECTS(!xs.empty());
+  VERITAS_EXPECTS(max_points >= 2);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const std::size_t points = std::min(max_points, n);
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    // Evenly spaced ranks, always including the first and last sample.
+    const std::size_t rank =
+        (points == 1) ? n - 1 : (k * (n - 1)) / (points - 1);
+    cdf.push_back({sorted[rank],
+                   static_cast<double>(rank + 1) / static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+double mean_absolute_error(std::span<const double> a,
+                           std::span<const double> b) {
+  VERITAS_EXPECTS(a.size() == b.size());
+  VERITAS_EXPECTS(!a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  VERITAS_EXPECTS(a.size() == b.size());
+  VERITAS_EXPECTS(!a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+std::string to_string(const BoxplotStats& b) {
+  std::ostringstream os;
+  os << b.min << "/" << b.q1 << "/" << b.median << "/" << b.q3 << "/" << b.max
+     << " (n=" << b.count << ")";
+  return os.str();
+}
+
+}  // namespace veritas::util

@@ -1,0 +1,60 @@
+// Descriptive statistics used throughout the evaluation harness:
+// quantiles, five-number (boxplot) summaries, empirical CDFs and error
+// metrics. All functions are pure and take read-only views.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace veritas::util {
+
+/// Arithmetic mean. Requires non-empty input.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation. Requires size >= 2.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
+/// q = 0 gives the minimum, q = 1 the maximum, q = 0.5 the median.
+double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> xs);
+
+/// Minimum / maximum. Require non-empty input.
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Five-number summary for boxplots (as in paper Fig. 2a).
+struct BoxplotStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  std::size_t count = 0;
+};
+BoxplotStats boxplot(std::span<const double> xs);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0;      ///< x: the sample value
+  double fraction = 0;   ///< y: P(X <= value)
+};
+
+/// Empirical CDF down-sampled to at most `max_points` evenly spaced points
+/// (by rank). Suitable for reproducing CDF figures (paper Fig. 5).
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs,
+                                    std::size_t max_points = 100);
+
+/// Mean absolute error between two equally sized series.
+double mean_absolute_error(std::span<const double> a, std::span<const double> b);
+
+/// Root mean squared error between two equally sized series.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Formats "min/q1/median/q3/max (n=count)" for table output.
+std::string to_string(const BoxplotStats& b);
+
+}  // namespace veritas::util

@@ -1,0 +1,31 @@
+#include "video/ladder_presets.hpp"
+
+namespace veritas::video {
+
+Ladder default_ladder() {
+  return {
+      {"240p", 0.1}, {"360p", 0.4}, {"480p", 1.0},
+      {"720p", 2.5}, {"1080p", 4.0},
+  };
+}
+
+Ladder high_ladder() {
+  // "Higher set of qualities" (paper Fig. 11): the low rungs are dropped
+  // entirely and rungs up to 8 Mbps are added.
+  return {
+      {"720p", 2.5}, {"1080p", 4.0}, {"1440p", 6.0}, {"2160p", 8.0},
+  };
+}
+
+Ladder low_high_ladder() {
+  return {{"low", 0.1}, {"high", 4.0}};
+}
+
+VideoConfig default_video_config(std::uint64_t seed) {
+  VideoConfig cfg;
+  cfg.ladder = default_ladder();
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace veritas::video

@@ -1,0 +1,22 @@
+// Quality-ladder presets used by the paper's experiments.
+#pragma once
+
+#include "video/video.hpp"
+
+namespace veritas::video {
+
+/// The deployed ladder (Setting A): bitrates 0.1-4.0 Mbps (paper §4.1).
+Ladder default_ladder();
+
+/// The "higher set of qualities" counterfactual (paper Fig. 11):
+/// the low rungs are dropped and rungs up to 8 Mbps are added.
+Ladder high_ladder();
+
+/// Two-rung ladder for the Fig. 2(b) bias demonstration (forced
+/// low-vs-high next chunk).
+Ladder low_high_ladder();
+
+/// Default video config (10-minute clip, 2 s chunks, default ladder).
+VideoConfig default_video_config(std::uint64_t seed = 42);
+
+}  // namespace veritas::video

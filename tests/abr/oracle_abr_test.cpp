@@ -1,0 +1,103 @@
+#include "abr/oracle_abr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "abr/abr_factory.hpp"
+#include "net/network_path.hpp"
+#include "sim/metrics.hpp"
+#include "sim/session.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/expects.hpp"
+#include "video/ladder_presets.hpp"
+
+namespace veritas::abr {
+namespace {
+
+video::Video short_video(std::size_t chunks = 60) {
+  video::VideoConfig cfg = video::default_video_config();
+  cfg.duration_s = double(chunks) * cfg.chunk_duration_s;
+  return video::Video(cfg);
+}
+
+TEST(OracleAbr, RejectsNullTrace) {
+  EXPECT_THROW(OracleAbr(nullptr), veritas::ContractViolation);
+}
+
+TEST(OracleAbr, HighBandwidthPicksTopQuality) {
+  const auto gtbw = trace::BandwidthTrace::constant(50.0, 1000.0, 5.0);
+  const video::Video v = short_video();
+  OracleAbr oracle(&gtbw);
+  oracle.reset();
+  AbrContext ctx;
+  ctx.video = &v;
+  ctx.next_chunk = 0;
+  ctx.buffer_s = 4.0;
+  ctx.buffer_capacity_s = 5.0;
+  EXPECT_EQ(oracle.choose_quality(ctx), v.num_qualities() - 1);
+}
+
+TEST(OracleAbr, LowBandwidthPicksLowQuality) {
+  const auto gtbw = trace::BandwidthTrace::constant(0.15, 1000.0, 5.0);
+  const video::Video v = short_video();
+  OracleAbr oracle(&gtbw);
+  oracle.reset();
+  AbrContext ctx;
+  ctx.video = &v;
+  ctx.next_chunk = 0;
+  ctx.buffer_s = 1.0;
+  ctx.buffer_capacity_s = 5.0;
+  EXPECT_EQ(oracle.choose_quality(ctx), 0u);
+}
+
+TEST(OracleAbr, SessionRunsCleanly) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 41);
+  const video::Video v = short_video();
+  OracleAbr oracle(&traces[0]);
+  const net::NetworkPath path(traces[0], 0.08);
+  const sim::SessionResult result = sim::run_session(v, oracle, path);
+  EXPECT_EQ(result.log.size(), v.num_chunks());
+  const sim::QoeMetrics m = sim::compute_metrics(v, result);
+  EXPECT_GT(m.mean_ssim, 0.9);
+}
+
+TEST(OracleAbr, NoWorseQoeThanMpcOnAverage) {
+  // The point of an oracle: with perfect foresight it should match or
+  // beat the deployable algorithm on the same QoE terms (bitrate minus
+  // stall penalty), averaged over traces.
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 4, 43);
+  const video::Video v = short_video(100);
+  double oracle_qoe = 0.0, mpc_qoe = 0.0;
+  for (const auto& gtbw : traces) {
+    const net::NetworkPath path(gtbw, 0.08);
+    OracleAbr oracle(&gtbw);
+    const auto r_oracle = sim::run_session(v, oracle, path);
+    const auto m_oracle = sim::compute_metrics(v, r_oracle);
+    auto mpc = make_abr("mpc");
+    const auto r_mpc = sim::run_session(v, *mpc, path);
+    const auto m_mpc = sim::compute_metrics(v, r_mpc);
+    const double stall_oracle = r_oracle.total_stall_s;
+    const double stall_mpc = r_mpc.total_stall_s;
+    oracle_qoe += m_oracle.avg_bitrate_mbps - 8.0 * stall_oracle / 100.0;
+    mpc_qoe += m_mpc.avg_bitrate_mbps - 8.0 * stall_mpc / 100.0;
+  }
+  EXPECT_GE(oracle_qoe, mpc_qoe - 0.1);
+}
+
+TEST(OracleAbr, ResetRestoresInitialBehavior) {
+  const auto gtbw = trace::BandwidthTrace::constant(5.0, 1000.0, 5.0);
+  const video::Video v = short_video();
+  OracleAbr oracle(&gtbw);
+  oracle.reset();
+  AbrContext ctx;
+  ctx.video = &v;
+  ctx.next_chunk = 0;
+  ctx.buffer_s = 2.0;
+  ctx.buffer_capacity_s = 5.0;
+  const std::size_t first = oracle.choose_quality(ctx);
+  (void)oracle.choose_quality(ctx);
+  oracle.reset();
+  EXPECT_EQ(oracle.choose_quality(ctx), first);
+}
+
+}  // namespace
+}  // namespace veritas::abr

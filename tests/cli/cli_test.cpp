@@ -1,0 +1,143 @@
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/expects.hpp"
+
+namespace veritas::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("veritas_cli_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run(std::initializer_list<std::string> args) {
+    out_.str("");
+    err_.str("");
+    const std::vector<std::string> argv(args);
+    return run_cli(argv, out_, err_);
+  }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  fs::path dir_;
+  std::ostringstream out_, err_;
+};
+
+TEST_F(CliTest, ParseCommandLine) {
+  const std::vector<std::string> args{"simulate", "--abr", "bba", "--buffer",
+                                      "30"};
+  const CommandLine cmd = parse_command_line(args);
+  EXPECT_EQ(cmd.command, "simulate");
+  EXPECT_EQ(cmd.get("--abr", "mpc"), "bba");
+  EXPECT_DOUBLE_EQ(cmd.number("--buffer", 5.0), 30.0);
+  EXPECT_EQ(cmd.get("--missing", "fallback"), "fallback");
+  EXPECT_THROW(cmd.require("--missing"), ContractViolation);
+}
+
+TEST_F(CliTest, ParseRejectsMalformedOptions) {
+  const std::vector<std::string> bad_flag{"simulate", "abr", "bba"};
+  EXPECT_THROW(parse_command_line(bad_flag), ContractViolation);
+  const std::vector<std::string> missing_value{"simulate", "--abr"};
+  EXPECT_THROW(parse_command_line(missing_value), ContractViolation);
+}
+
+TEST_F(CliTest, NumberOptionValidation) {
+  const std::vector<std::string> args{"x", "--n", "abc"};
+  const CommandLine cmd = parse_command_line(args);
+  EXPECT_THROW(cmd.number("--n", 0.0), ContractViolation);
+}
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(run({"help"}), 0);
+  EXPECT_NE(out_.str().find("generate-trace"), std::string::npos);
+  EXPECT_EQ(run({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingRequiredOptionIsError) {
+  EXPECT_EQ(run({"generate-trace"}), 1);
+  EXPECT_NE(err_.str().find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateTraceWritesCsv) {
+  EXPECT_EQ(run({"generate-trace", "--out", path("gt.csv"), "--seed", "3"}),
+            0);
+  EXPECT_TRUE(fs::exists(path("gt.csv")));
+  EXPECT_NE(out_.str().find("windows"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateTraceRejectsUnknownFamily) {
+  EXPECT_EQ(run({"generate-trace", "--out", path("gt.csv"), "--family",
+                 "nope"}),
+            1);
+}
+
+TEST_F(CliTest, FullPipelineEndToEnd) {
+  ASSERT_EQ(run({"generate-trace", "--out", path("gt.csv"), "--seed", "9"}),
+            0);
+  ASSERT_EQ(run({"simulate", "--trace", path("gt.csv"), "--out",
+                 path("log.csv")}),
+            0);
+  EXPECT_NE(out_.str().find("metrics:"), std::string::npos);
+
+  ASSERT_EQ(run({"infer", "--log", path("log.csv"), "--out-prefix",
+                 path("inf"), "--samples", "3"}),
+            0);
+  EXPECT_TRUE(fs::exists(path("inf_map.csv")));
+  EXPECT_TRUE(fs::exists(path("inf_baseline.csv")));
+  EXPECT_TRUE(fs::exists(path("inf_sample2.csv")));
+
+  ASSERT_EQ(run({"replay", "--trace", path("inf_map.csv"), "--abr", "bba"}),
+            0);
+  EXPECT_NE(out_.str().find("rebuffer_pct"), std::string::npos);
+
+  ASSERT_EQ(run({"predict", "--log", path("log.csv"), "--size", "1000000"}),
+            0);
+  EXPECT_NE(out_.str().find("p50="), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateHonorsAbrAndLadder) {
+  ASSERT_EQ(run({"generate-trace", "--out", path("gt.csv")}), 0);
+  ASSERT_EQ(run({"simulate", "--trace", path("gt.csv"), "--out",
+                 path("log.csv"), "--abr", "fixed:0", "--ladder", "high"}),
+            0);
+  // fixed:0 on the high ladder -> avg bitrate equals its floor (2.5).
+  EXPECT_NE(out_.str().find("avg_bitrate_mbps=2.5"), std::string::npos);
+}
+
+TEST_F(CliTest, WhatIfRunsFromLogAlone) {
+  ASSERT_EQ(run({"generate-trace", "--out", path("gt.csv")}), 0);
+  ASSERT_EQ(run({"simulate", "--trace", path("gt.csv"), "--out",
+                 path("log.csv")}),
+            0);
+  ASSERT_EQ(run({"whatif", "--log", path("log.csv"), "--abr", "bba",
+                 "--samples", "3"}),
+            0);
+  EXPECT_NE(out_.str().find("veritas ssim=["), std::string::npos);
+  EXPECT_NE(out_.str().find("baseline"), std::string::npos);
+}
+
+TEST_F(CliTest, InferReportsLikelihood) {
+  ASSERT_EQ(run({"generate-trace", "--out", path("gt.csv")}), 0);
+  ASSERT_EQ(run({"simulate", "--trace", path("gt.csv"), "--out",
+                 path("log.csv")}),
+            0);
+  ASSERT_EQ(run({"infer", "--log", path("log.csv"), "--out-prefix",
+                 path("i")}),
+            0);
+  EXPECT_NE(out_.str().find("log-likelihood"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace veritas::cli

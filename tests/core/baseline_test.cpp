@@ -1,0 +1,85 @@
+#include "core/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/test_helpers.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::core {
+namespace {
+
+sim::ChunkLog chunk(double start, double end, double size_bytes) {
+  sim::ChunkLog c;
+  c.start_s = start;
+  c.end_s = end;
+  c.size_bytes = size_bytes;
+  return c;
+}
+
+TEST(Baseline, UsesObservedThroughputDuringDownloads) {
+  sim::SessionLog log;
+  // 1 Mbit in 1 s = 1 Mbps over [0, 1].
+  log.chunks.push_back(chunk(0.0, 1.0, 125000.0));
+  const auto trace = baseline_trace(log, 0.5);
+  EXPECT_NEAR(trace.at(0.4), 1.0, 1e-9);
+}
+
+TEST(Baseline, InterpolatesOffPeriods) {
+  sim::SessionLog log;
+  log.chunks.push_back(chunk(0.0, 1.0, 125000.0));   // 1 Mbps
+  log.chunks.push_back(chunk(3.0, 4.0, 375000.0));   // 3 Mbps
+  const auto trace = baseline_trace(log, 0.5);
+  // Off period [1, 3]: values ramp linearly 1 -> 3 Mbps (each grid cell
+  // is evaluated at its midpoint, so allow half-cell slack).
+  EXPECT_NEAR(trace.at(2.0), 2.0, 0.3);
+  EXPECT_LT(trace.at(1.3), trace.at(2.0));
+  EXPECT_LT(trace.at(2.0), trace.at(2.8));
+}
+
+TEST(Baseline, ExtendsLastThroughputPastEnd) {
+  sim::SessionLog log;
+  log.chunks.push_back(chunk(0.0, 1.0, 250000.0));  // 2 Mbps
+  const auto trace = baseline_trace(log, 0.5, 20.0);
+  EXPECT_NEAR(trace.at(15.0), 2.0, 1e-9);
+}
+
+TEST(Baseline, CoverageAtLeastLogDuration) {
+  sim::SessionLog log;
+  log.chunks.push_back(chunk(0.0, 1.0, 125000.0));
+  log.chunks.push_back(chunk(5.0, 9.0, 125000.0));
+  const auto trace = baseline_trace(log, 1.0);
+  EXPECT_GE(trace.duration_s(), 9.0);
+}
+
+TEST(Baseline, UnderestimatesWhenChunksAreSmall) {
+  // The paper's core observation: an MPC deployment on a constant-4Mbps
+  // link picks chunks whose observed throughput is depressed by slow
+  // start; the Baseline reconstruction inherits that bias.
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 100);
+  const auto baseline = baseline_trace(log);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (double t = 10.0; t < 190.0; t += 1.0) {
+    sum += baseline.at(t);
+    ++count;
+  }
+  const double mean = sum / double(count);
+  EXPECT_LT(mean, 4.0);  // never above the link
+  EXPECT_GT(mean, 0.5);  // but not absurdly low
+}
+
+TEST(Baseline, RejectsEmptyLog) {
+  sim::SessionLog log;
+  EXPECT_THROW(baseline_trace(log), veritas::ContractViolation);
+}
+
+TEST(Baseline, FirstWindowUsesFirstChunk) {
+  sim::SessionLog log;
+  log.chunks.push_back(chunk(5.0, 6.0, 125000.0));  // 1 Mbps, starts late
+  const auto trace = baseline_trace(log, 1.0);
+  EXPECT_NEAR(trace.at(0.5), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace veritas::core

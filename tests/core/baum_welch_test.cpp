@@ -1,0 +1,135 @@
+#include "core/baum_welch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/test_helpers.hpp"
+#include "util/expects.hpp"
+#include "util/rng.hpp"
+
+namespace veritas::core {
+namespace {
+
+using testing::small_ehmm;
+using testing::warm_observation;
+
+// Synthesizes observation sequences from a known chain so EM has ground
+// truth to recover: states on {0..3} Mbps (ε = 1), chunks spaced exactly
+// δ apart (Δ = 1 everywhere -> exact EM).
+std::vector<std::vector<ChunkObservation>> synthetic_sessions(
+    const math::Matrix& a, double sigma, std::size_t sessions,
+    std::size_t chunks, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<ChunkObservation>> out;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    std::vector<ChunkObservation> obs;
+    std::size_t state = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    for (std::size_t n = 0; n < chunks; ++n) {
+      // Emission: warm connection, big chunk -> Y ~ Normal(state, sigma).
+      const double y =
+          std::max(0.05, rng.normal(static_cast<double>(state), sigma));
+      obs.push_back(warm_observation(double(n) * 5.0, y, 8e6));
+      state = rng.categorical(a.row(state));
+    }
+    out.push_back(std::move(obs));
+  }
+  return out;
+}
+
+TEST(BaumWelch, LikelihoodNonDecreasingWithDeltaOne) {
+  const Ehmm init = small_ehmm(0.5, 0.6);
+  const math::Matrix truth = math::Matrix::from_rows({{0.7, 0.3, 0.0, 0.0},
+                                                      {0.15, 0.7, 0.15, 0.0},
+                                                      {0.0, 0.15, 0.7, 0.15},
+                                                      {0.0, 0.0, 0.3, 0.7}});
+  const auto sessions = synthetic_sessions(truth, 0.4, 4, 60, 11);
+  BaumWelchConfig cfg;
+  cfg.max_iterations = 15;
+  const BaumWelchResult result = baum_welch_train(init, sessions, cfg);
+  ASSERT_GE(result.log_likelihoods.size(), 2u);
+  for (std::size_t i = 1; i < result.log_likelihoods.size(); ++i) {
+    EXPECT_GE(result.log_likelihoods[i],
+              result.log_likelihoods[i - 1] - 1e-6)
+        << "iteration " << i;
+  }
+}
+
+TEST(BaumWelch, RecoversStayProbability) {
+  // Strongly sticky truth vs a vague initial guess.
+  const math::Matrix truth = math::Matrix::from_rows({{0.9, 0.1, 0.0, 0.0},
+                                                      {0.05, 0.9, 0.05, 0.0},
+                                                      {0.0, 0.05, 0.9, 0.05},
+                                                      {0.0, 0.0, 0.1, 0.9}});
+  const auto sessions = synthetic_sessions(truth, 0.3, 6, 80, 13);
+  const Ehmm init = small_ehmm(0.3, 0.5);
+  BaumWelchConfig cfg;
+  cfg.max_iterations = 25;
+  const BaumWelchResult result = baum_welch_train(init, sessions, cfg);
+  double mean_stay = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    mean_stay += result.transition.matrix()(i, i) / 4.0;
+  }
+  EXPECT_GT(mean_stay, 0.75);
+}
+
+TEST(BaumWelch, TrainedTransitionIsStochastic) {
+  const Ehmm init = small_ehmm();
+  const auto sessions =
+      synthetic_sessions(init.transition().matrix(), 0.5, 2, 40, 17);
+  const BaumWelchResult result = baum_welch_train(init, sessions);
+  EXPECT_TRUE(result.transition.matrix().is_row_stochastic(1e-6));
+  double u_sum = 0.0;
+  for (const double u : result.transition.initial()) u_sum += u;
+  EXPECT_NEAR(u_sum, 1.0, 1e-6);
+}
+
+TEST(BaumWelch, SigmaReestimationApproachesTruth) {
+  const math::Matrix truth = math::Matrix::from_rows({{0.8, 0.2, 0.0, 0.0},
+                                                      {0.1, 0.8, 0.1, 0.0},
+                                                      {0.0, 0.1, 0.8, 0.1},
+                                                      {0.0, 0.0, 0.2, 0.8}});
+  const double true_sigma = 0.35;
+  const auto sessions = synthetic_sessions(truth, true_sigma, 6, 80, 19);
+  const Ehmm init = small_ehmm(1.5);  // start far away
+  BaumWelchConfig cfg;
+  cfg.update_sigma = true;
+  cfg.max_iterations = 25;
+  const BaumWelchResult result = baum_welch_train(init, sessions, cfg);
+  EXPECT_NEAR(result.sigma_mbps, true_sigma, 0.15);
+}
+
+TEST(BaumWelch, FrozenUpdatesKeepParameters) {
+  const Ehmm init = small_ehmm();
+  const auto sessions =
+      synthetic_sessions(init.transition().matrix(), 0.5, 2, 30, 23);
+  BaumWelchConfig cfg;
+  cfg.update_transition = false;
+  cfg.update_initial = false;
+  cfg.update_sigma = false;
+  cfg.max_iterations = 3;
+  const BaumWelchResult result = baum_welch_train(init, sessions, cfg);
+  EXPECT_LT(result.transition.matrix().max_abs_diff(init.transition().matrix()),
+            1e-12);
+  EXPECT_DOUBLE_EQ(result.sigma_mbps, init.emission().sigma_mbps());
+}
+
+TEST(BaumWelch, StopsOnConvergence) {
+  const Ehmm init = small_ehmm();
+  const auto sessions =
+      synthetic_sessions(init.transition().matrix(), 0.5, 2, 30, 29);
+  BaumWelchConfig cfg;
+  cfg.max_iterations = 50;
+  cfg.tolerance = 1e-3;
+  const BaumWelchResult result = baum_welch_train(init, sessions, cfg);
+  EXPECT_LT(result.iterations, 50u);
+}
+
+TEST(BaumWelch, RejectsEmptyInput) {
+  const Ehmm init = small_ehmm();
+  const std::vector<std::vector<ChunkObservation>> empty;
+  EXPECT_THROW(baum_welch_train(init, empty), veritas::ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::core

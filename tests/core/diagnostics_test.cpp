@@ -1,0 +1,105 @@
+#include "core/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/test_helpers.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::core {
+namespace {
+
+TEST(Diagnostics, PerChunkFieldsPopulated) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 60);
+  const Veritas veritas;
+  const InferenceDiagnostics d = diagnose(veritas, log);
+  ASSERT_EQ(d.chunks.size(), log.size());
+  for (const ChunkDiagnostic& c : d.chunks) {
+    EXPECT_GE(c.posterior_entropy_nats, 0.0);
+    EXPECT_LE(c.posterior_entropy_nats, d.max_entropy_nats + 1e-9);
+    EXPECT_GE(c.posterior_std_mbps, 0.0);
+    EXPECT_GT(c.observed_throughput_mbps, 0.0);
+  }
+  EXPECT_GT(d.fraction_informative, 0.0);
+}
+
+TEST(Diagnostics, LargeChunksAreInformative) {
+  // Top-quality chunks (1 MB) far exceed the BDP at 4 Mbps/80ms (~40 KB).
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 80);
+  const Veritas veritas;
+  const InferenceDiagnostics d = diagnose(veritas, log);
+  for (const ChunkDiagnostic& c : d.chunks) {
+    if (log.chunks[c.chunk].size_bytes > 500000.0) {
+      EXPECT_TRUE(c.informative) << "chunk " << c.chunk;
+    }
+  }
+}
+
+TEST(Diagnostics, InformativeChunksHaveLowerEntropy) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 23);
+  const sim::SessionLog log = testing::deployed_log(traces[0], 150);
+  const Veritas veritas;
+  const InferenceDiagnostics d = diagnose(veritas, log);
+  double informative_entropy = 0.0, uninformative_entropy = 0.0;
+  std::size_t ni = 0, nu = 0;
+  for (const ChunkDiagnostic& c : d.chunks) {
+    if (c.informative) {
+      informative_entropy += c.posterior_entropy_nats;
+      ++ni;
+    } else {
+      uninformative_entropy += c.posterior_entropy_nats;
+      ++nu;
+    }
+  }
+  if (ni > 5 && nu > 5) {
+    EXPECT_LT(informative_entropy / double(ni),
+              uninformative_entropy / double(nu) + 0.2);
+  }
+}
+
+TEST(Diagnostics, ConstantTraceHasFewUncertainSpans) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 100);
+  const Veritas veritas;
+  const InferenceDiagnostics d = diagnose(veritas, log, 0.8);
+  EXPECT_LE(d.uncertain_spans.size(), 2u);
+}
+
+TEST(Diagnostics, SpansAreOrderedAndWithinSession) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 29);
+  const sim::SessionLog log = testing::deployed_log(traces[0], 120);
+  const Veritas veritas;
+  const InferenceDiagnostics d = diagnose(veritas, log, 0.3);
+  double prev_end = -1.0;
+  for (const UncertainSpan& span : d.uncertain_spans) {
+    EXPECT_LT(span.begin_s, span.end_s);
+    EXPECT_GT(span.begin_s, prev_end);
+    EXPECT_LE(span.end_s, log.chunks.back().end_s + 1e-9);
+    EXPECT_GE(span.mean_entropy_nats, 0.0);
+    prev_end = span.end_s;
+  }
+}
+
+TEST(Diagnostics, SummaryMentionsKeyNumbers) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 40);
+  const Veritas veritas;
+  const std::string text = diagnose(veritas, log).summary();
+  EXPECT_NE(text.find("chunks"), std::string::npos);
+  EXPECT_NE(text.find("entropy"), std::string::npos);
+}
+
+TEST(Diagnostics, RejectsBadArguments) {
+  const Veritas veritas;
+  sim::SessionLog empty;
+  EXPECT_THROW(diagnose(veritas, empty), veritas::ContractViolation);
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 10);
+  EXPECT_THROW(diagnose(veritas, log, 0.0), veritas::ContractViolation);
+  EXPECT_THROW(diagnose(veritas, log, 1.0), veritas::ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::core

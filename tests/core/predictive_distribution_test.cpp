@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/test_helpers.hpp"
+#include "core/veritas.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::core {
+namespace {
+
+TEST(NextChunkDistribution, ProbabilitiesSumToOne) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 60);
+  const Veritas veritas;
+  const std::size_t n = 40;
+  const auto dist = veritas.predict_next_distribution(
+      log.prefix(n), log.chunks[n].start_s, log.chunks[n].tcp_at_start,
+      log.chunks[n].size_bytes);
+  double sum = 0.0;
+  for (const double p : dist.probabilities) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(dist.gtbw_mbps.size(), dist.probabilities.size());
+  EXPECT_EQ(dist.gtbw_mbps.size(), dist.download_time_s.size());
+}
+
+TEST(NextChunkDistribution, ConcentratesOnTruthForConstantBandwidth) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 100);
+  const Veritas veritas;
+  const std::size_t n = 80;
+  const auto dist = veritas.predict_next_distribution(
+      log.prefix(n), log.chunks[n].start_s, log.chunks[n].tcp_at_start,
+      log.chunks[n].size_bytes);
+  // Most posterior mass within +-1 Mbps of the true 4.0.
+  double near_truth = 0.0;
+  for (std::size_t i = 0; i < dist.gtbw_mbps.size(); ++i) {
+    if (std::abs(dist.gtbw_mbps[i] - 4.0) <= 1.0) {
+      near_truth += dist.probabilities[i];
+    }
+  }
+  EXPECT_GT(near_truth, 0.8);
+}
+
+TEST(NextChunkDistribution, QuantilesAreMonotone) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 5);
+  const sim::SessionLog log = testing::deployed_log(traces[0], 80);
+  const Veritas veritas;
+  const std::size_t n = 60;
+  const auto dist = veritas.predict_next_distribution(
+      log.prefix(n), log.chunks[n].start_s, log.chunks[n].tcp_at_start,
+      log.chunks[n].size_bytes);
+  double prev = dist.time_quantile_s(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = dist.time_quantile_s(q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(NextChunkDistribution, MeanBetweenExtremeQuantiles) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 7);
+  const sim::SessionLog log = testing::deployed_log(traces[0], 80);
+  const Veritas veritas;
+  const std::size_t n = 50;
+  const auto dist = veritas.predict_next_distribution(
+      log.prefix(n), log.chunks[n].start_s, log.chunks[n].tcp_at_start,
+      log.chunks[n].size_bytes);
+  const double mean = dist.mean_time_s();
+  EXPECT_GE(mean, dist.time_quantile_s(0.0) - 1e-9);
+  EXPECT_TRUE(std::isfinite(mean));
+}
+
+TEST(NextChunkDistribution, IntervalCoversTruthMostOfTheTime) {
+  // Calibration check: the [q05, q95] predictive interval should cover
+  // the realized download time for the large majority of chunks.
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 2, 11);
+  const Veritas veritas;
+  int covered = 0, total = 0;
+  for (const auto& gtbw : traces) {
+    const sim::SessionLog log = testing::deployed_log(gtbw, 100);
+    for (std::size_t n = 20; n < log.size(); n += 10) {
+      const auto dist = veritas.predict_next_distribution(
+          log.prefix(n), log.chunks[n].start_s, log.chunks[n].tcp_at_start,
+          log.chunks[n].size_bytes);
+      const double truth = log.chunks[n].download_time_s();
+      // Allow interval slack for the estimator's own residual error.
+      const double lo = dist.time_quantile_s(0.05) * 0.7 - 0.1;
+      const double hi = dist.time_quantile_s(0.95) * 1.3 + 0.1;
+      covered += (truth >= lo && truth <= hi);
+      ++total;
+    }
+  }
+  EXPECT_GE(static_cast<double>(covered) / total, 0.75);
+}
+
+TEST(NextChunkDistribution, WiderForSmallChunks) {
+  // Small chunks are uninformative (RTT-bound): the next-chunk GTBW
+  // posterior entropy should not collapse; download-time spread for a
+  // LARGE probe chunk reflects that uncertainty.
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 13);
+  const sim::SessionLog log = testing::deployed_log(traces[0], 100);
+  const Veritas veritas;
+  const std::size_t n = 60;
+  const double probe_size = 2e6;  // big probe: sensitive to GTBW
+  const auto dist = veritas.predict_next_distribution(
+      log.prefix(n), log.chunks[n].start_s, log.chunks[n].tcp_at_start,
+      probe_size);
+  EXPECT_GT(dist.time_quantile_s(0.95), dist.time_quantile_s(0.05));
+}
+
+TEST(NextChunkDistribution, RejectsBadInput) {
+  const Veritas veritas;
+  sim::SessionLog empty;
+  net::TcpState w;
+  EXPECT_THROW(veritas.predict_next_distribution(empty, 0.0, w, 1000.0),
+               veritas::ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::core

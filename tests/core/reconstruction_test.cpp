@@ -1,0 +1,92 @@
+#include "core/reconstruction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/test_helpers.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::core {
+namespace {
+
+using testing::warm_observation;
+
+const StateSpace kSpace(1.0, 5.0);
+constexpr double kDelta = 5.0;
+
+TEST(Reconstruction, SingleChunkFillsWholeTrace) {
+  const std::vector<ChunkObservation> obs{warm_observation(12.0, 2.0)};
+  const std::vector<std::size_t> states{3};
+  const auto trace =
+      states_to_trace(kSpace, states, obs, kDelta, 50.0);
+  EXPECT_EQ(trace.windows(), 10u);
+  for (double t = 0.0; t < 50.0; t += 2.5) {
+    EXPECT_DOUBLE_EQ(trace.at(t), 3.0);
+  }
+}
+
+TEST(Reconstruction, ChunkStartsMapToWindows) {
+  // Chunks at 2 s (window 0) and 17 s (window 3).
+  const std::vector<ChunkObservation> obs{warm_observation(2.0, 1.0),
+                                          warm_observation(17.0, 4.0)};
+  const std::vector<std::size_t> states{1, 4};
+  const auto trace = states_to_trace(kSpace, states, obs, kDelta, 25.0,
+                                     Interpolation::kHold);
+  EXPECT_DOUBLE_EQ(trace.at(2.0), 1.0);   // window 0
+  EXPECT_DOUBLE_EQ(trace.at(7.0), 1.0);   // hold
+  EXPECT_DOUBLE_EQ(trace.at(12.0), 1.0);  // hold
+  EXPECT_DOUBLE_EQ(trace.at(17.0), 4.0);  // window 3
+  EXPECT_DOUBLE_EQ(trace.at(24.0), 4.0);  // tail hold
+}
+
+TEST(Reconstruction, LinearInterpolationBetweenWindows) {
+  const std::vector<ChunkObservation> obs{warm_observation(0.0, 1.0),
+                                          warm_observation(15.0, 4.0)};
+  const std::vector<std::size_t> states{1, 4};
+  const auto trace = states_to_trace(kSpace, states, obs, kDelta, 20.0,
+                                     Interpolation::kLinear);
+  EXPECT_DOUBLE_EQ(trace.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.at(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(trace.at(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(trace.at(15.0), 4.0);
+}
+
+TEST(Reconstruction, LeadingWindowsFilledWithFirstValue) {
+  const std::vector<ChunkObservation> obs{warm_observation(22.0, 2.0)};
+  const std::vector<std::size_t> states{2};
+  const auto trace = states_to_trace(kSpace, states, obs, kDelta, 30.0);
+  EXPECT_DOUBLE_EQ(trace.at(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(trace.at(10.0), 2.0);
+}
+
+TEST(Reconstruction, LastChunkInWindowWins) {
+  // Two chunks in window 1 (5-10 s): the later chunk's state is used.
+  const std::vector<ChunkObservation> obs{warm_observation(6.0, 1.0),
+                                          warm_observation(8.0, 3.0)};
+  const std::vector<std::size_t> states{1, 3};
+  const auto trace = states_to_trace(kSpace, states, obs, kDelta, 15.0);
+  EXPECT_DOUBLE_EQ(trace.at(7.0), 3.0);
+}
+
+TEST(Reconstruction, TraceUsesDeltaGrid) {
+  const std::vector<ChunkObservation> obs{warm_observation(0.0, 2.0)};
+  const std::vector<std::size_t> states{2};
+  const auto trace = states_to_trace(kSpace, states, obs, 2.5, 10.0);
+  EXPECT_DOUBLE_EQ(trace.interval_s(), 2.5);
+  EXPECT_EQ(trace.windows(), 4u);
+}
+
+TEST(Reconstruction, RejectsBadInput) {
+  const std::vector<ChunkObservation> obs{warm_observation(0.0, 2.0)};
+  const std::vector<std::size_t> none;
+  EXPECT_THROW(states_to_trace(kSpace, none, obs, kDelta, 10.0),
+               veritas::ContractViolation);
+  const std::vector<std::size_t> mismatched{1, 2};
+  EXPECT_THROW(states_to_trace(kSpace, mismatched, obs, kDelta, 10.0),
+               veritas::ContractViolation);
+  const std::vector<std::size_t> out_of_range{99};
+  EXPECT_THROW(states_to_trace(kSpace, out_of_range, obs, kDelta, 10.0),
+               veritas::ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::core

@@ -1,0 +1,137 @@
+#include "core/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/test_helpers.hpp"
+
+namespace veritas::core {
+namespace {
+
+using testing::small_ehmm;
+using testing::warm_observation;
+
+std::vector<ChunkObservation> sequence() {
+  return {warm_observation(0.0, 1.1), warm_observation(6.0, 1.9),
+          warm_observation(12.0, 2.2), warm_observation(18.0, 1.8),
+          warm_observation(24.0, 0.6), warm_observation(31.0, 0.4)};
+}
+
+TEST(Sampler, LastStatePinnedToViterbi) {
+  const Ehmm ehmm = small_ehmm();
+  const auto obs = sequence();
+  const auto viterbi = ehmm.viterbi(obs);
+  const auto fb = ehmm.forward_backward(obs);
+  util::Rng rng(1);
+  for (int k = 0; k < 20; ++k) {
+    const auto states = sample_capacity_states(viterbi, fb, rng);
+    EXPECT_EQ(states.back(), viterbi.states.back());
+  }
+}
+
+TEST(Sampler, StatesWithinSpace) {
+  const Ehmm ehmm = small_ehmm();
+  const auto obs = sequence();
+  const auto viterbi = ehmm.viterbi(obs);
+  const auto fb = ehmm.forward_backward(obs);
+  util::Rng rng(2);
+  for (int k = 0; k < 50; ++k) {
+    for (const std::size_t s : sample_capacity_states(viterbi, fb, rng)) {
+      EXPECT_LT(s, ehmm.space().size());
+    }
+  }
+}
+
+TEST(Sampler, DeterministicGivenRngState) {
+  const Ehmm ehmm = small_ehmm();
+  const auto obs = sequence();
+  const auto viterbi = ehmm.viterbi(obs);
+  const auto fb = ehmm.forward_backward(obs);
+  util::Rng rng1(7), rng2(7);
+  EXPECT_EQ(sample_capacity_states(viterbi, fb, rng1),
+            sample_capacity_states(viterbi, fb, rng2));
+}
+
+TEST(Sampler, SamplesVaryWhenPosteriorIsWide) {
+  // Wide emission noise -> uncertain posterior -> diverse samples.
+  const Ehmm ehmm = small_ehmm(2.0);
+  const auto obs = sequence();
+  const auto viterbi = ehmm.viterbi(obs);
+  const auto fb = ehmm.forward_backward(obs);
+  util::Rng rng(3);
+  std::map<std::vector<std::size_t>, int> seen;
+  for (int k = 0; k < 50; ++k) {
+    ++seen[sample_capacity_states(viterbi, fb, rng)];
+  }
+  EXPECT_GT(seen.size(), 3u);
+}
+
+TEST(Sampler, SamplesConcentrateWhenPosteriorIsSharp) {
+  const Ehmm ehmm = small_ehmm(0.05);
+  const auto obs = sequence();
+  const auto viterbi = ehmm.viterbi(obs);
+  const auto fb = ehmm.forward_backward(obs);
+  util::Rng rng(4);
+  std::map<std::vector<std::size_t>, int> seen;
+  for (int k = 0; k < 50; ++k) {
+    ++seen[sample_capacity_states(viterbi, fb, rng)];
+  }
+  EXPECT_LE(seen.size(), 3u);
+  // And the MAP path dominates.
+  EXPECT_GT(seen[viterbi.states], 25);
+}
+
+TEST(Sampler, MarginalFrequenciesTrackPosterior) {
+  const Ehmm ehmm = small_ehmm(1.0);
+  const auto obs = sequence();
+  const auto viterbi = ehmm.viterbi(obs);
+  const auto fb = ehmm.forward_backward(obs);
+  util::Rng rng(5);
+  const int trials = 4000;
+  // Track frequency of each state at chunk 2 with a *posterior-sampled*
+  // final state (pure FFBS: frequencies must match gamma exactly).
+  SamplerConfig cfg;
+  cfg.last_state = SamplerConfig::LastState::kPosterior;
+  std::vector<double> freq(ehmm.space().size(), 0.0);
+  for (int k = 0; k < trials; ++k) {
+    const auto states = sample_capacity_states(viterbi, fb, rng, cfg);
+    freq[states[2]] += 1.0 / trials;
+  }
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    EXPECT_NEAR(freq[i], fb.gamma(2, i), 0.03) << "state " << i;
+  }
+}
+
+TEST(Sampler, PosteriorLastStateRespectsGamma) {
+  const Ehmm ehmm = small_ehmm(1.0);
+  const auto obs = sequence();
+  const auto viterbi = ehmm.viterbi(obs);
+  const auto fb = ehmm.forward_backward(obs);
+  SamplerConfig cfg;
+  cfg.last_state = SamplerConfig::LastState::kPosterior;
+  util::Rng rng(6);
+  const int trials = 4000;
+  std::vector<double> freq(ehmm.space().size(), 0.0);
+  const std::size_t last = obs.size() - 1;
+  for (int k = 0; k < trials; ++k) {
+    freq[sample_capacity_states(viterbi, fb, rng, cfg).back()] += 1.0 / trials;
+  }
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    EXPECT_NEAR(freq[i], fb.gamma(last, i), 0.03) << "state " << i;
+  }
+}
+
+TEST(Sampler, SingleObservationWorks) {
+  const Ehmm ehmm = small_ehmm();
+  const std::vector<ChunkObservation> obs{warm_observation(0.0, 2.0)};
+  const auto viterbi = ehmm.viterbi(obs);
+  const auto fb = ehmm.forward_backward(obs);
+  util::Rng rng(8);
+  const auto states = sample_capacity_states(viterbi, fb, rng);
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0], viterbi.states[0]);
+}
+
+}  // namespace
+}  // namespace veritas::core

@@ -1,0 +1,58 @@
+#include "core/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace veritas::core {
+namespace {
+
+TEST(StateSpace, PaperDefaultGrid) {
+  // ε = 0.5, max 10 -> states {0, 0.5, ..., 10} = 21 states.
+  const StateSpace s(0.5, 10.0);
+  EXPECT_EQ(s.size(), 21u);
+  EXPECT_DOUBLE_EQ(s.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.value(20), 10.0);
+  EXPECT_DOUBLE_EQ(s.epsilon_mbps(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max_mbps(), 10.0);
+}
+
+TEST(StateSpace, NonDivisibleMaxRoundsUp) {
+  const StateSpace s(0.5, 10.2);
+  EXPECT_GE(s.max_mbps(), 10.2);
+}
+
+TEST(StateSpace, NearestIndexRounds) {
+  const StateSpace s(0.5, 10.0);
+  EXPECT_EQ(s.nearest_index(0.0), 0u);
+  EXPECT_EQ(s.nearest_index(0.24), 0u);
+  EXPECT_EQ(s.nearest_index(0.26), 1u);
+  EXPECT_EQ(s.nearest_index(3.5), 7u);
+  EXPECT_EQ(s.nearest_index(100.0), 20u);  // clamped
+}
+
+TEST(StateSpace, NearestIndexInvertsValue) {
+  const StateSpace s(0.25, 8.0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.nearest_index(s.value(i)), i);
+  }
+}
+
+TEST(StateSpace, ValuesVector) {
+  const StateSpace s(1.0, 3.0);
+  const auto values = s.values();
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_DOUBLE_EQ(values[3], 3.0);
+}
+
+TEST(StateSpace, RejectsBadArguments) {
+  EXPECT_THROW(StateSpace(0.0, 10.0), veritas::ContractViolation);
+  EXPECT_THROW(StateSpace(2.0, 1.0), veritas::ContractViolation);
+  const StateSpace s(0.5, 10.0);
+  EXPECT_THROW(s.value(21), veritas::ContractViolation);
+  EXPECT_THROW(s.nearest_index(-1.0), veritas::ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::core

@@ -1,0 +1,97 @@
+#include "core/transition_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace veritas::core {
+namespace {
+
+TEST(TransitionModel, TridiagonalStructure) {
+  const TransitionModel m = TransitionModel::tridiagonal(5, 0.8);
+  const math::Matrix& a = m.matrix();
+  EXPECT_TRUE(a.is_row_stochastic(1e-12));
+  // Interior row: stay 0.8, each neighbour 0.1, others 0.
+  EXPECT_DOUBLE_EQ(a(2, 2), 0.8);
+  EXPECT_DOUBLE_EQ(a(2, 1), 0.1);
+  EXPECT_DOUBLE_EQ(a(2, 3), 0.1);
+  EXPECT_DOUBLE_EQ(a(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a(2, 4), 0.0);
+}
+
+TEST(TransitionModel, TridiagonalBoundaryRenormalized) {
+  const TransitionModel m = TransitionModel::tridiagonal(5, 0.8);
+  const math::Matrix& a = m.matrix();
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.9);  // absorbs the missing left step
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(a(4, 4), 0.9);
+  EXPECT_DOUBLE_EQ(a(4, 3), 0.1);
+}
+
+TEST(TransitionModel, UniformInitialDistribution) {
+  const TransitionModel m = TransitionModel::tridiagonal(4);
+  for (const double u : m.initial()) EXPECT_DOUBLE_EQ(u, 0.25);
+}
+
+TEST(TransitionModel, UniformPrior) {
+  const TransitionModel m = TransitionModel::uniform(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(m.matrix()(i, j), 0.25);
+    }
+  }
+}
+
+TEST(TransitionModel, BandedStructure) {
+  const TransitionModel m = TransitionModel::banded(7, 2, 0.5);
+  const math::Matrix& a = m.matrix();
+  EXPECT_TRUE(a.is_row_stochastic(1e-12));
+  EXPECT_DOUBLE_EQ(a(3, 0), 0.0);  // outside band
+  EXPECT_GT(a(3, 3), a(3, 4));     // decays off-diagonal
+  EXPECT_GT(a(3, 4), a(3, 5));
+  EXPECT_NEAR(a(3, 2), a(3, 4), 1e-12);  // symmetric
+}
+
+TEST(TransitionModel, PowerZeroIsIdentity) {
+  const TransitionModel m = TransitionModel::tridiagonal(4);
+  EXPECT_DOUBLE_EQ(m.power(0).max_abs_diff(math::Matrix::identity(4)), 0.0);
+}
+
+TEST(TransitionModel, PowerOneIsMatrix) {
+  const TransitionModel m = TransitionModel::tridiagonal(4);
+  EXPECT_DOUBLE_EQ(m.power(1).max_abs_diff(m.matrix()), 0.0);
+}
+
+TEST(TransitionModel, PowersConsistent) {
+  const TransitionModel m = TransitionModel::tridiagonal(6);
+  const math::Matrix a2 = m.matrix() * m.matrix();
+  EXPECT_LT(m.power(2).max_abs_diff(a2), 1e-12);
+  const math::Matrix a5 = a2 * a2 * m.matrix();
+  EXPECT_LT(m.power(5).max_abs_diff(a5), 1e-12);
+}
+
+TEST(TransitionModel, PowerCacheReturnsSameObject) {
+  const TransitionModel m = TransitionModel::tridiagonal(4);
+  const math::Matrix& first = m.power(7);
+  const math::Matrix& second = m.power(7);
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(TransitionModel, CustomMatrixValidated) {
+  math::Matrix bad(2, 2, 0.7);  // rows sum to 1.4
+  EXPECT_THROW(TransitionModel(bad, {0.5, 0.5}), veritas::ContractViolation);
+  math::Matrix good = math::Matrix::from_rows({{0.5, 0.5}, {0.3, 0.7}});
+  EXPECT_THROW(TransitionModel(good, {0.9, 0.9}),  // initial not normalized
+               veritas::ContractViolation);
+  EXPECT_NO_THROW(TransitionModel(good, {0.5, 0.5}));
+}
+
+TEST(TransitionModel, HighStayProbabilityConcentratesPower) {
+  // With stay = 0.98, A^3 still keeps most mass on the diagonal.
+  const TransitionModel m = TransitionModel::tridiagonal(9, 0.98);
+  const math::Matrix& p = m.power(3);
+  EXPECT_GT(p(4, 4), 0.9);
+}
+
+}  // namespace
+}  // namespace veritas::core

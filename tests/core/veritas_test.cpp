@@ -1,0 +1,217 @@
+#include "core/veritas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/test_helpers.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::core {
+namespace {
+
+TEST(Veritas, RecoversConstantBandwidth) {
+  // Oracle-recovery property: constant GTBW on the ε grid must be
+  // reconstructed almost exactly from an MPC deployment log.
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 150);
+  const Veritas veritas;
+  const VeritasResult result = veritas.infer(log);
+  EXPECT_LT(gtbw.mean_abs_diff_mbps(result.map_trace), 0.6);
+}
+
+TEST(Veritas, BeatsBaselineOnRegimeTraces) {
+  // The paper's headline inference property (Fig. 7): the MAP trace and
+  // every posterior sample are closer to GTBW than Baseline.
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 3, 31);
+  const Veritas veritas;
+  for (const auto& gtbw : traces) {
+    const sim::SessionLog log = testing::deployed_log(gtbw, 150);
+    const VeritasResult result = veritas.infer(log);
+    const auto baseline = veritas.baseline(log);
+    const double baseline_err = gtbw.mean_abs_diff_mbps(baseline);
+    EXPECT_LT(gtbw.mean_abs_diff_mbps(result.map_trace), baseline_err);
+    for (const auto& sample : result.samples) {
+      EXPECT_LT(gtbw.mean_abs_diff_mbps(sample), baseline_err);
+    }
+  }
+}
+
+TEST(Veritas, BaselineUnderestimatesVeritasDoesNot) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 3, 37);
+  const Veritas veritas;
+  for (const auto& gtbw : traces) {
+    const sim::SessionLog log = testing::deployed_log(gtbw, 150);
+    const VeritasResult result = veritas.infer(log);
+    const auto baseline = veritas.baseline(log);
+    double gt_mean = 0.0, base_mean = 0.0, map_mean = 0.0;
+    const double horizon = log.chunks.back().end_s;
+    int count = 0;
+    for (double t = 0.0; t < horizon; t += 1.0) {
+      gt_mean += gtbw.at(t);
+      base_mean += baseline.at(t);
+      map_mean += result.map_trace.at(t);
+      ++count;
+    }
+    EXPECT_LT(base_mean / count, gt_mean / count);          // biased low
+    EXPECT_GT(map_mean / count, base_mean / count);          // less biased
+  }
+}
+
+TEST(Veritas, ProducesRequestedSampleCount) {
+  const auto gtbw = trace::BandwidthTrace::constant(3.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 40);
+  VeritasConfig cfg;
+  cfg.num_samples = 7;
+  const Veritas veritas(cfg);
+  EXPECT_EQ(veritas.infer(log).samples.size(), 7u);
+}
+
+TEST(Veritas, DeterministicInSeed) {
+  const auto gtbw = trace::BandwidthTrace::constant(3.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 40);
+  const Veritas a, b;
+  const VeritasResult ra = a.infer(log);
+  const VeritasResult rb = b.infer(log);
+  for (std::size_t k = 0; k < ra.samples.size(); ++k) {
+    EXPECT_DOUBLE_EQ(ra.samples[k].mean_abs_diff_mbps(rb.samples[k]), 0.0);
+  }
+}
+
+TEST(Veritas, DifferentSeedsGiveDifferentSamples) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 41);
+  const sim::SessionLog log = testing::deployed_log(traces[0], 100);
+  VeritasConfig cfg_a;
+  cfg_a.seed = 1;
+  VeritasConfig cfg_b;
+  cfg_b.seed = 2;
+  const VeritasResult ra = Veritas(cfg_a).infer(log);
+  const VeritasResult rb = Veritas(cfg_b).infer(log);
+  double diff = 0.0;
+  for (std::size_t k = 0; k < ra.samples.size(); ++k) {
+    diff += ra.samples[k].mean_abs_diff_mbps(rb.samples[k]);
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Veritas, MapStatesMatchTraceAtChunkStarts) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 60);
+  const Veritas veritas;
+  const VeritasResult result = veritas.infer(log);
+  ASSERT_EQ(result.map_states_mbps.size(), log.size());
+  // The MAP trace at each chunk's start window agrees with the per-chunk
+  // MAP state (up to later chunks overwriting the same window).
+  const auto& chunks = log.chunks;
+  for (std::size_t n = 0; n + 1 < chunks.size(); ++n) {
+    const bool same_window =
+        std::floor(chunks[n].start_s / 5.0) ==
+        std::floor(chunks[n + 1].start_s / 5.0);
+    if (!same_window) {
+      EXPECT_NEAR(result.map_trace.at(chunks[n].start_s),
+                  result.map_states_mbps[n], 1e-9);
+    }
+  }
+}
+
+TEST(Veritas, PosteriorMarginalsShapeAndNormalization) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 50);
+  const Veritas veritas;
+  const VeritasResult result = veritas.infer(log);
+  EXPECT_EQ(result.posterior_marginals.rows(), log.size());
+  for (std::size_t n = 0; n < result.posterior_marginals.rows(); ++n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < result.posterior_marginals.cols(); ++i) {
+      sum += result.posterior_marginals(n, i);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(Veritas, PredictNextMatchesSequenceSweep) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 43);
+  const sim::SessionLog log = testing::deployed_log(traces[0], 60);
+  const Veritas veritas;
+  const auto sweep = veritas.predict_sequence(log);
+  ASSERT_EQ(sweep.size(), log.size());
+  // Spot-check a few positions against the one-shot API.
+  for (const std::size_t n : {5ul, 20ul, 40ul}) {
+    const auto one = veritas.predict_next(
+        log.prefix(n), log.chunks[n].start_s, log.chunks[n].tcp_at_start,
+        log.chunks[n].size_bytes);
+    EXPECT_NEAR(one.download_time_s, sweep[n].download_time_s, 1e-9);
+    EXPECT_NEAR(one.expected_gtbw_mbps, sweep[n].expected_gtbw_mbps, 1e-9);
+  }
+}
+
+TEST(Veritas, PredictionsArePositiveAndFinite) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 47);
+  const sim::SessionLog log = testing::deployed_log(traces[0], 80);
+  const Veritas veritas;
+  for (const auto& p : veritas.predict_sequence(log)) {
+    EXPECT_GT(p.expected_gtbw_mbps, 0.0);
+    EXPECT_GT(p.throughput_mbps, 0.0);
+    EXPECT_TRUE(std::isfinite(p.download_time_s));
+  }
+}
+
+TEST(Veritas, PredictionTracksConstantBandwidth) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 100);
+  const Veritas veritas;
+  const auto sweep = veritas.predict_sequence(log);
+  // After warm-up, predicted download times track the truth within 2x.
+  for (std::size_t n = 20; n < log.size(); ++n) {
+    const double truth = log.chunks[n].download_time_s();
+    EXPECT_LT(sweep[n].download_time_s, 3.0 * truth + 0.2) << "chunk " << n;
+    EXPECT_GT(sweep[n].download_time_s, truth / 3.0 - 0.2) << "chunk " << n;
+  }
+}
+
+TEST(Veritas, ConfigValidation) {
+  VeritasConfig bad;
+  bad.num_samples = 0;
+  EXPECT_THROW(Veritas{bad}, veritas::ContractViolation);
+  bad = VeritasConfig{};
+  bad.sigma_mbps = -1.0;
+  EXPECT_THROW(Veritas{bad}, veritas::ContractViolation);
+}
+
+TEST(Veritas, UniformPriorStillWorks) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const sim::SessionLog log = testing::deployed_log(gtbw, 60);
+  VeritasConfig cfg;
+  cfg.prior = TransitionPrior::kUniform;
+  const VeritasResult result = Veritas(cfg).infer(log);
+  EXPECT_LT(gtbw.mean_abs_diff_mbps(result.map_trace), 1.5);
+}
+
+TEST(Veritas, TridiagonalBeatsUniformOnSmoothTraces) {
+  // The temporal prior is what lets Veritas extrapolate through
+  // uncertain (small-chunk) stretches. On smoothly drifting bandwidth
+  // (the EHMM's own structural assumption) the tridiagonal prior must
+  // beat the memoryless uniform prior on average. (On discontinuous
+  // square waves the smoothness prior lags at jumps — a real trade-off
+  // exercised by bench_ablate_transition.)
+  trace::MarkovTraceConfig cfg;
+  cfg.min_mbps = 3.0;
+  cfg.max_mbps = 6.0;
+  cfg.stay_prob = 0.6;
+  cfg.step_prob = 0.4;  // pure +-ε random walk: no jumps
+  double tri_total = 0.0, uni_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto gtbw = trace::markov_trace(cfg, seed);
+    const sim::SessionLog log = testing::deployed_log(gtbw, 150);
+    VeritasConfig tri_cfg;
+    VeritasConfig uni_cfg;
+    uni_cfg.prior = TransitionPrior::kUniform;
+    tri_total += gtbw.mean_abs_diff_mbps(Veritas(tri_cfg).infer(log).map_trace);
+    uni_total += gtbw.mean_abs_diff_mbps(Veritas(uni_cfg).infer(log).map_trace);
+  }
+  EXPECT_LE(tri_total, uni_total + 0.05);
+}
+
+}  // namespace
+}  // namespace veritas::core

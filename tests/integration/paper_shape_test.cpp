@@ -1,0 +1,113 @@
+// Integration tests asserting the *shape* of the paper's headline
+// results at reduced scale: who wins, in which direction, with sane
+// magnitudes. The full-scale regenerations live in bench/.
+#include <gtest/gtest.h>
+
+#include "query/counterfactual.hpp"
+#include "query/experiment_setup.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/stats.hpp"
+#include "video/ladder_presets.hpp"
+
+namespace veritas::query {
+namespace {
+
+struct Medians {
+  double gt_rebuffer = 0.0, baseline_rebuffer = 0.0;
+  double veritas_low_rebuffer = 0.0, veritas_high_rebuffer = 0.0;
+  double gt_ssim = 0.0, baseline_ssim = 0.0;
+  double veritas_low_ssim = 0.0, veritas_high_ssim = 0.0;
+};
+
+Medians run_counterfactual(const Setting& setting_b, std::size_t traces_n,
+                           std::uint64_t seed) {
+  const auto traces =
+      trace::make_traces(trace::TraceFamily::kFccLike, traces_n, seed);
+  const video::Video video(video::default_video_config());
+  const Setting setting_a;  // mpc / 5 s / default ladder
+  const CounterfactualEngine engine;
+
+  std::vector<double> gt_reb, base_reb, vlo_reb, vhi_reb;
+  std::vector<double> gt_ssim, base_ssim, vlo_ssim, vhi_ssim;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const CounterfactualOutcome o =
+        engine.evaluate(traces[i], video, setting_a, setting_b, i);
+    gt_reb.push_back(o.actual.rebuffer_ratio_pct);
+    base_reb.push_back(o.baseline.rebuffer_ratio_pct);
+    vlo_reb.push_back(o.veritas_low.rebuffer_ratio_pct);
+    vhi_reb.push_back(o.veritas_high.rebuffer_ratio_pct);
+    gt_ssim.push_back(o.actual.mean_ssim);
+    base_ssim.push_back(o.baseline.mean_ssim);
+    vlo_ssim.push_back(o.veritas_low.mean_ssim);
+    vhi_ssim.push_back(o.veritas_high.mean_ssim);
+  }
+  Medians m;
+  m.gt_rebuffer = util::median(gt_reb);
+  m.baseline_rebuffer = util::median(base_reb);
+  m.veritas_low_rebuffer = util::median(vlo_reb);
+  m.veritas_high_rebuffer = util::median(vhi_reb);
+  m.gt_ssim = util::median(gt_ssim);
+  m.baseline_ssim = util::median(base_ssim);
+  m.veritas_low_ssim = util::median(vlo_ssim);
+  m.veritas_high_ssim = util::median(vhi_ssim);
+  return m;
+}
+
+TEST(PaperShape, Fig9AbrChangeBaselinePessimisticVeritasClose) {
+  Setting bba;
+  bba.abr = "bba";
+  const Medians m = run_counterfactual(bba, 8, 2024);
+  // Baseline over-predicts rebuffering by a wide margin...
+  EXPECT_GT(m.baseline_rebuffer, m.gt_rebuffer + 1.0);
+  // ...while Veritas's bracket stays near the truth.
+  EXPECT_LT(m.veritas_high_rebuffer, m.baseline_rebuffer / 2.0);
+  // Baseline underestimates SSIM; Veritas does not underestimate more.
+  EXPECT_LT(m.baseline_ssim, m.gt_ssim);
+  EXPECT_GE(m.veritas_high_ssim, m.baseline_ssim);
+}
+
+TEST(PaperShape, Fig11HighQualitiesHeadline) {
+  Setting high;
+  high.ladder = video::high_ladder();
+  const Medians m = run_counterfactual(high, 8, 4048);
+  // Paper §4.3: GT and Veritas rebuffering ~0; Baseline median ~6.7%.
+  EXPECT_LT(m.gt_rebuffer, 0.5);
+  EXPECT_LT(m.veritas_high_rebuffer, 1.0);
+  EXPECT_GT(m.baseline_rebuffer, 2.0);
+}
+
+TEST(PaperShape, Fig10BufferIncreaseWellPredicted) {
+  Setting large;
+  large.buffer_capacity_s = 30.0;
+  const Medians m = run_counterfactual(large, 6, 6072);
+  // Truth: bigger buffer, negligible rebuffering.
+  EXPECT_LT(m.gt_rebuffer, 0.5);
+  // Veritas close to GT on both metrics.
+  EXPECT_LT(m.veritas_high_rebuffer, m.gt_rebuffer + 1.0);
+  EXPECT_NEAR(m.veritas_low_ssim, m.gt_ssim, 0.01);
+  // Baseline underestimates SSIM (conservative bandwidth estimate).
+  EXPECT_LE(m.baseline_ssim, m.gt_ssim + 1e-12);
+}
+
+TEST(PaperShape, Fig8BbaMoreAggressiveThanMpc) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 8, 88);
+  const video::Video video(video::default_video_config());
+  std::vector<double> mpc_ssim, bba_ssim, mpc_reb, bba_reb;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    Setting mpc;
+    Setting bba;
+    bba.abr = "bba";
+    const auto m_mpc = run_under_setting(traces[i], video, mpc, 0.08, i);
+    const auto m_bba = run_under_setting(traces[i], video, bba, 0.08, i);
+    mpc_ssim.push_back(m_mpc.mean_ssim);
+    bba_ssim.push_back(m_bba.mean_ssim);
+    mpc_reb.push_back(m_mpc.rebuffer_ratio_pct);
+    bba_reb.push_back(m_bba.rebuffer_ratio_pct);
+  }
+  // BBA: higher quality, more rebuffering (paper Fig. 8).
+  EXPECT_GT(util::median(bba_ssim), util::median(mpc_ssim));
+  EXPECT_GE(util::median(bba_reb), util::median(mpc_reb));
+}
+
+}  // namespace
+}  // namespace veritas::query

@@ -1,0 +1,106 @@
+#include "math/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace veritas::math {
+namespace {
+
+TEST(NormalPdf, PeakValue) {
+  // N(0; 0, 1) = 1/sqrt(2*pi).
+  EXPECT_NEAR(normal_pdf(0.0, 0.0, 1.0), 0.3989422804014327, 1e-12);
+}
+
+TEST(NormalPdf, Symmetry) {
+  EXPECT_DOUBLE_EQ(normal_pdf(1.0, 0.0, 1.0), normal_pdf(-1.0, 0.0, 1.0));
+}
+
+TEST(NormalPdf, LogConsistency) {
+  const double x = 2.3, m = 1.0, s = 0.7;
+  EXPECT_NEAR(std::exp(log_normal_pdf(x, m, s)), normal_pdf(x, m, s), 1e-12);
+}
+
+TEST(NormalPdf, ScalesWithSigma) {
+  EXPECT_NEAR(normal_pdf(0.0, 0.0, 2.0), 0.3989422804014327 / 2.0, 1e-12);
+}
+
+TEST(NormalPdf, RejectsNonPositiveSigma) {
+  EXPECT_THROW(log_normal_pdf(0.0, 0.0, 0.0), veritas::ContractViolation);
+  EXPECT_THROW(log_normal_pdf(0.0, 0.0, -1.0), veritas::ContractViolation);
+}
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const double direct = std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(log_sum_exp(xs), direct, 1e-12);
+}
+
+TEST(LogSumExp, StableForLargeValues) {
+  const std::vector<double> xs{1000.0, 1000.0};
+  EXPECT_NEAR(log_sum_exp(xs), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExp, StableForSmallValues) {
+  const std::vector<double> xs{-1000.0, -1000.0};
+  EXPECT_NEAR(log_sum_exp(xs), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExp, EmptyIsNegInf) {
+  const std::vector<double> xs;
+  EXPECT_EQ(log_sum_exp(xs), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogSumExp, AllNegInf) {
+  const std::vector<double> xs(3, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(log_sum_exp(xs), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Normalize, SumsToOne) {
+  std::vector<double> w{1.0, 3.0};
+  const double sum = normalize(w);
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+}
+
+TEST(Normalize, ZeroSumFallsBackToUniform) {
+  std::vector<double> w{0.0, 0.0, 0.0};
+  const double sum = normalize(w);
+  EXPECT_DOUBLE_EQ(sum, 0.0);
+  for (const double v : w) EXPECT_DOUBLE_EQ(v, 1.0 / 3.0);
+}
+
+TEST(Normalize, RejectsNegative) {
+  std::vector<double> w{0.5, -0.5};
+  EXPECT_THROW(normalize(w), veritas::ContractViolation);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  const std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(entropy(p), std::log(4.0), 1e-12);
+}
+
+TEST(Entropy, DegenerateIsZero) {
+  const std::vector<double> p{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy(p), 0.0);
+}
+
+TEST(Expectation, WeightedMean) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const std::vector<double> probs{0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(expectation(values, probs), 2.3);
+}
+
+TEST(Expectation, RejectsSizeMismatch) {
+  const std::vector<double> values{1.0};
+  const std::vector<double> probs{0.5, 0.5};
+  EXPECT_THROW(expectation(values, probs), veritas::ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::math

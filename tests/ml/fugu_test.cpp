@@ -1,0 +1,139 @@
+#include "ml/fugu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abr/abr_factory.hpp"
+#include "net/network_path.hpp"
+#include "sim/session.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/expects.hpp"
+#include "video/ladder_presets.hpp"
+
+namespace veritas::ml {
+namespace {
+
+std::vector<sim::SessionLog> training_logs(std::size_t count,
+                                           std::size_t chunks = 80) {
+  video::VideoConfig vcfg = video::default_video_config();
+  vcfg.duration_s = double(chunks) * vcfg.chunk_duration_s;
+  const video::Video video(vcfg);
+  const auto traces =
+      trace::make_traces(trace::TraceFamily::kWideRange, count, 71);
+  std::vector<sim::SessionLog> logs;
+  for (const auto& t : traces) {
+    auto abr = abr::make_abr("mpc");
+    const net::NetworkPath path(t, 0.08);
+    logs.push_back(sim::run_session(video, *abr, path).log);
+  }
+  return logs;
+}
+
+FuguConfig fast_config() {
+  FuguConfig cfg;
+  cfg.epochs = 15;
+  cfg.hidden = {32, 32};
+  return cfg;
+}
+
+TEST(Fugu, RequiresTrainingBeforePrediction) {
+  const FuguNN fugu(fast_config());
+  EXPECT_FALSE(fugu.trained());
+  const std::vector<double> sizes(8, 1e5), times(8, 0.5);
+  EXPECT_THROW(fugu.predict_download_time_s(sizes, times, 1e5),
+               veritas::ContractViolation);
+}
+
+TEST(Fugu, TrainsAndPredictsPositiveTimes) {
+  FuguNN fugu(fast_config());
+  const auto logs = training_logs(6);
+  fugu.fit(logs);
+  EXPECT_TRUE(fugu.trained());
+  const std::vector<double> sizes(8, 2.5e5), times(8, 0.8);
+  const double d = fugu.predict_download_time_s(sizes, times, 2.5e5);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 60.0);
+}
+
+TEST(Fugu, InDistributionAccuracy) {
+  // On held-out MPC sessions (same policy as training) Fugu should be a
+  // decent associational predictor — that's the paper's premise.
+  FuguNN fugu(fast_config());
+  auto logs = training_logs(10);
+  const sim::SessionLog held_out = logs.back();
+  logs.pop_back();
+  fugu.fit(logs);
+  double abs_err = 0.0, truth_sum = 0.0;
+  int count = 0;
+  for (std::size_t n = 8; n < held_out.size(); ++n) {
+    const double predicted = fugu.predict_chunk(held_out, n);
+    abs_err += std::abs(predicted - held_out.chunks[n].download_time_s());
+    truth_sum += held_out.chunks[n].download_time_s();
+    ++count;
+  }
+  // Mean absolute error under half of the mean download time.
+  EXPECT_LT(abs_err / count, 0.5 * truth_sum / count);
+}
+
+TEST(Fugu, PredictChunkMatchesManualFeatures) {
+  FuguNN fugu(fast_config());
+  const auto logs = training_logs(4);
+  fugu.fit(logs);
+  const sim::SessionLog& log = logs[0];
+  const std::size_t n = 20;
+  std::vector<double> sizes, times;
+  for (std::size_t k = n - 8; k < n; ++k) {
+    sizes.push_back(log.chunks[k].size_bytes);
+    times.push_back(log.chunks[k].download_time_s());
+  }
+  EXPECT_NEAR(fugu.predict_chunk(log, n),
+              fugu.predict_download_time_s(sizes, times,
+                                           log.chunks[n].size_bytes),
+              1e-12);
+}
+
+TEST(Fugu, ShortHistoryIsPadded) {
+  FuguNN fugu(fast_config());
+  const auto logs = training_logs(4);
+  fugu.fit(logs);
+  const std::vector<double> sizes(2, 1e5), times(2, 0.4);
+  EXPECT_GT(fugu.predict_download_time_s(sizes, times, 1e5), 0.0);
+}
+
+TEST(Fugu, DeterministicTraining) {
+  const auto logs = training_logs(4);
+  FuguNN a(fast_config()), b(fast_config());
+  a.fit(logs);
+  b.fit(logs);
+  const std::vector<double> sizes(8, 2e5), times(8, 0.6);
+  EXPECT_DOUBLE_EQ(a.predict_download_time_s(sizes, times, 3e5),
+                   b.predict_download_time_s(sizes, times, 3e5));
+}
+
+TEST(Fugu, LargerChunksPredictLongerTimes) {
+  FuguNN fugu(fast_config());
+  fugu.fit(training_logs(8));
+  const std::vector<double> sizes(8, 2.5e5), times(8, 0.7);
+  const double small = fugu.predict_download_time_s(sizes, times, 5e4);
+  const double large = fugu.predict_download_time_s(sizes, times, 1e6);
+  EXPECT_GT(large, small);
+}
+
+TEST(Fugu, RejectsEmptyTraining) {
+  FuguNN fugu(fast_config());
+  const std::vector<sim::SessionLog> empty;
+  EXPECT_THROW(fugu.fit(empty), veritas::ContractViolation);
+}
+
+TEST(Fugu, PredictChunkBoundsChecked) {
+  FuguNN fugu(fast_config());
+  const auto logs = training_logs(4);
+  fugu.fit(logs);
+  EXPECT_THROW(fugu.predict_chunk(logs[0], 0), veritas::ContractViolation);
+  EXPECT_THROW(fugu.predict_chunk(logs[0], logs[0].size()),
+               veritas::ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::ml

@@ -1,0 +1,211 @@
+#include "ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expects.hpp"
+#include "util/rng.hpp"
+
+namespace veritas::ml {
+namespace {
+
+MlpConfig tiny_config() {
+  MlpConfig cfg;
+  cfg.layer_sizes = {3, 8, 2};
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Mlp, ShapeAccessors) {
+  const Mlp mlp(tiny_config());
+  EXPECT_EQ(mlp.input_size(), 3u);
+  EXPECT_EQ(mlp.output_size(), 2u);
+}
+
+TEST(Mlp, RejectsBadConfig) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {3};
+  EXPECT_THROW(Mlp{cfg}, veritas::ContractViolation);
+  cfg.layer_sizes = {3, 0, 1};
+  EXPECT_THROW(Mlp{cfg}, veritas::ContractViolation);
+}
+
+TEST(Mlp, DeterministicInitialization) {
+  const Mlp a(tiny_config()), b(tiny_config());
+  const std::vector<double> x{0.1, -0.2, 0.3};
+  EXPECT_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(Mlp, PredictRejectsWrongWidth) {
+  const Mlp mlp(tiny_config());
+  const std::vector<double> x{0.1};
+  EXPECT_THROW(mlp.predict(x), veritas::ContractViolation);
+}
+
+TEST(Mlp, ParameterRoundTrip) {
+  Mlp mlp(tiny_config());
+  const std::vector<double> params = mlp.parameters();
+  std::vector<double> doubled = params;
+  for (double& p : doubled) p *= 2.0;
+  mlp.set_parameters(doubled);
+  EXPECT_EQ(mlp.parameters(), doubled);
+  mlp.set_parameters(params);
+  EXPECT_EQ(mlp.parameters(), params);
+}
+
+// The critical test: analytic gradients match finite differences.
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+  Mlp mlp(tiny_config());
+  util::Rng rng(7);
+  const std::vector<double> x{0.4, -0.7, 1.2};
+  const std::vector<double> target{0.3, -0.5};
+
+  const std::vector<double> analytic = mlp.parameter_gradient(x, target);
+  const std::vector<double> params = mlp.parameters();
+  ASSERT_EQ(analytic.size(), params.size());
+
+  auto loss_at = [&](const std::vector<double>& p) {
+    Mlp probe(tiny_config());
+    probe.set_parameters(p);
+    const auto out = probe.predict(x);
+    double loss = 0.0;
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      const double d = out[o] - target[o];
+      loss += d * d / double(out.size());
+    }
+    return loss;
+  };
+
+  const double eps = 1e-6;
+  double max_rel_err = 0.0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::vector<double> up = params, down = params;
+    up[i] += eps;
+    down[i] -= eps;
+    const double numeric = (loss_at(up) - loss_at(down)) / (2.0 * eps);
+    const double denom = std::max({std::abs(numeric), std::abs(analytic[i]), 1e-6});
+    max_rel_err = std::max(max_rel_err,
+                           std::abs(numeric - analytic[i]) / denom);
+  }
+  EXPECT_LT(max_rel_err, 1e-4);
+}
+
+TEST(Mlp, GradientCheckDeeperNetwork) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {4, 6, 6, 1};
+  cfg.seed = 11;
+  Mlp mlp(cfg);
+  const std::vector<double> x{0.1, 0.2, -0.3, 0.5};
+  const std::vector<double> target{1.5};
+  const auto analytic = mlp.parameter_gradient(x, target);
+  const auto params = mlp.parameters();
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params.size(); i += 7) {  // sample every 7th
+    auto up = params, down = params;
+    up[i] += eps;
+    down[i] -= eps;
+    Mlp probe_up(cfg), probe_down(cfg);
+    probe_up.set_parameters(up);
+    probe_down.set_parameters(down);
+    const double lu = std::pow(probe_up.predict(x)[0] - target[0], 2);
+    const double ld = std::pow(probe_down.predict(x)[0] - target[0], 2);
+    const double numeric = (lu - ld) / (2.0 * eps);
+    EXPECT_NEAR(numeric, analytic[i],
+                1e-4 * std::max(1.0, std::abs(numeric)))
+        << "param " << i;
+  }
+}
+
+TEST(Mlp, TrainingReducesLossOnLinearTarget) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {2, 16, 1};
+  cfg.learning_rate = 3e-3;
+  cfg.seed = 13;
+  Mlp mlp(cfg);
+
+  util::Rng rng(17);
+  std::vector<std::vector<double>> xs, ys;
+  for (int i = 0; i < 256; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    xs.push_back({a, b});
+    ys.push_back({2.0 * a - 3.0 * b + 0.5});
+  }
+  const double before = mlp.evaluate_mse(xs, ys);
+  for (int epoch = 0; epoch < 200; ++epoch) mlp.train_batch(xs, ys);
+  const double after = mlp.evaluate_mse(xs, ys);
+  EXPECT_LT(after, before * 0.05);
+}
+
+TEST(Mlp, CanOverfitTinyNonlinearSet) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {1, 32, 1};
+  cfg.learning_rate = 1e-2;
+  cfg.seed = 19;
+  Mlp mlp(cfg);
+  std::vector<std::vector<double>> xs, ys;
+  for (int i = 0; i < 16; ++i) {
+    const double x = double(i) / 8.0 - 1.0;
+    xs.push_back({x});
+    ys.push_back({std::sin(3.0 * x)});
+  }
+  for (int epoch = 0; epoch < 2000; ++epoch) mlp.train_batch(xs, ys);
+  EXPECT_LT(mlp.evaluate_mse(xs, ys), 1e-2);
+}
+
+TEST(Mlp, TrainBatchReturnsPreUpdateLoss) {
+  Mlp mlp(tiny_config());
+  const std::vector<std::vector<double>> xs{{0.1, 0.2, 0.3}};
+  const std::vector<std::vector<double>> ys{{1.0, -1.0}};
+  const double reported = mlp.train_batch(xs, ys);
+  // Must equal the loss of the ORIGINAL parameters.
+  Mlp fresh(tiny_config());
+  EXPECT_NEAR(reported, fresh.evaluate_mse(xs, ys), 1e-12);
+}
+
+TEST(Mlp, TrainBatchRejectsMismatch) {
+  Mlp mlp(tiny_config());
+  const std::vector<std::vector<double>> xs{{0.1, 0.2, 0.3}};
+  const std::vector<std::vector<double>> ys;
+  EXPECT_THROW(mlp.train_batch(xs, ys), veritas::ContractViolation);
+}
+
+TEST(StandardScaler, NormalizesToZeroMeanUnitVar) {
+  StandardScaler scaler;
+  std::vector<std::vector<double>> rows;
+  util::Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({rng.normal(5.0, 2.0), rng.normal(-3.0, 0.5)});
+  }
+  scaler.fit(rows);
+  double m0 = 0.0, m1 = 0.0, v0 = 0.0, v1 = 0.0;
+  for (const auto& row : rows) {
+    const auto z = scaler.transform(row);
+    m0 += z[0];
+    m1 += z[1];
+    v0 += z[0] * z[0];
+    v1 += z[1] * z[1];
+  }
+  const double n = double(rows.size());
+  EXPECT_NEAR(m0 / n, 0.0, 1e-9);
+  EXPECT_NEAR(m1 / n, 0.0, 1e-9);
+  EXPECT_NEAR(v0 / n, 1.0, 1e-9);
+  EXPECT_NEAR(v1 / n, 1.0, 1e-9);
+}
+
+TEST(StandardScaler, ConstantFeatureSafe) {
+  StandardScaler scaler;
+  scaler.fit(std::vector<std::vector<double>>{{1.0, 2.0}, {1.0, 4.0}});
+  const auto z = scaler.transform(std::vector<double>{1.0, 3.0});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);  // constant column maps to 0, not NaN
+}
+
+TEST(StandardScaler, TransformBeforeFitRejected) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}),
+               veritas::ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::ml

@@ -1,0 +1,108 @@
+// Tests for the BBR-like congestion-control variant (extension).
+#include <gtest/gtest.h>
+
+#include "net/tcp_model.hpp"
+#include "net/throughput_estimator.hpp"
+
+namespace veritas::net {
+namespace {
+
+constexpr double kRtt = 0.08;
+
+TcpConfig bbr_config() {
+  TcpConfig cfg;
+  cfg.congestion_control = CongestionControl::kBbrLike;
+  return cfg;
+}
+
+trace::BandwidthTrace constant_bw(double mbps) {
+  return trace::BandwidthTrace::constant(mbps, 10000.0, 5.0);
+}
+
+TEST(Bbr, NoSlowStartRestartDecay) {
+  TcpState w;
+  w.cwnd_segments = 80.0;
+  w.rto_s = 0.2;
+  w.last_send_gap_s = 100.0;  // would fully decay a cubic window
+  apply_slow_start_restart(w, bbr_config());
+  EXPECT_DOUBLE_EQ(w.cwnd_segments, 80.0);
+}
+
+TEST(Bbr, StartupDoublesUntilPipeFull) {
+  const TcpConfig cfg = bbr_config();
+  EXPECT_DOUBLE_EQ(grow_window(10.0, 1e9, 30.0, cfg), 20.0);
+  EXPECT_DOUBLE_EQ(grow_window(20.0, 1e9, 30.0, cfg), 40.0);
+  // At 2*BDP the window holds (rate-based steady state).
+  EXPECT_DOUBLE_EQ(grow_window(60.0, 1e9, 30.0, cfg), 60.0);
+}
+
+TEST(Bbr, WindowTracksBdpUpward) {
+  const TcpConfig cfg = bbr_config();
+  // If bandwidth rises (bdp 30 -> 50), the window follows.
+  EXPECT_DOUBLE_EQ(grow_window(60.0, 1e9, 50.0, cfg), 100.0);
+}
+
+TEST(Bbr, IdleGapDoesNotReduceThroughput) {
+  // The cubic stack loses throughput after idle; BBR should not.
+  auto run_with_gap = [&](const TcpConfig& cfg, double gap) {
+    TcpConnection conn(cfg, kRtt);
+    const auto bw = constant_bw(8.0);
+    double t = 0.0;
+    for (int i = 0; i < 10; ++i) {
+      t = conn.download(bw, t, 500000.0).end_s + 0.05;
+    }
+    return conn.download(bw, t + gap, 250000.0).throughput_mbps();
+  };
+  const TcpConfig bbr = bbr_config();
+  EXPECT_NEAR(run_with_gap(bbr, 3.0), run_with_gap(bbr, 0.0), 0.8);
+  TcpConfig cubic;
+  EXPECT_LT(run_with_gap(cubic, 3.0), run_with_gap(cubic, 0.0));
+}
+
+TEST(Bbr, LargeTransferReachesLinkRate) {
+  TcpConnection conn(bbr_config(), kRtt);
+  const auto r = conn.download(constant_bw(6.0), 0.0, 30e6);
+  EXPECT_GT(r.throughput_mbps(), 0.9 * 6.0);
+}
+
+TEST(Bbr, EstimatorMatchesBbrSimulatorReasonably) {
+  const TcpConfig cfg = bbr_config();
+  const auto bw = constant_bw(5.0);
+  TcpConnection conn(cfg, kRtt);
+  double t = 1.0;
+  int within = 0, total = 0;
+  for (int i = 0; i < 40; ++i) {
+    const double size = 50000.0 * (1 + i % 8);
+    t += 0.5 + 0.1 * (i % 5);
+    const TcpState w = conn.snapshot(t);
+    const auto r = conn.download(bw, t, size);
+    const double estimated = estimate_throughput_mbps(5.0, w, size, cfg);
+    within += std::abs(estimated - r.throughput_mbps()) <= 1.0;
+    ++total;
+    t = r.end_s;
+  }
+  EXPECT_GE(static_cast<double>(within) / total, 0.7);
+}
+
+TEST(Bbr, ObservedThroughputLessBiasedThanCubic) {
+  // The core claim of bench_ext_bbr: for mid-size chunks after idle,
+  // BBR's observed throughput is closer to GTBW than cubic's.
+  auto mean_observed = [&](const TcpConfig& cfg) {
+    TcpConnection conn(cfg, kRtt);
+    const auto bw = constant_bw(5.0);
+    double t = 1.0, sum = 0.0;
+    int count = 0;
+    for (int i = 0; i < 20; ++i) {
+      t += 2.0;  // idle gap every chunk
+      const auto r = conn.download(bw, t, 250000.0);
+      sum += r.throughput_mbps();
+      ++count;
+      t = r.end_s;
+    }
+    return sum / count;
+  };
+  EXPECT_GT(mean_observed(bbr_config()), mean_observed(TcpConfig{}));
+}
+
+}  // namespace
+}  // namespace veritas::net

@@ -1,0 +1,155 @@
+#include "net/throughput_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "net/tcp_model.hpp"
+#include "util/expects.hpp"
+#include "util/rng.hpp"
+
+namespace veritas::net {
+namespace {
+
+constexpr double kRtt = 0.08;
+
+TcpState steady_state(double cwnd = 100.0) {
+  TcpState w;
+  w.cwnd_segments = cwnd;
+  w.ssthresh_segments = 50.0;
+  w.rto_s = 0.2;
+  w.min_rtt_s = kRtt;
+  w.rtt_s = kRtt;
+  w.last_send_gap_s = 0.0;
+  return w;
+}
+
+TEST(Estimator, ZeroBandwidthGivesZero) {
+  EXPECT_DOUBLE_EQ(estimate_throughput_mbps(0.0, steady_state(), 1e6), 0.0);
+}
+
+TEST(Estimator, LargeChunkSaturatedWindowReturnsGtbw) {
+  // cwnd above BDP and data above BDP: the paper's branch 1 -> C.
+  const TcpState w = steady_state(1000.0);
+  EXPECT_DOUBLE_EQ(estimate_throughput_mbps(4.0, w, 10e6), 4.0);
+}
+
+TEST(Estimator, TinyChunkOneRttBound) {
+  const TcpState w = steady_state(1000.0);
+  const double size = 2048.0;
+  EXPECT_NEAR(estimate_throughput_mbps(10.0, w, size),
+              size * 8.0 / 1e6 / kRtt, 1e-9);
+}
+
+TEST(Estimator, NeverExceedsCandidate) {
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    TcpState w = steady_state(rng.uniform(2.0, 200.0));
+    w.ssthresh_segments = rng.uniform(10.0, 100.0);
+    w.last_send_gap_s = rng.uniform(0.0, 5.0);
+    const double c = rng.uniform(0.5, 10.0);
+    const double size = rng.uniform(2e3, 4e6);
+    EXPECT_LE(estimate_throughput_mbps(c, w, size), c + 1e-9);
+  }
+}
+
+TEST(Estimator, MonotoneInCandidateBandwidth) {
+  const TcpState w = steady_state(20.0);
+  double prev = 0.0;
+  for (double c = 0.5; c <= 10.0; c += 0.5) {
+    const double y = estimate_throughput_mbps(c, w, 500000.0);
+    EXPECT_GE(y, prev - 1e-9) << "candidate " << c;
+    prev = y;
+  }
+}
+
+TEST(Estimator, IdleGapLowersEstimate) {
+  TcpState warm = steady_state(60.0);
+  TcpState idle = warm;
+  idle.last_send_gap_s = 5.0;  // long idle -> SSR decay inside f
+  const double y_warm = estimate_throughput_mbps(6.0, warm, 250000.0);
+  const double y_idle = estimate_throughput_mbps(6.0, idle, 250000.0);
+  EXPECT_LT(y_idle, y_warm);
+}
+
+TEST(Estimator, SmallerChunksSeeLowerThroughput) {
+  TcpState w = steady_state(40.0);
+  w.last_send_gap_s = 2.0;  // post-idle: the Fig. 2(c) regime
+  double prev = 0.0;
+  for (const double size : {4e3, 16e3, 64e3, 256e3, 1e6, 4e6}) {
+    const double y = estimate_throughput_mbps(6.0, w, size);
+    EXPECT_GE(y, prev - 1e-9) << "size " << size;
+    prev = y;
+  }
+}
+
+TEST(Estimator, DownloadTimeConsistentWithThroughput) {
+  const TcpState w = steady_state(30.0);
+  const double size = 300000.0;
+  const double y = estimate_throughput_mbps(4.0, w, size);
+  EXPECT_NEAR(estimate_download_time_s(4.0, w, size),
+              size * 8.0 / 1e6 / y, 1e-9);
+}
+
+TEST(Estimator, DownloadTimeInfiniteAtZeroBandwidth) {
+  EXPECT_EQ(estimate_download_time_s(0.0, steady_state(), 1e5),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Estimator, RejectsNonPositiveSize) {
+  EXPECT_THROW(estimate_throughput_mbps(1.0, steady_state(), 0.0),
+               veritas::ContractViolation);
+}
+
+TEST(EstimatorNoTcpState, IgnoresWindowState) {
+  TcpState cold = steady_state(10.0);
+  cold.last_send_gap_s = 10.0;
+  TcpState warm = steady_state(500.0);
+  const double size = 500000.0;
+  EXPECT_DOUBLE_EQ(estimate_throughput_no_tcp_state_mbps(5.0, cold, size),
+                   estimate_throughput_no_tcp_state_mbps(5.0, warm, size));
+}
+
+TEST(EstimatorNoTcpState, SteadyStateAssumption) {
+  const TcpState w = steady_state();
+  // Large object: link-limited.
+  EXPECT_DOUBLE_EQ(estimate_throughput_no_tcp_state_mbps(5.0, w, 10e6), 5.0);
+  // Small object: one-RTT-limited.
+  EXPECT_NEAR(estimate_throughput_no_tcp_state_mbps(5.0, w, 2000.0),
+              2000.0 * 8 / 1e6 / kRtt, 1e-9);
+}
+
+// The paper's Fig. 5 experiment in miniature: f's estimate vs the
+// simulator's observed throughput across GTBW levels, sizes and gaps.
+// f is a simplification (constant GTBW, integer rounds, no loss) so we
+// assert calibration, not equality: mostly within ~1 Mbps.
+class EstimatorVsSimulator : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorVsSimulator, WithinOneMbpsMostly) {
+  const double gtbw = GetParam();
+  const auto bw = trace::BandwidthTrace::constant(gtbw, 10000.0, 5.0);
+  TcpConfig cfg;
+  TcpConnection conn(cfg, kRtt);
+  util::Rng rng(101);
+  double t = 1.0;
+  int within = 0, total = 0;
+  for (int i = 0; i < 60; ++i) {
+    const double size = std::pow(2.0, rng.uniform(14.0, 22.0));  // 16KB..4MB
+    const double gap = rng.uniform(0.12, 4.0);
+    t += gap;
+    const TcpState w = conn.snapshot(t);
+    const auto r = conn.download(bw, t, size);
+    const double estimated = estimate_throughput_mbps(gtbw, w, size, cfg);
+    within += std::abs(estimated - r.throughput_mbps()) <= 1.0;
+    ++total;
+    t = r.end_s;
+  }
+  EXPECT_GE(static_cast<double>(within) / total, 0.7) << "gtbw " << gtbw;
+}
+
+INSTANTIATE_TEST_SUITE_P(GtbwSweep, EstimatorVsSimulator,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0));
+
+}  // namespace
+}  // namespace veritas::net

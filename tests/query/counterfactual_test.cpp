@@ -1,0 +1,181 @@
+#include "query/counterfactual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "abr/abr_factory.hpp"
+#include "net/network_path.hpp"
+#include "query/experiment_setup.hpp"
+#include "sim/session.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/expects.hpp"
+#include "video/ladder_presets.hpp"
+
+namespace veritas::query {
+namespace {
+
+video::Video short_video(std::size_t chunks = 90) {
+  video::VideoConfig cfg = video::default_video_config();
+  cfg.duration_s = double(chunks) * cfg.chunk_duration_s;
+  return video::Video(cfg);
+}
+
+TEST(RunUnderSetting, IdentityReplayMatchesDirectRun) {
+  const auto gtbw = trace::BandwidthTrace::constant(4.0, 600.0, 5.0);
+  const video::Video v = short_video();
+  Setting s;  // mpc / 5 s / deployment ladder
+  const sim::QoeMetrics a = run_under_setting(gtbw, v, s, 0.08, 1);
+  const sim::QoeMetrics b = run_under_setting(gtbw, v, s, 0.08, 1);
+  EXPECT_DOUBLE_EQ(a.mean_ssim, b.mean_ssim);
+  EXPECT_DOUBLE_EQ(a.rebuffer_ratio_pct, b.rebuffer_ratio_pct);
+}
+
+TEST(RunUnderSetting, LadderOverrideApplies) {
+  const auto gtbw = trace::BandwidthTrace::constant(6.0, 600.0, 5.0);
+  const video::Video v = short_video();
+  Setting high;
+  high.ladder = video::high_ladder();
+  const sim::QoeMetrics m = run_under_setting(gtbw, v, high, 0.08, 1);
+  // The high ladder's floor is 2.5 Mbps: average bitrate must be >= 2.5.
+  EXPECT_GE(m.avg_bitrate_mbps, 2.5);
+}
+
+TEST(RunUnderSetting, BufferOverrideApplies) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 51);
+  const video::Video v = short_video();
+  Setting small, large;
+  small.buffer_capacity_s = 5.0;
+  large.buffer_capacity_s = 30.0;
+  const sim::QoeMetrics m_small = run_under_setting(traces[0], v, small, 0.08, 1);
+  const sim::QoeMetrics m_large = run_under_setting(traces[0], v, large, 0.08, 1);
+  // A larger buffer cannot increase rebuffering for MPC here.
+  EXPECT_LE(m_large.rebuffer_ratio_pct, m_small.rebuffer_ratio_pct + 0.2);
+}
+
+TEST(CounterfactualEngine, OutcomeFieldsPopulated) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 53);
+  const video::Video v = short_video();
+  Setting a;
+  Setting b;
+  b.abr = "bba";
+  const CounterfactualEngine engine;
+  const CounterfactualOutcome outcome =
+      engine.evaluate(traces[0], v, a, b, 1);
+  EXPECT_EQ(outcome.veritas_samples.size(),
+            engine.veritas_config().num_samples);
+  EXPECT_GT(outcome.actual.mean_ssim, 0.8);
+  EXPECT_GT(outcome.setting_a.mean_ssim, 0.8);
+  EXPECT_GT(outcome.baseline.mean_ssim, 0.8);
+}
+
+TEST(CounterfactualEngine, LowHighBracketSamples) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 57);
+  const video::Video v = short_video();
+  Setting a, b;
+  b.buffer_capacity_s = 30.0;
+  const CounterfactualEngine engine;
+  const CounterfactualOutcome outcome =
+      engine.evaluate(traces[0], v, a, b, 2);
+  EXPECT_LE(outcome.veritas_low.mean_ssim, outcome.veritas_high.mean_ssim);
+  EXPECT_LE(outcome.veritas_low.rebuffer_ratio_pct,
+            outcome.veritas_high.rebuffer_ratio_pct);
+  // Low/high are order statistics of the samples: bounded by min/max.
+  for (const auto& s : outcome.veritas_samples) {
+    EXPECT_GE(s.mean_ssim, 0.0);
+  }
+}
+
+TEST(CounterfactualEngine, SecondOrderStatisticWithFiveSamples) {
+  // With K = 5, low is the 2nd smallest: at least one sample <= low and
+  // at least one sample >= high.
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 59);
+  const video::Video v = short_video();
+  Setting a, b;
+  b.abr = "bba";
+  const CounterfactualEngine engine;
+  const CounterfactualOutcome o = engine.evaluate(traces[0], v, a, b, 3);
+  int below = 0, above = 0;
+  for (const auto& s : o.veritas_samples) {
+    below += s.mean_ssim <= o.veritas_low.mean_ssim + 1e-12;
+    above += s.mean_ssim >= o.veritas_high.mean_ssim - 1e-12;
+  }
+  EXPECT_GE(below, 1);
+  EXPECT_GE(above, 1);
+}
+
+TEST(CounterfactualEngine, DeterministicPerSeed) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 61);
+  const video::Video v = short_video();
+  Setting a, b;
+  b.abr = "bola";
+  const CounterfactualEngine engine;
+  const auto o1 = engine.evaluate(traces[0], v, a, b, 7);
+  const auto o2 = engine.evaluate(traces[0], v, a, b, 7);
+  EXPECT_DOUBLE_EQ(o1.veritas_low.mean_ssim, o2.veritas_low.mean_ssim);
+  EXPECT_DOUBLE_EQ(o1.baseline.rebuffer_ratio_pct,
+                   o2.baseline.rebuffer_ratio_pct);
+}
+
+TEST(CounterfactualEngine, PredictWhatIfMatchesEvaluate) {
+  // evaluate() must produce exactly the operator-side numbers that
+  // predict_whatif() yields from the same log.
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 63);
+  const video::Video v = short_video();
+  Setting a, b;
+  b.abr = "bba";
+  const CounterfactualEngine engine;
+  const auto full = engine.evaluate(traces[0], v, a, b, 5);
+
+  // Recreate the deployment log the engine used internally.
+  DeploymentConfig dc;
+  dc.num_traces = 1;
+  const net::NetworkPath path(traces[0], 0.08);
+  auto abr = abr::make_abr(a.abr, 5);
+  sim::SessionConfig sc;
+  sc.buffer_capacity_s = a.buffer_capacity_s;
+  const auto log = sim::run_session(v, *abr, path, sc).log;
+  const auto operator_side = engine.predict_whatif(log, v, b, 5);
+
+  EXPECT_DOUBLE_EQ(operator_side.baseline.mean_ssim,
+                   full.baseline.mean_ssim);
+  EXPECT_DOUBLE_EQ(operator_side.veritas_low.rebuffer_ratio_pct,
+                   full.veritas_low.rebuffer_ratio_pct);
+  EXPECT_DOUBLE_EQ(operator_side.veritas_high.mean_ssim,
+                   full.veritas_high.mean_ssim);
+}
+
+TEST(CounterfactualEngine, PredictWhatIfNeedsNoGroundTruth) {
+  // The signature itself proves it, but verify the output is sane for a
+  // log whose GT trace we deliberately discard.
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 67);
+  const video::Video v = short_video();
+  const net::NetworkPath path(traces[0], 0.08);
+  auto abr = abr::make_abr("mpc");
+  const auto log = sim::run_session(v, *abr, path).log;
+
+  Setting b;
+  b.buffer_capacity_s = 30.0;
+  const CounterfactualEngine engine;
+  const auto p = engine.predict_whatif(log, v, b, 1);
+  EXPECT_EQ(p.veritas_samples.size(), engine.veritas_config().num_samples);
+  EXPECT_GT(p.veritas_low.mean_ssim, 0.85);
+  EXPECT_LE(p.veritas_low.mean_ssim, p.veritas_high.mean_ssim);
+}
+
+TEST(ExperimentSetup, DeploymentProducesOneLogPerTrace) {
+  DeploymentConfig cfg;
+  cfg.num_traces = 3;
+  const video::Video v = short_video();
+  const auto logs = run_deployment(cfg, v);
+  ASSERT_EQ(logs.size(), 3u);
+  for (const auto& log : logs) EXPECT_EQ(log.size(), v.num_chunks());
+}
+
+TEST(ExperimentSetup, TraceCountEnvOverride) {
+  // No env set in tests: fallback applies (fast mode may cap it).
+  const std::size_t n = bench_trace_count(12);
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 12u);
+}
+
+}  // namespace
+}  // namespace veritas::query

@@ -1,0 +1,101 @@
+#include "sim/player.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace veritas::sim {
+namespace {
+
+TEST(PlayerBuffer, StartsEmptyNotPlaying) {
+  PlayerBuffer b(5.0);
+  EXPECT_DOUBLE_EQ(b.level_s(), 0.0);
+  EXPECT_FALSE(b.playback_started());
+  EXPECT_DOUBLE_EQ(b.total_stall_s(), 0.0);
+}
+
+TEST(PlayerBuffer, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(PlayerBuffer(0.0), veritas::ContractViolation);
+}
+
+TEST(PlayerBuffer, NoDrainBeforePlayback) {
+  PlayerBuffer b(5.0);
+  b.push_chunk(2.0);
+  EXPECT_DOUBLE_EQ(b.advance(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.level_s(), 2.0);
+}
+
+TEST(PlayerBuffer, DrainsWhilePlaying) {
+  PlayerBuffer b(5.0);
+  b.push_chunk(2.0);
+  b.start_playback();
+  EXPECT_DOUBLE_EQ(b.advance(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(b.level_s(), 0.5);
+}
+
+TEST(PlayerBuffer, StallWhenEmpty) {
+  PlayerBuffer b(5.0);
+  b.push_chunk(2.0);
+  b.start_playback();
+  EXPECT_DOUBLE_EQ(b.advance(3.0), 1.0);  // 2 s played, 1 s stalled
+  EXPECT_DOUBLE_EQ(b.level_s(), 0.0);
+  EXPECT_DOUBLE_EQ(b.total_stall_s(), 1.0);
+}
+
+TEST(PlayerBuffer, StallAccumulates) {
+  PlayerBuffer b(5.0);
+  b.start_playback();
+  b.advance(0.5);
+  b.advance(0.25);
+  EXPECT_DOUBLE_EQ(b.total_stall_s(), 0.75);
+}
+
+TEST(PlayerBuffer, HasRoomAtCapacityBoundary) {
+  PlayerBuffer b(5.0);
+  b.push_chunk(2.0);
+  EXPECT_TRUE(b.has_room(2.0));
+  b.push_chunk(2.0);
+  // 4 + 2 > 5: no room.
+  EXPECT_FALSE(b.has_room(2.0));
+  EXPECT_TRUE(b.has_room(1.0));
+}
+
+TEST(PlayerBuffer, TimeUntilRoom) {
+  PlayerBuffer b(5.0);
+  b.push_chunk(2.0);
+  b.push_chunk(2.0);
+  EXPECT_DOUBLE_EQ(b.time_until_room(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(b.time_until_room(1.0), 0.0);
+}
+
+TEST(PlayerBuffer, PushWithoutRoomRejected) {
+  PlayerBuffer b(3.0);
+  b.push_chunk(2.0);
+  EXPECT_THROW(b.push_chunk(2.0), veritas::ContractViolation);
+}
+
+TEST(PlayerBuffer, AdvanceRejectsNegative) {
+  PlayerBuffer b(3.0);
+  EXPECT_THROW(b.advance(-0.1), veritas::ContractViolation);
+}
+
+TEST(PlayerBuffer, TypicalCycle) {
+  // download (1.2 s) -> push -> repeat; no stall when downloads are
+  // faster than playback.
+  PlayerBuffer b(5.0);
+  double stall = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    stall += b.advance(1.2);
+    if (!b.has_room(2.0)) {
+      const double wait = b.time_until_room(2.0);
+      stall += b.advance(wait);
+    }
+    b.push_chunk(2.0);
+    if (i == 0) b.start_playback();
+  }
+  EXPECT_DOUBLE_EQ(stall, 0.0);
+  EXPECT_DOUBLE_EQ(b.total_stall_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace veritas::sim

@@ -1,0 +1,77 @@
+#include "sim/session_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "abr/abr_factory.hpp"
+#include "sim/session.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/expects.hpp"
+#include "video/ladder_presets.hpp"
+
+namespace veritas::sim {
+namespace {
+
+SessionLog make_log() {
+  video::VideoConfig cfg = video::default_video_config();
+  cfg.duration_s = 60.0;
+  const video::Video v(cfg);
+  auto abr = abr::make_abr("mpc");
+  const net::NetworkPath path(
+      trace::markov_trace(trace::MarkovTraceConfig{}, 3), 0.08);
+  return run_session(v, *abr, path).log;
+}
+
+TEST(SessionLog, CsvRoundTrip) {
+  const SessionLog log = make_log();
+  const SessionLog parsed = session_log_from_csv(to_csv(log));
+  ASSERT_EQ(parsed.size(), log.size());
+  EXPECT_DOUBLE_EQ(parsed.chunk_duration_s, log.chunk_duration_s);
+  EXPECT_DOUBLE_EQ(parsed.rtt_s, log.rtt_s);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const ChunkLog& a = log.chunks[i];
+    const ChunkLog& b = parsed.chunks[i];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.quality, b.quality);
+    EXPECT_DOUBLE_EQ(a.size_bytes, b.size_bytes);
+    EXPECT_DOUBLE_EQ(a.start_s, b.start_s);
+    EXPECT_DOUBLE_EQ(a.end_s, b.end_s);
+    EXPECT_DOUBLE_EQ(a.tcp_at_start.cwnd_segments,
+                     b.tcp_at_start.cwnd_segments);
+    EXPECT_DOUBLE_EQ(a.tcp_at_start.last_send_gap_s,
+                     b.tcp_at_start.last_send_gap_s);
+  }
+}
+
+TEST(SessionLog, ThroughputDefinition) {
+  ChunkLog c;
+  c.size_bytes = 1e6;
+  c.start_s = 1.0;
+  c.end_s = 2.0;
+  EXPECT_DOUBLE_EQ(c.throughput_mbps(), 8.0);
+  EXPECT_DOUBLE_EQ(c.download_time_s(), 1.0);
+}
+
+TEST(SessionLog, PrefixKeepsMetadata) {
+  const SessionLog log = make_log();
+  const SessionLog p = log.prefix(5);
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_DOUBLE_EQ(p.chunk_duration_s, log.chunk_duration_s);
+  EXPECT_EQ(p.chunks[4].index, log.chunks[4].index);
+}
+
+TEST(SessionLog, PrefixBoundsChecked) {
+  const SessionLog log = make_log();
+  EXPECT_THROW(log.prefix(log.size() + 1), veritas::ContractViolation);
+  EXPECT_EQ(log.prefix(log.size()).size(), log.size());
+  EXPECT_TRUE(log.prefix(0).empty());
+}
+
+TEST(SessionLog, EmptyLogSerializesHeaderOnly) {
+  SessionLog log;
+  const std::string csv = to_csv(log);
+  EXPECT_NE(csv.find("index,quality"), std::string::npos);
+  EXPECT_TRUE(session_log_from_csv(csv).empty());
+}
+
+}  // namespace
+}  // namespace veritas::sim

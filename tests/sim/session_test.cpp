@@ -1,0 +1,187 @@
+#include "sim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "abr/abr_factory.hpp"
+#include "sim/metrics.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/expects.hpp"
+#include "video/ladder_presets.hpp"
+
+namespace veritas::sim {
+namespace {
+
+video::Video short_video(std::size_t chunks = 30) {
+  video::VideoConfig cfg = video::default_video_config();
+  cfg.duration_s = double(chunks) * cfg.chunk_duration_s;
+  return video::Video(cfg);
+}
+
+net::NetworkPath path_with(double mbps) {
+  return net::NetworkPath(trace::BandwidthTrace::constant(mbps, 10000.0, 5.0),
+                          0.08);
+}
+
+TEST(Session, DownloadsEveryChunk) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("bba");
+  const SessionResult r = run_session(v, *abr, path_with(5.0));
+  EXPECT_EQ(r.log.size(), v.num_chunks());
+  EXPECT_EQ(r.qualities.size(), v.num_chunks());
+}
+
+TEST(Session, LogTimesAreOrderedAndConsistent) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("mpc");
+  const SessionResult r = run_session(v, *abr, path_with(4.0));
+  double prev_end = 0.0;
+  for (const ChunkLog& c : r.log.chunks) {
+    EXPECT_GT(c.end_s, c.start_s);
+    EXPECT_GE(c.start_s, prev_end - 1e-9);
+    prev_end = c.end_s;
+  }
+}
+
+TEST(Session, AbundantBandwidthNoRebuffering) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("mpc");
+  const SessionResult r = run_session(v, *abr, path_with(100.0));
+  EXPECT_DOUBLE_EQ(r.total_stall_s, 0.0);
+}
+
+TEST(Session, StarvedBandwidthRebuffers) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("fixed:4");  // top quality on a 0.5 Mbps link
+  const SessionResult r = run_session(v, *abr, path_with(0.5));
+  EXPECT_GT(r.total_stall_s, 1.0);
+}
+
+TEST(Session, BufferNeverExceedsCapacity) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("bba");
+  SessionConfig cfg;
+  cfg.buffer_capacity_s = 5.0;
+  const SessionResult r = run_session(v, *abr, path_with(50.0), cfg);
+  // Buffer-at-start must respect the request pacing rule.
+  for (const ChunkLog& c : r.log.chunks) {
+    EXPECT_LE(c.buffer_at_start_s,
+              cfg.buffer_capacity_s - v.chunk_duration_s() + 1e-9);
+  }
+}
+
+TEST(Session, StartupDelayIsFirstChunkArrival) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("bba");
+  const SessionResult r = run_session(v, *abr, path_with(5.0));
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, r.log.chunks.front().end_s);
+}
+
+TEST(Session, SessionEndCoversAllPlayback) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("bba");
+  const SessionResult r = run_session(v, *abr, path_with(5.0));
+  // Total played content = video duration; the session cannot end before
+  // startup + content.
+  EXPECT_GE(r.session_end_s, r.startup_delay_s + v.duration_s() - 1e-6);
+}
+
+TEST(Session, IdleGapsTriggerSlowStartRestartInLogs) {
+  // Fast link -> pacing gaps between chunks -> recorded TCP states
+  // should show post-idle (decayed) windows on some chunks.
+  const video::Video v = short_video(60);
+  auto abr = abr::make_abr("fixed:2");
+  const SessionResult r = run_session(v, *abr, path_with(8.0));
+  int idle_chunks = 0;
+  for (const ChunkLog& c : r.log.chunks) {
+    if (c.tcp_at_start.last_send_gap_s > c.tcp_at_start.rto_s) ++idle_chunks;
+  }
+  EXPECT_GT(idle_chunks, 10);
+}
+
+TEST(Session, RejectsBufferSmallerThanChunk) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("bba");
+  SessionConfig cfg;
+  cfg.buffer_capacity_s = 1.0;  // < 2 s chunk
+  EXPECT_THROW(run_session(v, *abr, path_with(5.0), cfg),
+               veritas::ContractViolation);
+}
+
+TEST(Session, LargerBufferNeverHurtsRebuffering) {
+  const video::Video v = short_video(60);
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 3, 5);
+  for (const auto& t : traces) {
+    const net::NetworkPath path(t, 0.08);
+    auto abr_small = abr::make_abr("mpc");
+    SessionConfig small;
+    small.buffer_capacity_s = 5.0;
+    const double stall_small =
+        run_session(v, *abr_small, path, small).total_stall_s;
+    auto abr_large = abr::make_abr("mpc");
+    SessionConfig large;
+    large.buffer_capacity_s = 30.0;
+    const double stall_large =
+        run_session(v, *abr_large, path, large).total_stall_s;
+    EXPECT_LE(stall_large, stall_small + 0.5);
+  }
+}
+
+TEST(SessionMetrics, ComputesAverages) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("fixed:0");
+  const SessionResult r = run_session(v, *abr, path_with(5.0));
+  const QoeMetrics m = compute_metrics(v, r);
+  EXPECT_NEAR(m.avg_bitrate_mbps, 0.1, 1e-9);
+  EXPECT_NEAR(m.mean_ssim, 0.908, 0.01);
+  EXPECT_EQ(m.quality_switches, 0u);
+}
+
+TEST(SessionMetrics, CountsSwitches) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("random", 3);
+  const SessionResult r = run_session(v, *abr, path_with(5.0));
+  const QoeMetrics m = compute_metrics(v, r);
+  std::size_t expected = 0;
+  for (std::size_t i = 1; i < r.qualities.size(); ++i) {
+    expected += r.qualities[i] != r.qualities[i - 1];
+  }
+  EXPECT_EQ(m.quality_switches, expected);
+}
+
+TEST(SessionMetrics, RebufferRatioDefinition) {
+  const video::Video v = short_video();
+  auto abr = abr::make_abr("fixed:4");
+  const SessionResult r = run_session(v, *abr, path_with(0.8));
+  const QoeMetrics m = compute_metrics(v, r);
+  EXPECT_NEAR(m.rebuffer_ratio_pct,
+              100.0 * r.total_stall_s / r.session_end_s, 1e-9);
+  EXPECT_GT(m.rebuffer_ratio_pct, 0.0);
+}
+
+TEST(SessionMetrics, HigherQualityHigherSsim) {
+  const video::Video v = short_video();
+  auto low = abr::make_abr("fixed:0");
+  auto high = abr::make_abr("fixed:4");
+  const QoeMetrics m_low =
+      compute_metrics(v, run_session(v, *low, path_with(50.0)));
+  const QoeMetrics m_high =
+      compute_metrics(v, run_session(v, *high, path_with(50.0)));
+  EXPECT_GT(m_high.mean_ssim, m_low.mean_ssim);
+  EXPECT_GT(m_high.mean_ssim_db, m_low.mean_ssim_db);
+}
+
+TEST(Session, DeterministicForSameInputs) {
+  const video::Video v = short_video();
+  auto abr1 = abr::make_abr("mpc");
+  auto abr2 = abr::make_abr("mpc");
+  const SessionResult a = run_session(v, *abr1, path_with(4.0));
+  const SessionResult b = run_session(v, *abr2, path_with(4.0));
+  ASSERT_EQ(a.log.size(), b.log.size());
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.log.chunks[i].end_s, b.log.chunks[i].end_s);
+    EXPECT_EQ(a.qualities[i], b.qualities[i]);
+  }
+}
+
+}  // namespace
+}  // namespace veritas::sim

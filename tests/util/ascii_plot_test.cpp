@@ -1,0 +1,70 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace veritas::util {
+namespace {
+
+TEST(AsciiPlot, RendersAllSeriesGlyphs) {
+  const std::vector<PlotSeries> series{
+      {"rising", {0.0, 1.0, 2.0, 3.0}, '#'},
+      {"falling", {3.0, 2.0, 1.0, 0.0}, 'o'},
+  };
+  const std::string plot = render_plot(series);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find("legend"), std::string::npos);
+  EXPECT_NE(plot.find("rising"), std::string::npos);
+}
+
+TEST(AsciiPlot, RespectsCanvasSize) {
+  const std::vector<PlotSeries> series{{"s", {1.0, 2.0}, '*'}};
+  PlotOptions opt;
+  opt.width = 20;
+  opt.height = 5;
+  const std::string plot = render_plot(series, opt);
+  // 5 canvas rows + axis + legend = 7 lines.
+  std::size_t lines = 0;
+  for (const char c : plot) lines += (c == '\n');
+  EXPECT_EQ(lines, 7u);
+}
+
+TEST(AsciiPlot, ConstantSeriesStillRenders) {
+  const std::vector<PlotSeries> series{{"flat", {2.0, 2.0, 2.0}, '='}};
+  EXPECT_NE(render_plot(series).find('='), std::string::npos);
+}
+
+TEST(AsciiPlot, FixedRangeClamps) {
+  const std::vector<PlotSeries> series{{"s", {-10.0, 10.0}, '*'}};
+  PlotOptions opt;
+  opt.y_auto = false;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  EXPECT_NO_THROW(render_plot(series, opt));
+}
+
+TEST(AsciiPlot, RejectsEmptyInput) {
+  const std::vector<PlotSeries> none;
+  EXPECT_THROW(render_plot(none), veritas::ContractViolation);
+  const std::vector<PlotSeries> empty_series{{"s", {}, '*'}};
+  EXPECT_THROW(render_plot(empty_series), veritas::ContractViolation);
+}
+
+TEST(Sparkline, MonotoneRamp) {
+  const std::vector<double> ramp{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const std::string line = sparkline(ramp);
+  EXPECT_EQ(line.size(), ramp.size());
+  EXPECT_EQ(line.front(), ' ');
+  EXPECT_EQ(line.back(), '@');
+}
+
+TEST(Sparkline, FlatSeriesMidLevel) {
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  const std::string line = sparkline(flat);
+  EXPECT_EQ(line, std::string(3, '='));
+}
+
+}  // namespace
+}  // namespace veritas::util

@@ -1,0 +1,115 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/expects.hpp"
+
+namespace veritas::util {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"a", "b"});
+  writer.row(std::vector<std::string>{"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+  EXPECT_EQ(writer.rows_written(), 1u);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row(std::vector<std::string>{"x,y", "he said \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"x,y\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriter, NumericRowsRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"v"});
+  writer.row(std::vector<double>{0.1234567890123456789});
+  const CsvTable table = parse_csv(out.str());
+  EXPECT_DOUBLE_EQ(table.number(0, "v"), 0.1234567890123456789);
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"a", "b"});
+  EXPECT_THROW(writer.row(std::vector<std::string>{"only-one"}),
+               ContractViolation);
+}
+
+TEST(CsvWriter, RejectsLateHeader) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row(std::vector<std::string>{"1"});
+  EXPECT_THROW(writer.header({"a"}), ContractViolation);
+}
+
+TEST(CsvParse, SimpleTable) {
+  const CsvTable t = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(t.header.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(CsvParse, HandlesCrLf) {
+  const CsvTable t = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(CsvParse, MissingFinalNewline) {
+  const CsvTable t = parse_csv("a\n1");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  const CsvTable t = parse_csv("a,b\n\"x,y\",z\n");
+  EXPECT_EQ(t.rows[0][0], "x,y");
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  const CsvTable t = parse_csv("a\n\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParse, QuotedNewline) {
+  const CsvTable t = parse_csv("a,b\n\"multi\nline\",2\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "multi\nline");
+}
+
+TEST(CsvParse, RejectsRaggedRows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), ContractViolation);
+}
+
+TEST(CsvTable, ColumnLookup) {
+  const CsvTable t = parse_csv("x,y\n1,2\n");
+  EXPECT_EQ(t.column("y"), 1u);
+  EXPECT_THROW(t.column("z"), ContractViolation);
+}
+
+TEST(CsvTable, NumberParsesAndRejects) {
+  const CsvTable t = parse_csv("v\n1.5\nnot-a-number\n");
+  EXPECT_DOUBLE_EQ(t.number(0, "v"), 1.5);
+  EXPECT_THROW(t.number(1, "v"), ContractViolation);
+}
+
+TEST(CsvRoundTrip, WriterThenParser) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"name", "value"});
+  writer.row(std::vector<std::string>{"alpha, beta", "1"});
+  writer.row(std::vector<std::string>{"q\"q", "2"});
+  const CsvTable t = parse_csv(out.str());
+  EXPECT_EQ(t.rows[0][0], "alpha, beta");
+  EXPECT_EQ(t.rows[1][0], "q\"q");
+}
+
+}  // namespace
+}  // namespace veritas::util

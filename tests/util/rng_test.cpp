@@ -1,0 +1,190 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace veritas::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(29);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(31);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 2.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(41);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(43);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalProportionalToWeights) {
+  Rng rng(47);
+  const std::vector<double> weights{1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.7, 0.01);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeights) {
+  Rng rng(53);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(Rng, CategoricalRejectsAllZero) {
+  Rng rng(59);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(rng.categorical(weights), ContractViolation);
+}
+
+TEST(Rng, CategoricalRejectsNegative) {
+  Rng rng(61);
+  const std::vector<double> weights{0.5, -0.1};
+  EXPECT_THROW(rng.categorical(weights), ContractViolation);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng root(67);
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  Rng a2 = root.fork(0);
+  EXPECT_EQ(a(), a2());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(71), b(71);
+  (void)a.fork(3);
+  (void)a.fork(4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(73);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleDeterministic) {
+  std::vector<int> v1{1, 2, 3, 4, 5}, v2{1, 2, 3, 4, 5};
+  Rng r1(79), r2(79);
+  shuffle(v1, r1);
+  shuffle(v2, r2);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(Rng, SplitMixDistinctOutputs) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace veritas::util

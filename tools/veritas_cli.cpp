@@ -1,0 +1,11 @@
+// Thin entry point; all logic lives in src/cli (testable in-process).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return veritas::cli::run_cli(args, std::cout, std::cerr);
+}
