@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "abr/abr_factory.hpp"
+#include "core/inference_engine.hpp"
 #include "core/veritas.hpp"
 #include "net/network_path.hpp"
 #include "net/throughput_estimator.hpp"
@@ -69,6 +70,58 @@ void BM_FullInfer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullInfer);
+
+core::VeritasConfig multi_window_config() {
+  core::VeritasConfig cfg;
+  cfg.estimator = core::EmissionModel::Estimator::kMultiWindow;
+  return cfg;
+}
+
+void BM_FullInferMultiWindow(benchmark::State& state) {
+  const core::Veritas veritas(multi_window_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(veritas.infer(shared_log()));
+  }
+}
+BENCHMARK(BM_FullInferMultiWindow);
+
+// The fused engine pass (emissions + deltas once, Viterbi + smoothing
+// sharing them) with a reused scratch arena — the per-session hot path
+// of InferenceEngine::infer_batch.
+void BM_FusedSessionPass(benchmark::State& state) {
+  const core::InferenceEngine engine{core::VeritasConfig{}};
+  const auto obs = core::observations_from_log(shared_log());
+  core::Ehmm::Scratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.infer_session(obs, scratch));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
+}
+BENCHMARK(BM_FusedSessionPass);
+
+void BM_FusedSessionPassMultiWindow(benchmark::State& state) {
+  const core::InferenceEngine engine{multi_window_config()};
+  const auto obs = core::observations_from_log(shared_log());
+  core::Ehmm::Scratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.infer_session(obs, scratch));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
+}
+BENCHMARK(BM_FusedSessionPassMultiWindow);
+
+void BM_EmissionLogProbs(benchmark::State& state) {
+  const core::InferenceEngine engine{
+      state.range(0) == 0 ? core::VeritasConfig{} : multi_window_config()};
+  const auto obs = core::observations_from_log(shared_log());
+  math::Matrix logs;
+  for (auto _ : state) {
+    engine.ehmm().emission_log_probs_into(obs, logs);
+    benchmark::DoNotOptimize(logs);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
+}
+BENCHMARK(BM_EmissionLogProbs)->Arg(0)->Arg(1);
 
 void BM_TransitionPower(benchmark::State& state) {
   const auto model = core::TransitionModel::tridiagonal(21);

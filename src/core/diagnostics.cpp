@@ -37,7 +37,7 @@ InferenceDiagnostics diagnose(const Veritas& veritas,
 
   const std::vector<ChunkObservation> observations =
       observations_from_log(log);
-  const Ehmm ehmm = veritas.make_ehmm();
+  const Ehmm& ehmm = veritas.engine().ehmm();
   const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
   const Ehmm::ForwardBackwardResult fb = ehmm.forward_backward(observations);
   const std::size_t k = ehmm.space().size();

@@ -2,28 +2,56 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "math/distributions.hpp"
 #include "util/expects.hpp"
 
 namespace veritas::core {
 
-namespace {
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-
-/// log(x) tolerant of exact zero.
-double safe_log(double x) { return x > 0.0 ? std::log(x) : kNegInf; }
-}  // namespace
+using math::kNegInf;
+using math::safe_log;
 
 Ehmm::Ehmm(StateSpace space, TransitionModel transition,
-           EmissionModel emission, double delta_s)
+           EmissionModel emission, double delta_s,
+           std::size_t precompute_powers)
     : space_(std::move(space)),
       transition_(std::move(transition)),
       emission_(std::move(emission)),
       delta_s_(delta_s) {
   VERITAS_EXPECTS(delta_s_ > 0.0);
   VERITAS_EXPECTS(space_.size() == transition_.states());
+
+  multi_window_ =
+      emission_.estimator() == EmissionModel::Estimator::kMultiWindow;
+  transition_.precompute_powers(
+      multi_window_ ? std::max(precompute_powers, kMaxSpanWindows)
+                    : precompute_powers);
+
+  if (multi_window_) {
+    // Candidate table for the span-averaged emission mean: entry
+    // (i, span) replays the per-observation loop the estimator used to
+    // run — sum over m of E[C_{sn+m} | C_sn = value(i)] divided by span —
+    // with identical accumulation order, so emissions stay bit-identical
+    // while the per-observation cost drops from O(span * K) to O(1).
+    const std::size_t k = space_.size();
+    span_candidates_ = math::Matrix(k, kMaxSpanWindows + 1, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      span_candidates_(i, 0) = space_.value(i);
+      span_candidates_(i, 1) = space_.value(i);
+      double sum = 0.0;
+      for (std::size_t m = 0; m < kMaxSpanWindows; ++m) {
+        const math::Matrix& a_m = transition_.power(m);
+        double expected = 0.0;
+        for (std::size_t j = 0; j < k; ++j) {
+          expected += a_m(i, j) * space_.value(j);
+        }
+        sum += expected;
+        if (m >= 1) {
+          span_candidates_(i, m + 1) = sum / static_cast<double>(m + 1);
+        }
+      }
+    }
+  }
 }
 
 std::size_t Ehmm::window_of(double t_s) const {
@@ -31,176 +59,230 @@ std::size_t Ehmm::window_of(double t_s) const {
   return static_cast<std::size_t>(t_s / delta_s_);
 }
 
-std::vector<std::size_t> Ehmm::window_deltas(
-    std::span<const ChunkObservation> observations) const {
+void Ehmm::window_deltas_into(std::span<const ChunkObservation> observations,
+                              std::vector<std::size_t>& out) const {
   VERITAS_EXPECTS(!observations.empty());
-  std::vector<std::size_t> deltas(observations.size(), 0);
+  out.assign(observations.size(), 0);
   for (std::size_t n = 1; n < observations.size(); ++n) {
     const std::size_t prev = window_of(observations[n - 1].start_s);
     const std::size_t curr = window_of(observations[n].start_s);
     VERITAS_EXPECTS(curr >= prev);
-    deltas[n] = curr - prev;
+    out[n] = curr - prev;
   }
+}
+
+std::vector<std::size_t> Ehmm::window_deltas(
+    std::span<const ChunkObservation> observations) const {
+  std::vector<std::size_t> deltas;
+  window_deltas_into(observations, deltas);
   return deltas;
+}
+
+void Ehmm::emission_log_probs_into(
+    std::span<const ChunkObservation> observations, math::Matrix& out) const {
+  VERITAS_EXPECTS(!observations.empty());
+  const std::size_t n_obs = observations.size();
+  const std::size_t k = space_.size();
+  out.resize(n_obs, k, kNegInf);
+  for (std::size_t n = 0; n < n_obs; ++n) {
+    const ChunkObservation& obs = observations[n];
+    double* out_row = out.row_data(n);
+    for (std::size_t i = 0; i < k; ++i) {
+      const double candidate = space_.value(i);
+      if (!multi_window_) {
+        out_row[i] = emission_.log_prob(candidate, obs);
+        continue;
+      }
+      // Replace the candidate with its expected average over the
+      // download span: first estimate the span from f at the start
+      // value, then look up the precomputed average of
+      // E[C_{sn+m} | C_sn = candidate] over it. For spans <= 1 the
+      // candidate is unchanged, so the mean computed for the span
+      // estimate is already the emission mean — no second estimator call.
+      const double y0 = emission_.mean_throughput_mbps(candidate, obs);
+      std::size_t span_windows = 1;
+      if (y0 > 1e-9) {
+        const double est_duration = obs.size_bytes * 8.0 / 1e6 / y0;
+        span_windows = std::min<std::size_t>(
+            static_cast<std::size_t>(est_duration / delta_s_) + 1,
+            kMaxSpanWindows);
+      }
+      out_row[i] =
+          span_windows > 1
+              ? emission_.log_prob(span_candidates_(i, span_windows), obs)
+              : emission_.log_prob_given_mean(y0, obs);
+    }
+  }
 }
 
 math::Matrix Ehmm::emission_log_probs(
     std::span<const ChunkObservation> observations) const {
-  VERITAS_EXPECTS(!observations.empty());
-  const std::size_t n_obs = observations.size();
-  const std::size_t k = space_.size();
-  const bool multi_window =
-      emission_.estimator() == EmissionModel::Estimator::kMultiWindow;
-  math::Matrix logs(n_obs, k, kNegInf);
-  for (std::size_t n = 0; n < n_obs; ++n) {
-    for (std::size_t i = 0; i < k; ++i) {
-      double candidate = space_.value(i);
-      if (multi_window) {
-        // Replace the candidate with its expected average over the
-        // download span: first estimate the span from f at the start
-        // value, then average E[C_{sn+m} | C_sn = candidate] over it.
-        const double y0 =
-            emission_.mean_throughput_mbps(candidate, observations[n]);
-        if (y0 > 1e-9) {
-          const double est_duration =
-              observations[n].size_bytes * 8.0 / 1e6 / y0;
-          const auto span_windows = std::min<std::size_t>(
-              static_cast<std::size_t>(est_duration / delta_s_) + 1, 8);
-          if (span_windows > 1) {
-            double sum = 0.0;
-            for (std::size_t m = 0; m < span_windows; ++m) {
-              const math::Matrix& a_m = transition_.power(m);
-              double expected = 0.0;
-              for (std::size_t j = 0; j < k; ++j) {
-                expected += a_m(i, j) * space_.value(j);
-              }
-              sum += expected;
-            }
-            candidate = sum / static_cast<double>(span_windows);
-          }
-        }
-      }
-      logs(n, i) = emission_.log_prob(candidate, observations[n]);
-    }
-  }
+  math::Matrix logs;
+  emission_log_probs_into(observations, logs);
   return logs;
 }
 
-Ehmm::ViterbiResult Ehmm::viterbi(
-    std::span<const ChunkObservation> observations) const {
+void Ehmm::prepare(std::span<const ChunkObservation> observations,
+                   Scratch& scratch) const {
   VERITAS_EXPECTS(!observations.empty());
-  const std::size_t n_obs = observations.size();
-  const std::size_t k = space_.size();
-  const math::Matrix log_emission = emission_log_probs(observations);
-  const std::vector<std::size_t> deltas = window_deltas(observations);
+  emission_log_probs_into(observations, scratch.log_emission);
+  window_deltas_into(observations, scratch.deltas);
+}
 
-  ViterbiResult result;
-  result.scores = math::Matrix(n_obs, k, kNegInf);
-  // back(n, i): predecessor state of the best path reaching (n, i).
-  std::vector<std::vector<std::size_t>> back(
-      n_obs, std::vector<std::size_t>(k, 0));
+void Ehmm::viterbi_from(std::size_t n_obs, Scratch& scratch,
+                        ViterbiResult& result) const {
+  const std::size_t k = space_.size();
+  const math::Matrix& log_emission = scratch.log_emission;
+
+  result.scores.resize(n_obs, k, kNegInf);
+  // back[n * k + i]: predecessor state of the best path reaching (n, i).
+  scratch.back.assign(n_obs * k, 0);
 
   const auto initial = transition_.initial();
-  for (std::size_t i = 0; i < k; ++i) {
-    result.scores(0, i) = safe_log(initial[i]) + log_emission(0, i);
+  {
+    double* scores0 = result.scores.row_data(0);
+    const double* e0 = log_emission.row_data(0);
+    for (std::size_t i = 0; i < k; ++i) {
+      scores0[i] = safe_log(initial[i]) + e0[i];
+    }
   }
 
   for (std::size_t n = 1; n < n_obs; ++n) {
-    const math::Matrix& a_delta = transition_.power(deltas[n]);
+    const TransitionModel::PowerView view =
+        transition_.power_view(scratch.deltas[n]);
+    const double* prev = result.scores.row_data(n - 1);
+    double* curr = result.scores.row_data(n);
+    const double* e_n = log_emission.row_data(n);
+    std::uint32_t* back_n = scratch.back.data() + n * k;
     for (std::size_t i = 0; i < k; ++i) {
       double best = kNegInf;
       std::size_t best_prev = 0;
-      for (std::size_t j = 0; j < k; ++j) {
-        const double candidate =
-            result.scores(n - 1, j) + safe_log(a_delta(j, i));
-        if (candidate > best) {
-          best = candidate;
-          best_prev = j;
+      if (view.log_transposed != nullptr) {
+        // Precomputed log A^Δ laid out so the j-loop is contiguous.
+        const double* log_a = view.log_transposed->row_data(i);
+        for (std::size_t j = 0; j < k; ++j) {
+          const double candidate = prev[j] + log_a[j];
+          if (candidate > best) {
+            best = candidate;
+            best_prev = j;
+          }
+        }
+      } else {
+        const math::Matrix& a_delta = *view.p;
+        for (std::size_t j = 0; j < k; ++j) {
+          const double candidate = prev[j] + safe_log(a_delta(j, i));
+          if (candidate > best) {
+            best = candidate;
+            best_prev = j;
+          }
         }
       }
-      result.scores(n, i) = best + log_emission(n, i);
-      back[n][i] = best_prev;
+      curr[i] = best + e_n[i];
+      back_n[i] = static_cast<std::uint32_t>(best_prev);
     }
   }
 
   // Backtrack from the best final state.
   std::size_t state = 0;
   double best_final = kNegInf;
-  for (std::size_t i = 0; i < k; ++i) {
-    if (result.scores(n_obs - 1, i) > best_final) {
-      best_final = result.scores(n_obs - 1, i);
-      state = i;
+  {
+    const double* last = result.scores.row_data(n_obs - 1);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (last[i] > best_final) {
+        best_final = last[i];
+        state = i;
+      }
     }
   }
   result.log_likelihood = best_final;
   result.states.assign(n_obs, 0);
   for (std::size_t n = n_obs; n-- > 0;) {
     result.states[n] = state;
-    if (n > 0) state = back[n][state];
+    if (n > 0) state = scratch.back[n * k + state];
   }
-  return result;
 }
 
-Ehmm::ForwardBackwardResult Ehmm::forward_backward(
-    std::span<const ChunkObservation> observations) const {
-  VERITAS_EXPECTS(!observations.empty());
-  const std::size_t n_obs = observations.size();
+void Ehmm::forward_backward_from(std::size_t n_obs, Scratch& scratch,
+                                 ForwardBackwardResult& result) const {
   const std::size_t k = space_.size();
-  const math::Matrix log_emission = emission_log_probs(observations);
-  const std::vector<std::size_t> deltas = window_deltas(observations);
+  const math::Matrix& log_emission = scratch.log_emission;
 
   // Row-scaled emissions: em(n, i) = exp(logE(n, i) - rowmax(n)). The
   // per-row constant folds into the forward scaling factors, keeping the
   // recursion in a safe numeric range for arbitrarily unlikely data.
-  math::Matrix em(n_obs, k, 0.0);
-  std::vector<double> row_max(n_obs, kNegInf);
+  math::Matrix& em = scratch.em;
+  em.resize(n_obs, k, 0.0);
+  std::vector<double>& row_max = scratch.row_max;
+  row_max.assign(n_obs, kNegInf);
   for (std::size_t n = 0; n < n_obs; ++n) {
+    const double* log_row = log_emission.row_data(n);
+    double* em_row = em.row_data(n);
     for (std::size_t i = 0; i < k; ++i) {
-      row_max[n] = std::max(row_max[n], log_emission(n, i));
+      row_max[n] = std::max(row_max[n], log_row[i]);
     }
     // Degenerate guard: if every state is impossible, fall back to a
     // flat emission (the posterior then follows the prior).
     if (!std::isfinite(row_max[n])) {
-      for (std::size_t i = 0; i < k; ++i) em(n, i) = 1.0;
+      for (std::size_t i = 0; i < k; ++i) em_row[i] = 1.0;
       row_max[n] = 0.0;
       continue;
     }
     for (std::size_t i = 0; i < k; ++i) {
-      em(n, i) = std::exp(log_emission(n, i) - row_max[n]);
+      em_row[i] = std::exp(log_row[i] - row_max[n]);
     }
   }
 
   // Forward pass with per-step normalization.
-  math::Matrix alpha(n_obs, k, 0.0);
-  std::vector<double> log_scale(n_obs, 0.0);
+  math::Matrix& alpha = scratch.alpha;
+  alpha.resize(n_obs, k, 0.0);
+  std::vector<double>& log_scale = scratch.log_scale;
+  log_scale.assign(n_obs, 0.0);
+  std::vector<double>& row = scratch.row;
+  row.assign(k, 0.0);
   {
     const auto initial = transition_.initial();
-    std::vector<double> row(k, 0.0);
-    for (std::size_t i = 0; i < k; ++i) row[i] = initial[i] * em(0, i);
+    const double* em0 = em.row_data(0);
+    for (std::size_t i = 0; i < k; ++i) row[i] = initial[i] * em0[i];
     const double scale = math::normalize(row);
     log_scale[0] = safe_log(scale) + row_max[0];
-    for (std::size_t i = 0; i < k; ++i) alpha(0, i) = row[i];
+    double* alpha0 = alpha.row_data(0);
+    for (std::size_t i = 0; i < k; ++i) alpha0[i] = row[i];
   }
   for (std::size_t n = 1; n < n_obs; ++n) {
-    const math::Matrix& a_delta = transition_.power(deltas[n]);
-    std::vector<double> row(k, 0.0);
+    const TransitionModel::PowerView view =
+        transition_.power_view(scratch.deltas[n]);
+    const double* prev = alpha.row_data(n - 1);
+    const double* em_n = em.row_data(n);
     for (std::size_t i = 0; i < k; ++i) {
       double acc = 0.0;
-      for (std::size_t j = 0; j < k; ++j) {
-        acc += alpha(n - 1, j) * a_delta(j, i);
+      if (view.transposed != nullptr) {
+        // T(i, j) = A^Δ(j, i): contiguous inner loop.
+        const double* a_col = view.transposed->row_data(i);
+        for (std::size_t j = 0; j < k; ++j) acc += prev[j] * a_col[j];
+      } else {
+        const math::Matrix& a_delta = *view.p;
+        for (std::size_t j = 0; j < k; ++j) acc += prev[j] * a_delta(j, i);
       }
-      row[i] = acc * em(n, i);
+      row[i] = acc * em_n[i];
     }
     const double scale = math::normalize(row);
     log_scale[n] = safe_log(scale) + row_max[n];
-    for (std::size_t i = 0; i < k; ++i) alpha(n, i) = row[i];
+    double* alpha_n = alpha.row_data(n);
+    for (std::size_t i = 0; i < k; ++i) alpha_n[i] = row[i];
   }
 
   // Backward pass using the same scaling factors.
-  math::Matrix beta(n_obs, k, 0.0);
-  for (std::size_t i = 0; i < k; ++i) beta(n_obs - 1, i) = 1.0;
+  math::Matrix& beta = scratch.beta;
+  beta.resize(n_obs, k, 0.0);
+  {
+    double* beta_last = beta.row_data(n_obs - 1);
+    for (std::size_t i = 0; i < k; ++i) beta_last[i] = 1.0;
+  }
   for (std::size_t n = n_obs - 1; n-- > 0;) {
-    const math::Matrix& a_delta = transition_.power(deltas[n + 1]);
+    const math::Matrix& a_delta = transition_.power(scratch.deltas[n + 1]);
+    const double* em_next = em.row_data(n + 1);
+    const double* beta_next = beta.row_data(n + 1);
+    double* beta_n = beta.row_data(n);
     // The forward scale at step n+1 was exp(log_scale[n+1]); the scaled
     // beta recursion divides by the same *relative* factor, i.e. the
     // normalizer of the alpha row, so gamma = alpha .* beta normalizes
@@ -210,37 +292,43 @@ Ehmm::ForwardBackwardResult Ehmm::forward_backward(
     if (scale <= 0.0) scale = 1.0;
     for (std::size_t i = 0; i < k; ++i) {
       double acc = 0.0;
+      const double* a_row = a_delta.row_data(i);
       for (std::size_t j = 0; j < k; ++j) {
-        acc += a_delta(i, j) * em(n + 1, j) * beta(n + 1, j);
+        acc += a_row[j] * em_next[j] * beta_next[j];
       }
-      beta(n, i) = acc / scale;
+      beta_n[i] = acc / scale;
     }
   }
 
-  ForwardBackwardResult result;
   result.log_likelihood = 0.0;
   for (const double s : log_scale) result.log_likelihood += s;
 
   // Posterior marginals gamma.
-  result.gamma = math::Matrix(n_obs, k, 0.0);
+  result.gamma.resize(n_obs, k, 0.0);
   for (std::size_t n = 0; n < n_obs; ++n) {
-    std::vector<double> row(k, 0.0);
-    for (std::size_t i = 0; i < k; ++i) row[i] = alpha(n, i) * beta(n, i);
-    math::normalize(row);
-    for (std::size_t i = 0; i < k; ++i) result.gamma(n, i) = row[i];
+    const double* alpha_n = alpha.row_data(n);
+    const double* beta_n = beta.row_data(n);
+    double* gamma_n = result.gamma.row_data(n);
+    for (std::size_t i = 0; i < k; ++i) gamma_n[i] = alpha_n[i] * beta_n[i];
+    math::normalize(std::span<double>(gamma_n, k));
   }
 
   // Pair posteriors Γ (paper Eq. 6).
+  result.xi.clear();
   result.xi.reserve(n_obs - 1);
   for (std::size_t n = 0; n + 1 < n_obs; ++n) {
-    const math::Matrix& a_delta = transition_.power(deltas[n + 1]);
+    const math::Matrix& a_delta = transition_.power(scratch.deltas[n + 1]);
+    const double* alpha_n = alpha.row_data(n);
+    const double* em_next = em.row_data(n + 1);
+    const double* beta_next = beta.row_data(n + 1);
     math::Matrix pair(k, k, 0.0);
     double total = 0.0;
     for (std::size_t i = 0; i < k; ++i) {
+      const double* a_row = a_delta.row_data(i);
+      double* pair_row = pair.row_data(i);
       for (std::size_t j = 0; j < k; ++j) {
-        const double v =
-            alpha(n, i) * a_delta(i, j) * em(n + 1, j) * beta(n + 1, j);
-        pair(i, j) = v;
+        const double v = alpha_n[i] * a_row[j] * em_next[j] * beta_next[j];
+        pair_row[j] = v;
         total += v;
       }
     }
@@ -258,7 +346,43 @@ Ehmm::ForwardBackwardResult Ehmm::forward_backward(
     }
     result.xi.push_back(std::move(pair));
   }
+}
+
+Ehmm::ViterbiResult Ehmm::viterbi(
+    std::span<const ChunkObservation> observations, Scratch& scratch) const {
+  prepare(observations, scratch);
+  ViterbiResult result;
+  viterbi_from(observations.size(), scratch, result);
   return result;
+}
+
+Ehmm::ViterbiResult Ehmm::viterbi(
+    std::span<const ChunkObservation> observations) const {
+  Scratch scratch;
+  return viterbi(observations, scratch);
+}
+
+Ehmm::ForwardBackwardResult Ehmm::forward_backward(
+    std::span<const ChunkObservation> observations, Scratch& scratch) const {
+  prepare(observations, scratch);
+  ForwardBackwardResult result;
+  forward_backward_from(observations.size(), scratch, result);
+  return result;
+}
+
+Ehmm::ForwardBackwardResult Ehmm::forward_backward(
+    std::span<const ChunkObservation> observations) const {
+  Scratch scratch;
+  return forward_backward(observations, scratch);
+}
+
+Ehmm::InferencePass Ehmm::infer_fused(
+    std::span<const ChunkObservation> observations, Scratch& scratch) const {
+  prepare(observations, scratch);
+  InferencePass pass;
+  viterbi_from(observations.size(), scratch, pass.viterbi);
+  forward_backward_from(observations.size(), scratch, pass.forward_backward);
+  return pass;
 }
 
 }  // namespace veritas::core

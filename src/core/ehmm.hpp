@@ -11,8 +11,16 @@
 // Implements the paper's Viterbi variant (Algorithm 3) and scaled
 // Baum-Welch forward-backward variant (Algorithm 2) producing the pair
 // posterior Γ used by the capacity sampler (Algorithm 1).
+//
+// Hot-path layout: the model is immutable after construction — the dense
+// A^Δ power table (with transposed / log-transposed variants) and the
+// multi-window span-candidate table are precomputed in the constructor —
+// so one Ehmm can serve many sessions from many threads. Per-session
+// buffers live in Ehmm::Scratch, and infer_fused() runs Viterbi and
+// forward-backward off a single shared emission/delta computation.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -26,14 +34,38 @@ namespace veritas::core {
 
 class Ehmm {
  public:
+  /// Dense A^Δ table size built at construction; Δ beyond it falls back
+  /// to the TransitionModel's mutex-guarded memo (still correct, slower).
+  static constexpr std::size_t kDefaultPrecomputedPowers = 64;
+
+  /// Cap on the multi-window emission span (kMultiWindow estimator).
+  static constexpr std::size_t kMaxSpanWindows = 8;
+
   /// Requires matching state counts and delta_s > 0 (the paper's δ).
   Ehmm(StateSpace space, TransitionModel transition, EmissionModel emission,
-       double delta_s);
+       double delta_s,
+       std::size_t precompute_powers = kDefaultPrecomputedPowers);
 
   const StateSpace& space() const noexcept { return space_; }
   const TransitionModel& transition() const noexcept { return transition_; }
   const EmissionModel& emission() const noexcept { return emission_; }
   double delta_s() const noexcept { return delta_s_; }
+
+  /// Reusable per-session workspace. A default-constructed Scratch works
+  /// for any session; buffers grow to the largest session seen and are
+  /// reused, so the recursions allocate nothing in steady state. Use one
+  /// Scratch per thread.
+  struct Scratch {
+    math::Matrix log_emission;        ///< N x K emission log-probs
+    math::Matrix em;                  ///< row-scaled emissions exp(logE - max)
+    math::Matrix alpha;               ///< scaled forward table
+    math::Matrix beta;                ///< scaled backward table
+    std::vector<std::size_t> deltas;  ///< Δn per chunk
+    std::vector<double> row_max;      ///< per-row emission log max
+    std::vector<double> log_scale;    ///< forward scaling factors
+    std::vector<double> row;          ///< K-sized recursion buffer
+    std::vector<std::uint32_t> back;  ///< flat N*K Viterbi backpointers
+  };
 
   /// GTBW window index of wall-clock time t.
   std::size_t window_of(double t_s) const;
@@ -42,11 +74,15 @@ class Ehmm {
   /// non-decreasing start times.
   std::vector<std::size_t> window_deltas(
       std::span<const ChunkObservation> observations) const;
+  void window_deltas_into(std::span<const ChunkObservation> observations,
+                          std::vector<std::size_t>& out) const;
 
   /// N x K matrix of log emission probabilities:
   /// (n, i) -> log P(Y_n | W_sn, S_n, C = value(i)).
   math::Matrix emission_log_probs(
       std::span<const ChunkObservation> observations) const;
+  void emission_log_probs_into(std::span<const ChunkObservation> observations,
+                               math::Matrix& out) const;
 
   struct ViterbiResult {
     std::vector<std::size_t> states;  ///< MAP state index per chunk (I*)
@@ -59,6 +95,8 @@ class Ehmm {
 
   /// Paper Algorithm 3 (Viterbi with A^Δn), in log space.
   ViterbiResult viterbi(std::span<const ChunkObservation> observations) const;
+  ViterbiResult viterbi(std::span<const ChunkObservation> observations,
+                        Scratch& scratch) const;
 
   struct ForwardBackwardResult {
     /// gamma(n, i) = P(C_sn = value(i) | all observations).
@@ -73,12 +111,40 @@ class Ehmm {
   /// Paper Algorithm 2 (scaled forward-backward with A^Δn).
   ForwardBackwardResult forward_backward(
       std::span<const ChunkObservation> observations) const;
+  ForwardBackwardResult forward_backward(
+      std::span<const ChunkObservation> observations, Scratch& scratch) const;
+
+  /// Fused single pass: emission log-probs and window deltas are computed
+  /// once and shared by the Viterbi and forward-backward recursions.
+  /// Produces bit-identical results to running the two passes separately.
+  struct InferencePass {
+    ViterbiResult viterbi;
+    ForwardBackwardResult forward_backward;
+  };
+  InferencePass infer_fused(std::span<const ChunkObservation> observations,
+                            Scratch& scratch) const;
 
  private:
+  /// Fills scratch.log_emission and scratch.deltas for `observations`.
+  void prepare(std::span<const ChunkObservation> observations,
+               Scratch& scratch) const;
+
+  /// Recursions over the prepared scratch (log_emission + deltas).
+  void viterbi_from(std::size_t n_obs, Scratch& scratch,
+                    ViterbiResult& result) const;
+  void forward_backward_from(std::size_t n_obs, Scratch& scratch,
+                             ForwardBackwardResult& result) const;
+
   StateSpace space_;
   TransitionModel transition_;
   EmissionModel emission_;
   double delta_s_;
+  bool multi_window_ = false;
+  /// Precomputed kMultiWindow candidates: (i, span) -> expected average
+  /// of E[C_{sn+m} | C_sn = value(i)] over m = 0..span-1. Columns 0 and 1
+  /// hold the plain state value. Empty unless the estimator is
+  /// kMultiWindow.
+  math::Matrix span_candidates_;
 };
 
 }  // namespace veritas::core

@@ -53,8 +53,12 @@ double EmissionModel::mean_throughput_mbps(double candidate_mbps,
 
 double EmissionModel::log_prob(double candidate_mbps,
                                const ChunkObservation& obs) const {
-  const double mean = mean_throughput_mbps(candidate_mbps, obs);
-  return math::log_normal_pdf(obs.throughput_mbps, mean, sigma_mbps_);
+  return log_prob_given_mean(mean_throughput_mbps(candidate_mbps, obs), obs);
+}
+
+double EmissionModel::log_prob_given_mean(double mean_mbps,
+                                          const ChunkObservation& obs) const {
+  return math::log_normal_pdf(obs.throughput_mbps, mean_mbps, sigma_mbps_);
 }
 
 }  // namespace veritas::core

@@ -38,6 +38,12 @@ class EmissionModel {
   /// log P(Y_n | W_sn, S_n, C = candidate).
   double log_prob(double candidate_mbps, const ChunkObservation& obs) const;
 
+  /// log P(Y_n | ...) when the emission mean f(candidate, W, S) is
+  /// already known — lets callers that computed the mean for span
+  /// estimation skip a second estimator evaluation.
+  double log_prob_given_mean(double mean_mbps,
+                             const ChunkObservation& obs) const;
+
   double sigma_mbps() const noexcept { return sigma_mbps_; }
   Estimator estimator() const noexcept { return estimator_; }
   const net::TcpConfig& tcp_config() const noexcept { return tcp_config_; }

@@ -1,0 +1,100 @@
+// The fused EHMM inference engine: one immutable model, many sessions.
+//
+// The engine owns a fully precomputed Ehmm (state space, transition model
+// with its dense A^Δ power table, emission model with the multi-window
+// span-candidate table) and processes each session in a single fused
+// pass: emission log-probs and window deltas are computed once and shared
+// by Viterbi, forward-backward and posterior sampling. Per-session
+// buffers come from reusable Ehmm::Scratch arenas, so steady-state
+// inference allocates only its results.
+//
+// Because the model is immutable after construction, one engine can be
+// shared by any number of threads; infer_batch() fans a set of session
+// logs across a worker pool (one scratch arena per lane) and returns
+// results identical to the serial path regardless of thread count.
+//
+// Veritas (core/veritas.hpp) is a thin facade over this class; use the
+// engine directly when serving many sessions against one configuration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ehmm.hpp"
+#include "core/reconstruction.hpp"
+#include "core/sampler.hpp"
+#include "net/tcp_state.hpp"
+#include "trace/bandwidth_trace.hpp"
+
+namespace veritas::core {
+
+/// Hyperparameters (defaults are the paper's §4.1 settings).
+struct VeritasConfig {
+  double delta_s = 5.0;          ///< GTBW transition interval δ
+  double epsilon_mbps = 0.5;     ///< GTBW quantization ε
+  double sigma_mbps = 0.5;       ///< emission noise σ
+  double max_mbps = 10.0;        ///< top of the state space
+  double transition_stay = 0.8;  ///< tridiagonal stay probability
+  TransitionPrior prior = TransitionPrior::kTridiagonal;
+  std::size_t band_width = 3;    ///< used when prior == kBanded
+  std::size_t num_samples = 5;   ///< posterior samples per query
+  Interpolation interpolation = Interpolation::kLinear;
+  EmissionModel::Estimator estimator = EmissionModel::Estimator::kFullTcp;
+  SamplerConfig sampler;
+  net::TcpConfig tcp;
+  std::uint64_t seed = 1234;
+};
+
+/// Output of the abduction step.
+struct VeritasResult {
+  trace::BandwidthTrace map_trace;             ///< Viterbi MAP GTBW trace
+  std::vector<trace::BandwidthTrace> samples;  ///< K posterior samples
+  std::vector<double> map_states_mbps;         ///< MAP GTBW per chunk
+  math::Matrix posterior_marginals;            ///< gamma: N x K
+  double log_likelihood = 0.0;                 ///< log P(observations)
+};
+
+/// Engine construction knobs (the config covers the model itself).
+struct EngineOptions {
+  /// Dense A^Δ table size; Δ beyond it falls back to the transition
+  /// model's mutex-guarded memo.
+  std::size_t precomputed_powers = Ehmm::kDefaultPrecomputedPowers;
+};
+
+class InferenceEngine {
+ public:
+  /// Builds the immutable model. Validates the config (same contract as
+  /// the Veritas facade).
+  explicit InferenceEngine(VeritasConfig config, EngineOptions options = {});
+
+  const VeritasConfig& config() const noexcept { return config_; }
+  const Ehmm& ehmm() const noexcept { return ehmm_; }
+
+  /// Raw fused pass over one observation sequence: Viterbi + smoothing
+  /// from a single emission/delta computation.
+  Ehmm::InferencePass infer_session(
+      std::span<const ChunkObservation> observations,
+      Ehmm::Scratch& scratch) const;
+  Ehmm::InferencePass infer_session(
+      std::span<const ChunkObservation> observations) const;
+
+  /// Full abduction for one session log (paper Eq. 1): MAP trace, K
+  /// posterior sample traces, marginals. Deterministic in config().seed;
+  /// identical to the seed two-pass Veritas::infer output.
+  VeritasResult infer(const sim::SessionLog& log, Ehmm::Scratch& scratch) const;
+  VeritasResult infer(const sim::SessionLog& log) const;
+
+  /// Abducts every log, fanning out over `num_threads` lanes (0 = the
+  /// hardware thread count). Results are positionally identical to
+  /// calling infer() per log — independent of thread count and schedule.
+  std::vector<VeritasResult> infer_batch(
+      std::span<const sim::SessionLog> logs,
+      std::size_t num_threads = 0) const;
+
+ private:
+  VeritasConfig config_;
+  Ehmm ehmm_;
+};
+
+}  // namespace veritas::core

@@ -1,7 +1,9 @@
 #include "core/transition_model.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "math/distributions.hpp"
 #include "util/expects.hpp"
 
 namespace veritas::core {
@@ -17,6 +19,37 @@ TransitionModel::TransitionModel(math::Matrix a, std::vector<double> initial)
     sum += p;
   }
   VERITAS_EXPECTS(sum > 0.999 && sum < 1.001);
+}
+
+TransitionModel::TransitionModel(const TransitionModel& other)
+    : a_(other.a_), initial_(other.initial_), dense_(other.dense_) {
+  const std::lock_guard<std::mutex> lock(other.overflow_mutex_);
+  overflow_ = other.overflow_;
+}
+
+TransitionModel::TransitionModel(TransitionModel&& other) noexcept
+    : a_(std::move(other.a_)),
+      initial_(std::move(other.initial_)),
+      dense_(std::move(other.dense_)) {
+  // No lock: moving from a model concurrently served to other threads is
+  // a caller bug regardless of the memo.
+  overflow_ = std::move(other.overflow_);
+}
+
+TransitionModel& TransitionModel::operator=(const TransitionModel& other) {
+  if (this == &other) return *this;
+  TransitionModel copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+TransitionModel& TransitionModel::operator=(TransitionModel&& other) noexcept {
+  if (this == &other) return *this;
+  a_ = std::move(other.a_);
+  initial_ = std::move(other.initial_);
+  dense_ = std::move(other.dense_);
+  overflow_ = std::move(other.overflow_);
+  return *this;
 }
 
 TransitionModel TransitionModel::tridiagonal(std::size_t states,
@@ -67,13 +100,47 @@ TransitionModel TransitionModel::banded(std::size_t states, std::size_t band,
                          std::vector<double>(states, 1.0 / double(states)));
 }
 
+void TransitionModel::precompute_powers(std::size_t max_delta) {
+  if (dense_.size() > max_delta) return;
+  const std::size_t k = states();
+  dense_.reserve(max_delta + 1);
+  for (std::size_t delta = dense_.size(); delta <= max_delta; ++delta) {
+    DenseEntry entry;
+    entry.p = math::matrix_power(a_, delta);
+    entry.transposed = entry.p.transposed();
+    entry.log_transposed = math::Matrix(k, k, math::kNegInf);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        entry.log_transposed(i, j) = math::safe_log(entry.p(j, i));
+      }
+    }
+    dense_.push_back(std::move(entry));
+  }
+}
+
 const math::Matrix& TransitionModel::power(std::size_t delta) const {
-  const auto it = power_cache_.find(delta);
-  if (it != power_cache_.end()) return it->second;
-  auto [inserted, ok] =
-      power_cache_.emplace(delta, math::matrix_power(a_, delta));
+  if (delta < dense_.size()) return dense_[delta].p;
+  const std::lock_guard<std::mutex> lock(overflow_mutex_);
+  const auto it = overflow_.find(delta);
+  if (it != overflow_.end()) return it->second;
+  const auto [inserted, ok] =
+      overflow_.emplace(delta, math::matrix_power(a_, delta));
   VERITAS_ENSURES(ok);
   return inserted->second;
+}
+
+TransitionModel::PowerView TransitionModel::power_view(
+    std::size_t delta) const {
+  PowerView view;
+  if (delta < dense_.size()) {
+    const DenseEntry& entry = dense_[delta];
+    view.p = &entry.p;
+    view.transposed = &entry.transposed;
+    view.log_transposed = &entry.log_transposed;
+  } else {
+    view.p = &power(delta);
+  }
+  return view;
 }
 
 }  // namespace veritas::core

@@ -4,11 +4,19 @@
 // The paper's evaluation uses a tridiagonal A (bandwidth prefers to stay,
 // may drift one ε step per δ window) and a uniform u. Embedded
 // transitions between chunks separated by Δ windows use A^Δ (paper §3.2,
-// "Evolution of the embedded GTBW"); powers are cached per distinct Δ.
+// "Evolution of the embedded GTBW").
+//
+// Powers are served from a dense immutable table built by
+// precompute_powers(): entry Δ holds A^Δ plus the transposed and
+// elementwise-log-transposed variants the EHMM recursions consume with
+// contiguous inner loops. Lookups in the table are lock-free and safe to
+// share across threads; deltas beyond the table fall back to a
+// mutex-guarded memo so arbitrarily long session gaps stay correct.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -29,6 +37,11 @@ class TransitionModel {
   /// matching size.
   TransitionModel(math::Matrix a, std::vector<double> initial);
 
+  TransitionModel(const TransitionModel& other);
+  TransitionModel(TransitionModel&& other) noexcept;
+  TransitionModel& operator=(const TransitionModel& other);
+  TransitionModel& operator=(TransitionModel&& other) noexcept;
+
   /// Paper default: P(stay) = stay_prob, P(+-ε) split evenly from the
   /// rest; rows renormalized at the boundaries. Uniform u.
   static TransitionModel tridiagonal(std::size_t states,
@@ -46,13 +59,42 @@ class TransitionModel {
   const math::Matrix& matrix() const noexcept { return a_; }
   std::span<const double> initial() const noexcept { return initial_; }
 
-  /// A^delta with caching (delta = 0 yields the identity).
+  /// Builds the dense power table for Δ = 0..max_delta. Not thread-safe;
+  /// call once (e.g. at Ehmm construction) before sharing the model
+  /// across threads. Idempotent: only grows the table.
+  void precompute_powers(std::size_t max_delta);
+
+  /// Number of dense entries (Δ < precomputed_powers() is lock-free).
+  std::size_t precomputed_powers() const noexcept { return dense_.size(); }
+
+  /// A^delta (delta = 0 yields the identity). Lock-free for deltas in the
+  /// precomputed table, mutex-guarded memoization beyond it.
   const math::Matrix& power(std::size_t delta) const;
 
+  /// A^delta together with the precomputed transposed / log-transposed
+  /// layouts. The pointers are null for deltas beyond the dense table
+  /// (callers fall back to the strided / log-on-the-fly loops).
+  struct PowerView {
+    const math::Matrix* p = nullptr;
+    const math::Matrix* transposed = nullptr;      ///< T(i, j) = A^Δ(j, i)
+    const math::Matrix* log_transposed = nullptr;  ///< L(i, j) = log A^Δ(j, i)
+  };
+  PowerView power_view(std::size_t delta) const;
+
  private:
+  struct DenseEntry {
+    math::Matrix p;
+    math::Matrix transposed;
+    math::Matrix log_transposed;
+  };
+
   math::Matrix a_;
   std::vector<double> initial_;
-  mutable std::map<std::size_t, math::Matrix> power_cache_;
+  std::vector<DenseEntry> dense_;  ///< index = Δ; immutable once built
+  mutable std::mutex overflow_mutex_;
+  /// Memo for Δ beyond the dense table. std::map: node stability keeps
+  /// returned references valid across later insertions.
+  mutable std::map<std::size_t, math::Matrix> overflow_;
 };
 
 }  // namespace veritas::core

@@ -6,70 +6,21 @@
 
 #include "net/throughput_estimator.hpp"
 #include "util/expects.hpp"
-#include "util/rng.hpp"
 
 namespace veritas::core {
 
-Veritas::Veritas(VeritasConfig config) : config_(config) {
-  VERITAS_EXPECTS(config_.delta_s > 0.0);
-  VERITAS_EXPECTS(config_.epsilon_mbps > 0.0);
-  VERITAS_EXPECTS(config_.sigma_mbps > 0.0);
-  VERITAS_EXPECTS(config_.max_mbps >= config_.epsilon_mbps);
-  VERITAS_EXPECTS(config_.num_samples >= 1);
-}
+Veritas::Veritas(VeritasConfig config)
+    : engine_(std::make_shared<const InferenceEngine>(config)) {}
 
-Ehmm Veritas::make_ehmm() const {
-  StateSpace space(config_.epsilon_mbps, config_.max_mbps);
-  TransitionModel transition = [&] {
-    switch (config_.prior) {
-      case TransitionPrior::kUniform:
-        return TransitionModel::uniform(space.size());
-      case TransitionPrior::kBanded:
-        return TransitionModel::banded(space.size(), config_.band_width);
-      case TransitionPrior::kTridiagonal:
-      default:
-        return TransitionModel::tridiagonal(space.size(),
-                                            config_.transition_stay);
-    }
-  }();
-  EmissionModel emission(config_.sigma_mbps, config_.tcp, config_.estimator);
-  return Ehmm(std::move(space), std::move(transition), std::move(emission),
-              config_.delta_s);
-}
+Ehmm Veritas::make_ehmm() const { return engine_->ehmm(); }
 
 VeritasResult Veritas::infer(const sim::SessionLog& log) const {
-  const std::vector<ChunkObservation> observations =
-      observations_from_log(log);
-  const Ehmm ehmm = make_ehmm();
+  return engine_->infer(log);
+}
 
-  const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
-  const Ehmm::ForwardBackwardResult fb = ehmm.forward_backward(observations);
-
-  const double total_duration =
-      observations.back().end_s + config_.delta_s;
-
-  VeritasResult result;
-  result.log_likelihood = fb.log_likelihood;
-  result.posterior_marginals = fb.gamma;
-  result.map_states_mbps.reserve(observations.size());
-  for (const std::size_t s : viterbi.states) {
-    result.map_states_mbps.push_back(ehmm.space().value(s));
-  }
-  result.map_trace =
-      states_to_trace(ehmm.space(), viterbi.states, observations,
-                      config_.delta_s, total_duration, config_.interpolation);
-
-  util::Rng rng(config_.seed);
-  result.samples.reserve(config_.num_samples);
-  for (std::size_t k = 0; k < config_.num_samples; ++k) {
-    util::Rng child = rng.fork(k);
-    const std::vector<std::size_t> states =
-        sample_capacity_states(viterbi, fb, child, config_.sampler);
-    result.samples.push_back(
-        states_to_trace(ehmm.space(), states, observations, config_.delta_s,
-                        total_duration, config_.interpolation));
-  }
-  return result;
+std::vector<VeritasResult> Veritas::infer_batch(
+    std::span<const sim::SessionLog> logs, std::size_t num_threads) const {
+  return engine_->infer_batch(logs, num_threads);
 }
 
 NextChunkPrediction Veritas::predict_from_state(
@@ -84,7 +35,7 @@ NextChunkPrediction Veritas::predict_from_state(
   NextChunkPrediction prediction;
   prediction.expected_gtbw_mbps = expected;
   prediction.throughput_mbps = net::estimate_throughput_mbps(
-      expected, w, next_size_bytes, config_.tcp);
+      expected, w, next_size_bytes, config().tcp);
   prediction.download_time_s =
       prediction.throughput_mbps > 0.0
           ? next_size_bytes * 8.0 / 1e6 / prediction.throughput_mbps
@@ -134,7 +85,7 @@ NextChunkDistribution Veritas::predict_next_distribution(
   const std::vector<ChunkObservation> observations =
       observations_from_log(history);
   VERITAS_EXPECTS(next_start_s >= observations.back().start_s);
-  const Ehmm ehmm = make_ehmm();
+  const Ehmm& ehmm = engine_->ehmm();
   const std::size_t k = ehmm.space().size();
 
   // Smoothed posterior over the last chunk's state.
@@ -159,7 +110,7 @@ NextChunkDistribution Veritas::predict_next_distribution(
   dist.download_time_s.reserve(k);
   for (std::size_t j = 0; j < k; ++j) {
     dist.download_time_s.push_back(net::estimate_download_time_s(
-        dist.gtbw_mbps[j], w, next_size_bytes, config_.tcp));
+        dist.gtbw_mbps[j], w, next_size_bytes, config().tcp));
   }
   return dist;
 }
@@ -173,7 +124,7 @@ NextChunkPrediction Veritas::predict_next(const sim::SessionLog& history,
   const std::vector<ChunkObservation> observations =
       observations_from_log(history);
   VERITAS_EXPECTS(next_start_s >= observations.back().start_s);
-  const Ehmm ehmm = make_ehmm();
+  const Ehmm& ehmm = engine_->ehmm();
   const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
   const std::size_t delta = ehmm.window_of(next_start_s) -
                             ehmm.window_of(observations.back().start_s);
@@ -185,7 +136,7 @@ std::vector<NextChunkPrediction> Veritas::predict_sequence(
     const sim::SessionLog& log) const {
   const std::vector<ChunkObservation> observations =
       observations_from_log(log);
-  const Ehmm ehmm = make_ehmm();
+  const Ehmm& ehmm = engine_->ehmm();
   const std::size_t n_obs = observations.size();
   const std::size_t k = ehmm.space().size();
 
@@ -208,7 +159,7 @@ std::vector<NextChunkPrediction> Veritas::predict_sequence(
     p.expected_gtbw_mbps = expected;
     p.throughput_mbps = net::estimate_throughput_mbps(
         expected, observations[0].tcp, observations[0].size_bytes,
-        config_.tcp);
+        config().tcp);
     p.download_time_s =
         p.throughput_mbps > 0.0
             ? observations[0].size_bytes * 8.0 / 1e6 / p.throughput_mbps

@@ -7,48 +7,27 @@
 // traces that a counterfactual engine can replay under a new setting,
 // plus (c) interventional next-chunk predictions.
 //
+// The facade holds the configuration and delegates all inference to a
+// shared immutable InferenceEngine (core/inference_engine.hpp), built
+// once at construction: state space, transition model with its dense A^Δ
+// power table, and emission tables are precomputed and reused across
+// queries and threads. Use engine() / infer_batch() to serve many
+// sessions in parallel on the same model.
+//
 // Typical use:
 //   veritas::core::Veritas veritas;                  // paper defaults
 //   auto result = veritas.infer(session_log);
 //   for (const auto& trace : result.samples) { /* replay Setting B */ }
 #pragma once
 
-#include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/baseline.hpp"
-#include "core/ehmm.hpp"
-#include "core/reconstruction.hpp"
-#include "core/sampler.hpp"
-#include "trace/bandwidth_trace.hpp"
+#include "core/inference_engine.hpp"
 
 namespace veritas::core {
-
-/// Hyperparameters (defaults are the paper's §4.1 settings).
-struct VeritasConfig {
-  double delta_s = 5.0;          ///< GTBW transition interval δ
-  double epsilon_mbps = 0.5;     ///< GTBW quantization ε
-  double sigma_mbps = 0.5;       ///< emission noise σ
-  double max_mbps = 10.0;        ///< top of the state space
-  double transition_stay = 0.8;  ///< tridiagonal stay probability
-  TransitionPrior prior = TransitionPrior::kTridiagonal;
-  std::size_t band_width = 3;    ///< used when prior == kBanded
-  std::size_t num_samples = 5;   ///< posterior samples per query
-  Interpolation interpolation = Interpolation::kLinear;
-  EmissionModel::Estimator estimator = EmissionModel::Estimator::kFullTcp;
-  SamplerConfig sampler;
-  net::TcpConfig tcp;
-  std::uint64_t seed = 1234;
-};
-
-/// Output of the abduction step.
-struct VeritasResult {
-  trace::BandwidthTrace map_trace;             ///< Viterbi MAP GTBW trace
-  std::vector<trace::BandwidthTrace> samples;  ///< K posterior samples
-  std::vector<double> map_states_mbps;         ///< MAP GTBW per chunk
-  math::Matrix posterior_marginals;            ///< gamma: N x K
-  double log_likelihood = 0.0;                 ///< log P(observations)
-};
 
 /// Interventional prediction for one hypothetical next chunk.
 struct NextChunkPrediction {
@@ -82,6 +61,13 @@ class Veritas {
   /// Requires a non-empty log. Deterministic in config().seed.
   VeritasResult infer(const sim::SessionLog& log) const;
 
+  /// Batch abduction over many logs on the shared engine; `num_threads`
+  /// = 0 uses the hardware thread count. Results are identical to
+  /// calling infer() per log, independent of thread count.
+  std::vector<VeritasResult> infer_batch(
+      std::span<const sim::SessionLog> logs,
+      std::size_t num_threads = 0) const;
+
   /// Predicts the download time of a hypothetical next chunk of
   /// `next_size_bytes` starting at `next_start_s` in TCP state `w`,
   /// given the session so far (paper §4.4: a single most-likely GTBW
@@ -110,10 +96,20 @@ class Veritas {
   /// here for side-by-side comparisons.
   trace::BandwidthTrace baseline(const sim::SessionLog& log) const;
 
-  /// Builds the configured EHMM (for tests / advanced use).
+  /// A copy of the configured EHMM (for tests / advanced use). Prefer
+  /// engine().ehmm() to borrow the shared instance without copying.
   Ehmm make_ehmm() const;
 
-  const VeritasConfig& config() const noexcept { return config_; }
+  /// The shared immutable inference engine backing this facade.
+  const InferenceEngine& engine() const noexcept { return *engine_; }
+
+  /// Shared ownership of the engine, e.g. to hand to worker threads that
+  /// outlive this facade.
+  std::shared_ptr<const InferenceEngine> engine_ptr() const noexcept {
+    return engine_;
+  }
+
+  const VeritasConfig& config() const noexcept { return engine_->config(); }
 
  private:
   NextChunkPrediction predict_from_state(std::size_t state,
@@ -122,7 +118,7 @@ class Veritas {
                                          double next_size_bytes,
                                          const Ehmm& ehmm) const;
 
-  VeritasConfig config_;
+  std::shared_ptr<const InferenceEngine> engine_;
 };
 
 }  // namespace veritas::core

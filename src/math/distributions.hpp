@@ -3,10 +3,18 @@
 // normalization of weight vectors.
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <span>
 #include <vector>
 
 namespace veritas::math {
+
+/// Additive identity of max-plus / log-space accumulation.
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// log(x) tolerant of exact zero (yields -inf instead of a domain error).
+inline double safe_log(double x) { return x > 0.0 ? std::log(x) : kNegInf; }
 
 /// log N(x; mean, sigma^2). Requires sigma > 0.
 double log_normal_pdf(double x, double mean, double sigma);

@@ -27,19 +27,35 @@ Matrix Matrix::identity(std::size_t n) {
   return m;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
+  VERITAS_EXPECTS(rows > 0 && cols > 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
 Matrix Matrix::operator*(const Matrix& rhs) const {
+  Matrix out;
+  multiply_into(rhs, out);
+  return out;
+}
+
+void Matrix::multiply_into(const Matrix& rhs, Matrix& out) const {
   VERITAS_EXPECTS(cols_ == rhs.rows_);
-  Matrix out(rows_, rhs.cols_, 0.0);
+  VERITAS_EXPECTS(&out != this && &out != &rhs);
+  out.resize(rows_, rhs.cols_, 0.0);
+  // ikj order: the inner loop walks both rhs and out contiguously.
   for (std::size_t r = 0; r < rows_; ++r) {
+    double* out_row = out.row_data(r);
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(r, k);
       if (a == 0.0) continue;
+      const double* rhs_row = rhs.row_data(k);
       for (std::size_t c = 0; c < rhs.cols_; ++c) {
-        out(r, c) += a * rhs(k, c);
+        out_row[c] += a * rhs_row[c];
       }
     }
   }
-  return out;
 }
 
 std::vector<double> Matrix::operator*(std::span<const double> v) const {
@@ -87,11 +103,18 @@ Matrix matrix_power(const Matrix& a, std::size_t power) {
   VERITAS_EXPECTS(a.rows() == a.cols());
   Matrix result = Matrix::identity(a.rows());
   Matrix base = a;
+  Matrix scratch;
   std::size_t p = power;
   while (p > 0) {
-    if (p & 1U) result = result * base;
+    if (p & 1U) {
+      result.multiply_into(base, scratch);
+      std::swap(result, scratch);
+    }
     p >>= 1U;
-    if (p > 0) base = base * base;
+    if (p > 0) {
+      base.multiply_into(base, scratch);
+      std::swap(base, scratch);
+    }
   }
   return result;
 }

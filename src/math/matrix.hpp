@@ -39,8 +39,22 @@ class Matrix {
     return {data_.data() + r * cols_, cols_};
   }
 
+  /// Raw pointer to row r (contiguous, cols() entries) for hot loops.
+  double* row_data(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const double* row_data(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  /// Reshapes to rows x cols and refills every entry, reusing the
+  /// existing allocation when capacity suffices. Requires rows, cols > 0.
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
   /// Matrix product; requires this->cols() == rhs.rows().
   Matrix operator*(const Matrix& rhs) const;
+
+  /// out = (*this) * rhs, reusing out's storage (no allocation when out
+  /// already holds rows() x rhs.cols()). out must not alias an operand.
+  void multiply_into(const Matrix& rhs, Matrix& out) const;
 
   /// Matrix-vector product; requires v.size() == cols().
   std::vector<double> operator*(std::span<const double> v) const;

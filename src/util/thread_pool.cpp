@@ -1,0 +1,122 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "util/expects.hpp"
+
+namespace veritas::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  VERITAS_EXPECTS(job != nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    VERITAS_EXPECTS(!stopping_);
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t worker, std::size_t index)>& body) {
+  if (count == 0) return;
+  const std::size_t caller_lane = size();
+
+  // Shared cursor: lanes pull the next unclaimed index until drained.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto drain = [&](std::size_t lane) {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(lane, index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  // One pulling job per worker lane; the calling thread drains too. Lanes
+  // that find the cursor exhausted exit immediately, so submitting more
+  // jobs than items is harmless.
+  std::atomic<std::size_t> jobs_left{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  const std::size_t lanes = std::min(size(), count);
+  jobs_left.store(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    submit([&, lane] {
+      drain(lane);
+      // Notify under the lock: the waiter owns these stack locals, and
+      // may only observe jobs_left == 0 (and destroy them) after the
+      // mutex is released, i.e. after the cv access below is done.
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      jobs_left.fetch_sub(1);
+      done_cv.notify_one();
+    });
+  }
+
+  drain(caller_lane);
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return jobs_left.load() == 0; });
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace veritas::util

@@ -1,0 +1,65 @@
+// Minimal fixed-size worker pool for batch inference.
+//
+// Designed for the InferenceEngine's fan-out pattern: N independent
+// work items, one shared immutable model, one scratch arena per worker.
+// parallel_for hands out indices dynamically (an atomic cursor), so
+// uneven session lengths load-balance, and the calling thread works too —
+// a pool of size T applies T+1 threads to the loop.
+//
+// Exceptions thrown by the body are captured and the first one is
+// rethrown on the calling thread after every worker has stopped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace veritas::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed: parallel_for then runs
+  /// entirely on the calling thread).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (not counting the calling thread).
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Threads the hardware supports (>= 1 even when unknown).
+  static std::size_t hardware_threads() noexcept;
+
+  /// Runs body(worker, index) for every index in [0, count), blocking
+  /// until all complete. `worker` identifies the executing lane in
+  /// [0, size()]; lane size() is the calling thread. Lanes never run two
+  /// bodies concurrently, so per-lane scratch needs no locking.
+  void parallel_for(
+      std::size_t count,
+      const std::function<void(std::size_t worker, std::size_t index)>& body);
+
+  /// Enqueues one fire-and-forget job.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace veritas::util

@@ -1,0 +1,196 @@
+// Golden equivalence and determinism tests for the fused inference
+// engine: the single-pass path must be bit-identical to the seed
+// two-pass path (separate Viterbi and forward-backward runs, each with
+// its own emission computation), and infer_batch must be independent of
+// thread count.
+#include "core/inference_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/test_helpers.hpp"
+#include "core/veritas.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/expects.hpp"
+
+namespace veritas::core {
+namespace {
+
+using testing::deployed_log;
+
+std::vector<VeritasConfig> golden_configs() {
+  VeritasConfig full;  // paper defaults
+  VeritasConfig multi_window;
+  multi_window.estimator = EmissionModel::Estimator::kMultiWindow;
+  VeritasConfig banded;
+  banded.prior = TransitionPrior::kBanded;
+  banded.sampler.last_state = SamplerConfig::LastState::kPosterior;
+  VeritasConfig no_tcp;
+  no_tcp.estimator = EmissionModel::Estimator::kNoTcpState;
+  no_tcp.interpolation = Interpolation::kHold;
+  return {full, multi_window, banded, no_tcp};
+}
+
+sim::SessionLog shared_log(std::uint64_t seed = 2024) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, seed);
+  return deployed_log(traces[0]);
+}
+
+void expect_bit_identical(const Ehmm::ViterbiResult& a,
+                          const Ehmm::ViterbiResult& b) {
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.log_likelihood, b.log_likelihood);  // exact, not NEAR
+  ASSERT_EQ(a.scores.rows(), b.scores.rows());
+  EXPECT_EQ(a.scores.max_abs_diff(b.scores), 0.0);
+}
+
+void expect_bit_identical(const Ehmm::ForwardBackwardResult& a,
+                          const Ehmm::ForwardBackwardResult& b) {
+  EXPECT_EQ(a.log_likelihood, b.log_likelihood);
+  ASSERT_EQ(a.gamma.rows(), b.gamma.rows());
+  EXPECT_EQ(a.gamma.max_abs_diff(b.gamma), 0.0);
+  ASSERT_EQ(a.xi.size(), b.xi.size());
+  for (std::size_t n = 0; n < a.xi.size(); ++n) {
+    EXPECT_EQ(a.xi[n].max_abs_diff(b.xi[n]), 0.0) << "xi " << n;
+  }
+}
+
+void expect_bit_identical(const VeritasResult& a, const VeritasResult& b) {
+  EXPECT_EQ(a.log_likelihood, b.log_likelihood);
+  EXPECT_EQ(a.map_states_mbps, b.map_states_mbps);
+  EXPECT_EQ(a.posterior_marginals.max_abs_diff(b.posterior_marginals), 0.0);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  auto expect_trace_equal = [](const trace::BandwidthTrace& x,
+                               const trace::BandwidthTrace& y) {
+    ASSERT_EQ(x.windows(), y.windows());
+    for (std::size_t w = 0; w < x.windows(); ++w) {
+      EXPECT_EQ(x.values_mbps()[w], y.values_mbps()[w]);
+    }
+  };
+  expect_trace_equal(a.map_trace, b.map_trace);
+  for (std::size_t s = 0; s < a.samples.size(); ++s) {
+    expect_trace_equal(a.samples[s], b.samples[s]);
+  }
+}
+
+TEST(InferenceEngine, FusedPassMatchesSeedTwoPassBitExactly) {
+  const sim::SessionLog log = shared_log();
+  for (const VeritasConfig& cfg : golden_configs()) {
+    const InferenceEngine engine(cfg);
+    const auto observations = observations_from_log(log);
+
+    // Seed two-pass path: independent runs, each recomputing emissions.
+    const Ehmm& ehmm = engine.ehmm();
+    const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
+    const Ehmm::ForwardBackwardResult fb = ehmm.forward_backward(observations);
+
+    const Ehmm::InferencePass pass = engine.infer_session(observations);
+    expect_bit_identical(pass.viterbi, viterbi);
+    expect_bit_identical(pass.forward_backward, fb);
+  }
+}
+
+TEST(InferenceEngine, ScratchReuseAcrossSessionsIsClean) {
+  // One scratch arena reused across sessions of different lengths must
+  // not leak state between sessions.
+  const InferenceEngine engine(VeritasConfig{});
+  Ehmm::Scratch scratch;
+  const sim::SessionLog long_log = shared_log(2024);
+  const sim::SessionLog other_log = shared_log(7);
+
+  const auto long_obs = observations_from_log(long_log);
+  const auto short_obs = std::vector<ChunkObservation>(
+      long_obs.begin(), long_obs.begin() + 5);
+
+  const auto warm = engine.infer_session(observations_from_log(other_log),
+                                         scratch);
+  (void)warm;
+  const auto reused_short = engine.infer_session(short_obs, scratch);
+  const auto fresh_short = engine.infer_session(short_obs);
+  expect_bit_identical(reused_short.viterbi, fresh_short.viterbi);
+  expect_bit_identical(reused_short.forward_backward,
+                       fresh_short.forward_backward);
+
+  const auto reused_long = engine.infer_session(long_obs, scratch);
+  const auto fresh_long = engine.infer_session(long_obs);
+  expect_bit_identical(reused_long.viterbi, fresh_long.viterbi);
+  expect_bit_identical(reused_long.forward_backward,
+                       fresh_long.forward_backward);
+}
+
+TEST(InferenceEngine, SeededSamplesMatchFacade) {
+  // The facade delegates to the engine; both must reproduce the seed
+  // sampling protocol (Rng(seed).fork(k) per sample) exactly.
+  const sim::SessionLog log = shared_log();
+  for (const VeritasConfig& cfg : golden_configs()) {
+    const Veritas facade(cfg);
+    const InferenceEngine engine(cfg);
+    expect_bit_identical(facade.infer(log), engine.infer(log));
+  }
+}
+
+TEST(InferenceEngine, BatchMatchesSerialForEveryThreadCount) {
+  std::vector<sim::SessionLog> logs;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    logs.push_back(shared_log(seed));
+  }
+  const InferenceEngine engine(VeritasConfig{});
+
+  std::vector<VeritasResult> serial;
+  serial.reserve(logs.size());
+  for (const auto& log : logs) serial.push_back(engine.infer(log));
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const std::vector<VeritasResult> batch =
+        engine.infer_batch(logs, threads);
+    ASSERT_EQ(batch.size(), serial.size()) << threads << " threads";
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_bit_identical(batch[i], serial[i]);
+    }
+  }
+}
+
+TEST(InferenceEngine, BatchOfEmptySetIsEmpty) {
+  const InferenceEngine engine(VeritasConfig{});
+  EXPECT_TRUE(engine.infer_batch({}).empty());
+}
+
+TEST(InferenceEngine, SmallPowerTableFallsBackBitExactly) {
+  // Deltas beyond the dense table go through the mutex-guarded memo and
+  // the strided/log-on-the-fly recursion loops; results must not change.
+  const sim::SessionLog log = shared_log();
+  VeritasConfig cfg;
+  EngineOptions tiny;
+  tiny.precomputed_powers = 1;  // only A^0 and A^1 are dense
+  const InferenceEngine small(cfg, tiny);
+  const InferenceEngine big(cfg);
+  const auto observations = observations_from_log(log);
+
+  const auto pass_small = small.infer_session(observations);
+  const auto pass_big = big.infer_session(observations);
+  expect_bit_identical(pass_small.viterbi, pass_big.viterbi);
+  expect_bit_identical(pass_small.forward_backward, pass_big.forward_backward);
+}
+
+TEST(InferenceEngine, RejectsInvalidConfig) {
+  VeritasConfig bad;
+  bad.delta_s = 0.0;
+  EXPECT_THROW(InferenceEngine{bad}, veritas::ContractViolation);
+  bad = VeritasConfig{};
+  bad.num_samples = 0;
+  EXPECT_THROW(InferenceEngine{bad}, veritas::ContractViolation);
+}
+
+TEST(InferenceEngine, SharedAcrossThreadsViaFacade) {
+  // engine_ptr() hands out shared ownership; results through the shared
+  // engine equal results through the facade.
+  const Veritas facade;
+  const std::shared_ptr<const InferenceEngine> engine = facade.engine_ptr();
+  const sim::SessionLog log = shared_log();
+  expect_bit_identical(facade.infer(log), engine->infer(log));
+}
+
+}  // namespace
+}  // namespace veritas::core

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
+#include "math/distributions.hpp"
 #include "util/expects.hpp"
 
 namespace veritas::core {
@@ -91,6 +95,84 @@ TEST(TransitionModel, HighStayProbabilityConcentratesPower) {
   const TransitionModel m = TransitionModel::tridiagonal(9, 0.98);
   const math::Matrix& p = m.power(3);
   EXPECT_GT(p(4, 4), 0.9);
+}
+
+TEST(TransitionModel, PrecomputedPowersMatchFallbackBitExactly) {
+  TransitionModel dense = TransitionModel::tridiagonal(6);
+  dense.precompute_powers(16);
+  EXPECT_EQ(dense.precomputed_powers(), 17u);
+  const TransitionModel lazy = TransitionModel::tridiagonal(6);
+  for (std::size_t delta = 0; delta <= 20; ++delta) {
+    EXPECT_EQ(dense.power(delta).max_abs_diff(lazy.power(delta)), 0.0)
+        << "delta " << delta;
+  }
+}
+
+TEST(TransitionModel, PowerViewLayoutsAreConsistent) {
+  TransitionModel m = TransitionModel::tridiagonal(5);
+  m.precompute_powers(4);
+  for (std::size_t delta = 0; delta <= 4; ++delta) {
+    const TransitionModel::PowerView view = m.power_view(delta);
+    ASSERT_NE(view.p, nullptr);
+    ASSERT_NE(view.transposed, nullptr);
+    ASSERT_NE(view.log_transposed, nullptr);
+    for (std::size_t i = 0; i < 5; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) {
+        EXPECT_EQ((*view.transposed)(i, j), (*view.p)(j, i));
+        EXPECT_EQ((*view.log_transposed)(i, j),
+                  math::safe_log((*view.p)(j, i)));
+      }
+    }
+  }
+  // Beyond the dense table: the matrix is served, the layouts are not.
+  const TransitionModel::PowerView beyond = m.power_view(9);
+  ASSERT_NE(beyond.p, nullptr);
+  EXPECT_EQ(beyond.transposed, nullptr);
+  EXPECT_EQ(beyond.log_transposed, nullptr);
+}
+
+TEST(TransitionModel, PrecomputeIsIdempotentAndOnlyGrows) {
+  TransitionModel m = TransitionModel::tridiagonal(4);
+  m.precompute_powers(8);
+  const math::Matrix* before = &m.power(5);
+  m.precompute_powers(4);  // no-op: table already larger
+  EXPECT_EQ(m.precomputed_powers(), 9u);
+  EXPECT_EQ(&m.power(5), before);
+  m.precompute_powers(12);
+  EXPECT_EQ(m.precomputed_powers(), 13u);
+}
+
+TEST(TransitionModel, ConcurrentOverflowLookupsAreSafeAndStable) {
+  // Many threads hammer deltas beyond the dense table; every returned
+  // reference must stay valid and correct (the memo is mutex-guarded and
+  // std::map nodes are stable).
+  TransitionModel m = TransitionModel::tridiagonal(5);
+  m.precompute_powers(2);
+  const math::Matrix expected = math::matrix_power(m.matrix(), 33);
+  std::vector<std::thread> threads;
+  std::vector<double> worst(8, 1.0);
+  for (std::size_t t = 0; t < worst.size(); ++t) {
+    threads.emplace_back([&, t] {
+      double local = 0.0;
+      for (std::size_t delta = 30; delta < 40; ++delta) {
+        const math::Matrix& p = m.power(delta);
+        if (delta == 33) local = std::max(local, p.max_abs_diff(expected));
+      }
+      worst[t] = local;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const double w : worst) EXPECT_EQ(w, 0.0);
+}
+
+TEST(TransitionModel, CopyPreservesDenseTableAndIndependence) {
+  TransitionModel original = TransitionModel::tridiagonal(4);
+  original.precompute_powers(6);
+  const TransitionModel copy = original;
+  EXPECT_EQ(copy.precomputed_powers(), 7u);
+  EXPECT_EQ(copy.power(5).max_abs_diff(original.power(5)), 0.0);
+  // Distinct storage: the copy serves its own matrices.
+  EXPECT_NE(&copy.power(5), &original.power(5));
 }
 
 }  // namespace

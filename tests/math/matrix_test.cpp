@@ -126,5 +126,27 @@ TEST(MatrixPower, ConvergesToStationary) {
   EXPECT_NEAR(p(1, 0), 0.5, 1e-12);
 }
 
+TEST(Matrix, ResizeReshapesAndRefills) {
+  Matrix m(2, 3, 1.0);
+  m(1, 2) = 9.0;
+  m.resize(3, 2, 0.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_EQ(m(r, c), 0.5);
+  }
+  EXPECT_THROW(m.resize(0, 2), veritas::ContractViolation);
+}
+
+TEST(Matrix, MultiplyIntoMatchesOperator) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {0.0, -1.0}});
+  const Matrix b = Matrix::from_rows({{2.0, 0.5, 1.0}, {-1.0, 3.0, 0.0}});
+  Matrix out(1, 1, 7.0);  // wrong shape and stale data: must be reset
+  a.multiply_into(b, out);
+  EXPECT_EQ(out.max_abs_diff(a * b), 0.0);
+  Matrix aliased = a;
+  EXPECT_THROW(aliased.multiply_into(b, aliased), veritas::ContractViolation);
+}
+
 }  // namespace
 }  // namespace veritas::math

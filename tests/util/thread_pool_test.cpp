@@ -1,0 +1,95 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace veritas::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t, std::size_t index) {
+    hits[index].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, LaneIdsAreWithinRangeAndLanesAreSerial) {
+  ThreadPool pool(2);
+  // Each lane owns a slot; lanes never run two bodies concurrently, so
+  // unsynchronized per-lane accumulation must still add up.
+  std::vector<std::size_t> per_lane(pool.size() + 1, 0);
+  constexpr std::size_t kCount = 500;
+  pool.parallel_for(kCount, [&](std::size_t lane, std::size_t) {
+    ASSERT_LE(lane, pool.size());
+    ++per_lane[lane];
+  });
+  EXPECT_EQ(std::accumulate(per_lane.begin(), per_lane.end(), std::size_t{0}),
+            kCount);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsOnCaller) {
+  ThreadPool pool(0);
+  std::size_t calls = 0;
+  pool.parallel_for(10, [&](std::size_t lane, std::size_t) {
+    EXPECT_EQ(lane, 0u);  // caller lane == size() == 0
+    ++calls;              // single-threaded: no synchronization needed
+  });
+  EXPECT_EQ(calls, 10u);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t, std::size_t index) {
+      sum.fetch_add(index);
+    });
+    EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, BodyExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(50,
+                        [&](std::size_t, std::size_t index) {
+                          if (index == 17) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(10, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace veritas::util

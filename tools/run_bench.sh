@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the core perf benches and emits a BENCH_1.json snapshot seeding
+# the repo's perf trajectory: google-benchmark microbenches
+# (bench_micro_core) plus the batch/phase bench (bench_batch_infer,
+# wall-time per phase and sessions/sec at 1/2/4/N threads).
+#
+# Usage: tools/run_bench.sh [output.json]   (default: BENCH_1.json)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+out_json="${1:-${repo_root}/BENCH_1.json}"
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j --target bench_micro_core bench_batch_infer \
+  >/dev/null
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+echo "== bench_micro_core =="
+"${build_dir}/bench/bench_micro_core" \
+  --benchmark_min_time=0.5 \
+  --benchmark_out="${tmp_dir}/micro.json" \
+  --benchmark_out_format=json
+
+echo
+echo "== bench_batch_infer =="
+"${build_dir}/bench/bench_batch_infer" \
+  --sessions "${VERITAS_BENCH_SESSIONS:-64}" \
+  --repeat "${VERITAS_BENCH_REPEAT:-3}" \
+  --json "${tmp_dir}/batch.json"
+
+if command -v jq >/dev/null 2>&1; then
+  jq -n \
+    --slurpfile micro "${tmp_dir}/micro.json" \
+    --slurpfile batch "${tmp_dir}/batch.json" \
+    '{micro: $micro[0], batch: $batch[0]}' > "${out_json}"
+else
+  # No jq: the batch snapshot alone still carries the headline numbers.
+  cp "${tmp_dir}/batch.json" "${out_json}"
+fi
+echo
+echo "wrote ${out_json}"
