@@ -90,16 +90,21 @@ PhaseTimes time_phases(const core::InferenceEngine& engine,
     ehmm.forward_backward(observations[i], scratch);
   });
 
-  // Sampling: amortize over precomputed passes.
+  // Sampling: amortize over precomputed passes, one per session (the
+  // xi-free sampler reads the scratch arenas, so each session keeps the
+  // arena that its pass filled) — same per-index workload shape as the
+  // seed bench.
+  std::vector<core::Ehmm::Scratch> sample_scratch(n);
   std::vector<core::Ehmm::InferencePass> passes;
   passes.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    passes.push_back(ehmm.infer_fused(observations[i], scratch));
+    passes.push_back(ehmm.infer_fused(observations[i], sample_scratch[i]));
   }
   util::Rng rng(1);
   t.sampling_us = mean_us_per_session(n, repeat, [&](std::size_t i) {
-    core::sample_capacity_states(passes[i].viterbi,
-                                 passes[i].forward_backward, rng);
+    core::sample_capacity_states(ehmm, passes[i].viterbi,
+                                 passes[i].forward_backward,
+                                 sample_scratch[i], rng);
   });
 
   // Seed shape (independent passes, emissions recomputed) vs fused.

@@ -54,11 +54,12 @@ void BM_PosteriorSample(benchmark::State& state) {
   const core::Veritas veritas;
   const core::Ehmm ehmm = veritas.make_ehmm();
   const auto obs = core::observations_from_log(shared_log());
-  const auto viterbi = ehmm.viterbi(obs);
-  const auto fb = ehmm.forward_backward(obs);
+  core::Ehmm::Scratch scratch;
+  const auto pass = ehmm.infer_fused(obs, scratch);
   util::Rng rng(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::sample_capacity_states(viterbi, fb, rng));
+    benchmark::DoNotOptimize(core::sample_capacity_states(
+        ehmm, pass.viterbi, pass.forward_backward, scratch, rng));
   }
 }
 BENCHMARK(BM_PosteriorSample);

@@ -1,11 +1,88 @@
 #include "core/baum_welch.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "util/expects.hpp"
+#include "util/thread_pool.hpp"
 
 namespace veritas::core {
+
+namespace {
+
+/// Expected sufficient statistics of one session, accumulated on its
+/// E-step lane and merged into the global counts in session order.
+struct SessionStats {
+  math::Matrix transition_counts;  ///< k×k expected Δ=1 pair counts
+  std::vector<double> initial;     ///< gamma(0, ·)
+  double residual_sq = 0.0;
+  double residual_weight = 0.0;
+  double log_likelihood = 0.0;
+};
+
+/// Accumulates the session's statistics xi-free: the Δ=1 pair posterior
+/// entries Γ_n(i,j) = α_n(i) A(i,j) ẽ_{n+1}(j) β_{n+1}(j) / Z_n are
+/// formed term by term from the scratch arenas — the same values (same
+/// operation order) the seed read out of materialized xi matrices.
+void accumulate_session(const Ehmm& model,
+                        std::span<const ChunkObservation> obs,
+                        const Ehmm::ForwardBackwardResult& fb,
+                        const Ehmm::Scratch& scratch,
+                        const math::Matrix& plain_means,
+                        const BaumWelchConfig& config, SessionStats& stats) {
+  const std::size_t k = model.space().size();
+  stats.transition_counts.resize(k, k, 0.0);
+  stats.initial.assign(k, 0.0);
+  stats.residual_sq = 0.0;
+  stats.residual_weight = 0.0;
+  stats.log_likelihood = fb.log_likelihood;
+
+  for (std::size_t i = 0; i < k; ++i) {
+    stats.initial[i] += fb.gamma(0, i);
+  }
+
+  const math::Matrix& a_one = model.transition().power(1);
+  for (std::size_t n = 0; n + 1 < obs.size(); ++n) {
+    if (scratch.deltas[n + 1] != 1) continue;  // see header: Δ=1 pairs only
+    const double total = fb.pair_totals[n];
+    if (total > 0.0) {
+      const double* alpha_n = scratch.alpha.row_data(n);
+      const double* em_next = scratch.em.row_data(n + 1);
+      const double* beta_next = scratch.beta.row_data(n + 1);
+      for (std::size_t i = 0; i < k; ++i) {
+        const double alpha_i = alpha_n[i];
+        const double* a_row = a_one.row_data(i);
+        double* counts_row = stats.transition_counts.row_data(i);
+        for (std::size_t j = 0; j < k; ++j) {
+          counts_row[j] +=
+              alpha_i * a_row[j] * em_next[j] * beta_next[j] / total;
+        }
+      }
+    } else {
+      // Degenerate pair: independent marginals (the seed's fallback).
+      for (std::size_t i = 0; i < k; ++i) {
+        double* counts_row = stats.transition_counts.row_data(i);
+        for (std::size_t j = 0; j < k; ++j) {
+          counts_row[j] += fb.gamma(n, i) * fb.gamma(n + 1, j);
+        }
+      }
+    }
+  }
+
+  if (config.update_sigma) {
+    for (std::size_t n = 0; n < obs.size(); ++n) {
+      const double* mean_row = plain_means.row_data(n);
+      for (std::size_t i = 0; i < k; ++i) {
+        const double r = obs[n].throughput_mbps - mean_row[i];
+        stats.residual_sq += fb.gamma(n, i) * r * r;
+        stats.residual_weight += fb.gamma(n, i);
+      }
+    }
+  }
+}
+
+}  // namespace
 
 BaumWelchResult baum_welch_train(
     const Ehmm& initial,
@@ -16,12 +93,39 @@ BaumWelchResult baum_welch_train(
   VERITAS_EXPECTS(config.max_iterations >= 1);
 
   const std::size_t k = initial.space().size();
+  const std::size_t n_sessions = sessions.size();
   math::Matrix a = initial.transition().matrix();
   std::vector<double> u(initial.transition().initial().begin(),
                         initial.transition().initial().end());
   double sigma = initial.emission().sigma_mbps();
 
   BaumWelchResult result{TransitionModel(a, u), sigma, {}, 0};
+
+  // E-step lanes: `threads` total, pool workers plus the calling thread,
+  // each with a private scratch arena. Session -> lane assignment is
+  // dynamic; determinism comes from the ordered reduction below.
+  std::size_t threads = config.num_threads == 0
+                            ? util::ThreadPool::hardware_threads()
+                            : config.num_threads;
+  threads = std::clamp<std::size_t>(threads, 1, n_sessions);
+  util::ThreadPool pool(threads - 1);
+  std::vector<Ehmm::Scratch> scratch(pool.size() + 1);
+  std::vector<SessionStats> stats(n_sessions);
+
+  // The emission means f(candidate, W, S) do not depend on (A, u, σ), so
+  // they are computed once per session and reused across iterations —
+  // except under kMultiWindow with update_transition, where the
+  // span-averaged candidates move with A. `plain` additionally holds the
+  // un-averaged f(value(i)) matrix σ re-estimation needs; it aliases
+  // `means` unless the estimator span-averages.
+  const bool multi_window = initial.emission().estimator() ==
+                            EmissionModel::Estimator::kMultiWindow;
+  const bool reuse_means =
+      config.reuse_emission_means &&
+      !(multi_window && config.update_transition);
+  const bool needs_plain = config.update_sigma && multi_window;
+  std::vector<math::Matrix> means(n_sessions);
+  std::vector<math::Matrix> plain(needs_plain ? n_sessions : 0);
 
   double previous_ll = -std::numeric_limits<double>::infinity();
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
@@ -30,39 +134,38 @@ BaumWelchResult baum_welch_train(
                                    initial.emission().estimator()),
                      initial.delta_s());
 
+    pool.parallel_for(n_sessions, [&](std::size_t worker, std::size_t idx) {
+      const std::vector<ChunkObservation>& obs = sessions[idx];
+      Ehmm::Scratch& lane = scratch[worker];
+      if (iter == 0 || !reuse_means) {
+        model.emission_means_into(obs, means[idx], lane.emission_memo,
+                                  needs_plain ? &plain[idx] : nullptr);
+      }
+      const Ehmm::ForwardBackwardResult fb =
+          model.forward_backward_from_means(obs, means[idx], lane);
+      accumulate_session(model, obs, fb, lane,
+                         needs_plain ? plain[idx] : means[idx], config,
+                         stats[idx]);
+    });
+
+    // Ordered reduction: session-index order, independent of which lane
+    // produced each entry, so every thread count yields the same bits.
     math::Matrix transition_counts(k, k, config.smoothing);
     std::vector<double> initial_counts(k, config.smoothing);
     double residual_sq = 0.0;
     double residual_weight = 0.0;
     double total_ll = 0.0;
-
-    for (const std::vector<ChunkObservation>& obs : sessions) {
-      const Ehmm::ForwardBackwardResult fb = model.forward_backward(obs);
-      total_ll += fb.log_likelihood;
-      const std::vector<std::size_t> deltas = model.window_deltas(obs);
-
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      const SessionStats& st = stats[s];
+      total_ll += st.log_likelihood;
       for (std::size_t i = 0; i < k; ++i) {
-        initial_counts[i] += fb.gamma(0, i);
+        initial_counts[i] += st.initial[i];
+        const double* counts_row = st.transition_counts.row_data(i);
+        double* global_row = transition_counts.row_data(i);
+        for (std::size_t j = 0; j < k; ++j) global_row[j] += counts_row[j];
       }
-      for (std::size_t n = 0; n + 1 < obs.size(); ++n) {
-        if (deltas[n + 1] != 1) continue;  // see header: Δ=1 pairs only
-        for (std::size_t i = 0; i < k; ++i) {
-          for (std::size_t j = 0; j < k; ++j) {
-            transition_counts(i, j) += fb.xi[n](i, j);
-          }
-        }
-      }
-      if (config.update_sigma) {
-        for (std::size_t n = 0; n < obs.size(); ++n) {
-          for (std::size_t i = 0; i < k; ++i) {
-            const double mean = model.emission().mean_throughput_mbps(
-                model.space().value(i), obs[n]);
-            const double r = obs[n].throughput_mbps - mean;
-            residual_sq += fb.gamma(n, i) * r * r;
-            residual_weight += fb.gamma(n, i);
-          }
-        }
-      }
+      residual_sq += st.residual_sq;
+      residual_weight += st.residual_weight;
     }
 
     result.log_likelihoods.push_back(total_ll);

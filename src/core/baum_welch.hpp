@@ -9,6 +9,14 @@
 // approximation — exact EM would require conditional path expectations
 // through A^Δ). With all Δ <= 1 this is exact EM and the likelihood is
 // non-decreasing per iteration.
+//
+// The E-step is xi-free and parallel: each session's expected counts
+// are accumulated straight from its alpha/beta/emission rows (no pair
+// matrices materialized) on a util::ThreadPool lane, and the per-session
+// statistics are reduced in session-index order — so the trained
+// parameters are bit-identical for every thread count. Emission means
+// (the TCP estimator f) are invariant in (A, u, σ) and are cached per
+// session across EM iterations instead of recomputed each one.
 #pragma once
 
 #include <span>
@@ -26,6 +34,15 @@ struct BaumWelchConfig {
   bool update_sigma = false;      ///< re-estimate emission noise σ
   double smoothing = 1e-6;        ///< additive smoothing of counts
   double min_sigma_mbps = 0.05;   ///< floor when update_sigma is on
+  /// E-step lanes (sessions fan out across a util::ThreadPool); 0 means
+  /// the hardware thread count. Any value yields bit-identical results:
+  /// per-session statistics are merged in session order.
+  std::size_t num_threads = 0;
+  /// Cache each session's emission-mean matrix across EM iterations.
+  /// Disabled automatically under kMultiWindow with update_transition
+  /// (there the span-averaged means depend on A). The `false` setting is
+  /// the bench ablation: re-run the TCP estimator every iteration.
+  bool reuse_emission_means = true;
 };
 
 struct BaumWelchResult {

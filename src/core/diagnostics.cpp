@@ -38,8 +38,10 @@ InferenceDiagnostics diagnose(const Veritas& veritas,
   const std::vector<ChunkObservation> observations =
       observations_from_log(log);
   const Ehmm& ehmm = veritas.engine().ehmm();
-  const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
-  const Ehmm::ForwardBackwardResult fb = ehmm.forward_backward(observations);
+  Ehmm::Scratch scratch;
+  const Ehmm::InferencePass pass = ehmm.infer_fused(observations, scratch);
+  const Ehmm::ViterbiResult& viterbi = pass.viterbi;
+  const Ehmm::ForwardBackwardResult& fb = pass.forward_backward;
   const std::size_t k = ehmm.space().size();
 
   InferenceDiagnostics diagnostics;

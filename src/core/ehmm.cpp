@@ -1,7 +1,9 @@
 #include "core/ehmm.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "math/distributions.hpp"
 #include "util/expects.hpp"
@@ -10,6 +12,38 @@ namespace veritas::core {
 
 using math::kNegInf;
 using math::safe_log;
+
+bool Ehmm::EmissionMemo::Key::operator==(const Key& other) const noexcept {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  return bits(cwnd) == bits(other.cwnd) &&
+         bits(ssthresh) == bits(other.ssthresh) &&
+         bits(rto) == bits(other.rto) &&
+         bits(min_rtt) == bits(other.min_rtt) &&
+         bits(rtt) == bits(other.rtt) && bits(gap) == bits(other.gap) &&
+         bits(size) == bits(other.size);
+}
+
+std::size_t Ehmm::EmissionMemo::KeyHash::operator()(
+    const Key& key) const noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const double v : {key.cwnd, key.ssthresh, key.rto, key.min_rtt,
+                         key.rtt, key.gap, key.size}) {
+    std::uint64_t x = std::bit_cast<std::uint64_t>(v);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    h = (h ^ x) * 0x2545f4914f6cdd1dULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+Ehmm::EmissionMemo::Key Ehmm::EmissionMemo::key_of(
+    const ChunkObservation& obs) noexcept {
+  return Key{obs.tcp.cwnd_segments, obs.tcp.ssthresh_segments,
+             obs.tcp.rto_s,         obs.tcp.min_rtt_s,
+             obs.tcp.rtt_s,         obs.tcp.last_send_gap_s,
+             obs.size_bytes};
+}
 
 Ehmm::Ehmm(StateSpace space, TransitionModel transition,
            EmissionModel emission, double delta_s,
@@ -78,19 +112,39 @@ std::vector<std::size_t> Ehmm::window_deltas(
   return deltas;
 }
 
-void Ehmm::emission_log_probs_into(
-    std::span<const ChunkObservation> observations, math::Matrix& out) const {
+void Ehmm::emission_means_into(std::span<const ChunkObservation> observations,
+                               math::Matrix& means, EmissionMemo& memo,
+                               math::Matrix* plain_means) const {
   VERITAS_EXPECTS(!observations.empty());
   const std::size_t n_obs = observations.size();
   const std::size_t k = space_.size();
-  out.resize(n_obs, k, kNegInf);
+  memo.clear();
+  means.resize(n_obs, k, 0.0);
+  if (plain_means != nullptr) plain_means->resize(n_obs, k, 0.0);
   for (std::size_t n = 0; n < n_obs; ++n) {
     const ChunkObservation& obs = observations[n];
-    double* out_row = out.row_data(n);
+    double* mean_row = means.row_data(n);
+    double* plain_row =
+        plain_means != nullptr ? plain_means->row_data(n) : nullptr;
+    const auto [it, inserted] = memo.rows.try_emplace(
+        EmissionMemo::key_of(obs), static_cast<std::uint32_t>(n));
+    if (!inserted) {
+      // A chunk with this exact (TCP state, size) tuple already ran the
+      // estimator: its mean row is identical.
+      const std::size_t src = it->second;
+      std::memcpy(mean_row, means.row_data(src), k * sizeof(double));
+      if (plain_row != nullptr) {
+        std::memcpy(plain_row, plain_means->row_data(src),
+                    k * sizeof(double));
+      }
+      continue;
+    }
     for (std::size_t i = 0; i < k; ++i) {
       const double candidate = space_.value(i);
+      const double y0 = emission_.mean_throughput_mbps(candidate, obs);
+      if (plain_row != nullptr) plain_row[i] = y0;
       if (!multi_window_) {
-        out_row[i] = emission_.log_prob(candidate, obs);
+        mean_row[i] = y0;
         continue;
       }
       // Replace the candidate with its expected average over the
@@ -99,7 +153,6 @@ void Ehmm::emission_log_probs_into(
       // E[C_{sn+m} | C_sn = candidate] over it. For spans <= 1 the
       // candidate is unchanged, so the mean computed for the span
       // estimate is already the emission mean — no second estimator call.
-      const double y0 = emission_.mean_throughput_mbps(candidate, obs);
       std::size_t span_windows = 1;
       if (y0 > 1e-9) {
         const double est_duration = obs.size_bytes * 8.0 / 1e6 / y0;
@@ -107,12 +160,39 @@ void Ehmm::emission_log_probs_into(
             static_cast<std::size_t>(est_duration / delta_s_) + 1,
             kMaxSpanWindows);
       }
-      out_row[i] =
+      mean_row[i] =
           span_windows > 1
-              ? emission_.log_prob(span_candidates_(i, span_windows), obs)
-              : emission_.log_prob_given_mean(y0, obs);
+              ? emission_.mean_throughput_mbps(
+                    span_candidates_(i, span_windows), obs)
+              : y0;
     }
   }
+}
+
+void Ehmm::emission_log_probs_from_means_into(
+    std::span<const ChunkObservation> observations, const math::Matrix& means,
+    math::Matrix& out) const {
+  VERITAS_EXPECTS(!observations.empty());
+  const std::size_t n_obs = observations.size();
+  const std::size_t k = space_.size();
+  VERITAS_EXPECTS(means.rows() == n_obs && means.cols() == k);
+  out.resize(n_obs, k, kNegInf);
+  for (std::size_t n = 0; n < n_obs; ++n) {
+    const ChunkObservation& obs = observations[n];
+    const double* mean_row = means.row_data(n);
+    double* out_row = out.row_data(n);
+    for (std::size_t i = 0; i < k; ++i) {
+      out_row[i] = emission_.log_prob_given_mean(mean_row[i], obs);
+    }
+  }
+}
+
+void Ehmm::emission_log_probs_into(
+    std::span<const ChunkObservation> observations, math::Matrix& out) const {
+  EmissionMemo memo;
+  math::Matrix means;
+  emission_means_into(observations, means, memo);
+  emission_log_probs_from_means_into(observations, means, out);
 }
 
 math::Matrix Ehmm::emission_log_probs(
@@ -125,7 +205,10 @@ math::Matrix Ehmm::emission_log_probs(
 void Ehmm::prepare(std::span<const ChunkObservation> observations,
                    Scratch& scratch) const {
   VERITAS_EXPECTS(!observations.empty());
-  emission_log_probs_into(observations, scratch.log_emission);
+  emission_means_into(observations, scratch.emission_mean,
+                      scratch.emission_memo);
+  emission_log_probs_from_means_into(observations, scratch.emission_mean,
+                                     scratch.log_emission);
   window_deltas_into(observations, scratch.deltas);
 }
 
@@ -313,39 +396,130 @@ void Ehmm::forward_backward_from(std::size_t n_obs, Scratch& scratch,
     math::normalize(std::span<double>(gamma_n, k));
   }
 
-  // Pair posteriors Γ (paper Eq. 6).
-  result.xi.clear();
-  result.xi.reserve(n_obs - 1);
+  // Pair-posterior normalizers (paper Eq. 6). Only the scalar Z_n is
+  // kept — accumulated in the exact element order the seed used when it
+  // materialized xi, so everything reconstructed from it (sampler
+  // columns, Baum-Welch counts, pair_posterior) stays bit-identical —
+  // while the N-1 k×k allocations, stores and divides disappear.
+  result.pair_totals.clear();
+  result.pair_totals.reserve(n_obs - 1);
   for (std::size_t n = 0; n + 1 < n_obs; ++n) {
     const math::Matrix& a_delta = transition_.power(scratch.deltas[n + 1]);
     const double* alpha_n = alpha.row_data(n);
     const double* em_next = em.row_data(n + 1);
     const double* beta_next = beta.row_data(n + 1);
-    math::Matrix pair(k, k, 0.0);
     double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double* a_row = a_delta.row_data(i);
+      const double alpha_i = alpha_n[i];
+      for (std::size_t j = 0; j < k; ++j) {
+        total += alpha_i * a_row[j] * em_next[j] * beta_next[j];
+      }
+    }
+    result.pair_totals.push_back(total);
+  }
+}
+
+math::Matrix Ehmm::pair_posterior(const ForwardBackwardResult& fb,
+                                  const Scratch& scratch,
+                                  std::size_t n) const {
+  const std::size_t k = space_.size();
+  VERITAS_EXPECTS(n < fb.pair_totals.size());
+  VERITAS_EXPECTS(scratch.alpha.rows() == fb.gamma.rows());
+  const math::Matrix& a_delta = transition_.power(scratch.deltas[n + 1]);
+  const double* alpha_n = scratch.alpha.row_data(n);
+  const double* em_next = scratch.em.row_data(n + 1);
+  const double* beta_next = scratch.beta.row_data(n + 1);
+  const double total = fb.pair_totals[n];
+  math::Matrix pair(k, k, 0.0);
+  if (total > 0.0) {
     for (std::size_t i = 0; i < k; ++i) {
       const double* a_row = a_delta.row_data(i);
       double* pair_row = pair.row_data(i);
       for (std::size_t j = 0; j < k; ++j) {
-        const double v = alpha_n[i] * a_row[j] * em_next[j] * beta_next[j];
-        pair_row[j] = v;
-        total += v;
+        pair_row[j] =
+            alpha_n[i] * a_row[j] * em_next[j] * beta_next[j] / total;
       }
     }
-    if (total > 0.0) {
-      for (std::size_t i = 0; i < k; ++i) {
-        for (std::size_t j = 0; j < k; ++j) pair(i, j) /= total;
+  } else {
+    // Degenerate: independent marginals (the seed's fallback).
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        pair(i, j) = fb.gamma(n, i) * fb.gamma(n + 1, j);
       }
-    } else {
-      // Degenerate: fall back to independent marginals.
-      for (std::size_t i = 0; i < k; ++i) {
-        for (std::size_t j = 0; j < k; ++j) {
-          pair(i, j) = result.gamma(n, i) * result.gamma(n + 1, j);
+    }
+  }
+  return pair;
+}
+
+std::vector<std::size_t> Ehmm::sample_posterior(
+    const ViterbiResult& viterbi, const ForwardBackwardResult& fb,
+    const Scratch& scratch, util::Rng& rng,
+    const SamplerConfig& config) const {
+  const std::size_t n_obs = viterbi.states.size();
+  VERITAS_EXPECTS(n_obs >= 1);
+  VERITAS_EXPECTS(fb.pair_totals.size() + 1 == n_obs);
+  VERITAS_EXPECTS(fb.gamma.rows() == n_obs);
+  VERITAS_EXPECTS(scratch.alpha.rows() == n_obs);
+  const std::size_t k = fb.gamma.cols();
+
+  std::vector<std::size_t> states(n_obs, 0);
+  switch (config.last_state) {
+    case SamplerConfig::LastState::kViterbi:
+      states[n_obs - 1] = viterbi.states[n_obs - 1];
+      break;
+    case SamplerConfig::LastState::kPosterior:
+      states[n_obs - 1] = rng.categorical(fb.gamma.row(n_obs - 1));
+      break;
+  }
+
+  // Backward sampling through the pair posterior Γ: the needed column
+  // Γ(·, next, n) is rebuilt from one alpha row, one A^Δ column and two
+  // scalars — the same values the seed read out of its materialized xi.
+  std::vector<double> weights(k, 0.0);
+  for (std::size_t n = n_obs - 1; n-- > 0;) {
+    const std::size_t next = states[n + 1];
+    const double total_n = fb.pair_totals[n];
+    double total = 0.0;
+    if (total_n > 0.0) {
+      const TransitionModel::PowerView view =
+          transition_.power_view(scratch.deltas[n + 1]);
+      const double* alpha_n = scratch.alpha.row_data(n);
+      const double em_next = scratch.em(n + 1, next);
+      const double beta_next = scratch.beta(n + 1, next);
+      if (view.transposed != nullptr) {
+        const double* a_col = view.transposed->row_data(next);
+        for (std::size_t i = 0; i < k; ++i) {
+          weights[i] =
+              alpha_n[i] * a_col[i] * em_next * beta_next / total_n;
+          total += weights[i];
+        }
+      } else {
+        const math::Matrix& a_delta = *view.p;
+        for (std::size_t i = 0; i < k; ++i) {
+          weights[i] =
+              alpha_n[i] * a_delta(i, next) * em_next * beta_next / total_n;
+          total += weights[i];
         }
       }
+    } else {
+      // Degenerate pair: independent marginals.
+      for (std::size_t i = 0; i < k; ++i) {
+        weights[i] = fb.gamma(n, i) * fb.gamma(n + 1, next);
+        total += weights[i];
+      }
     }
-    result.xi.push_back(std::move(pair));
+    if (total <= 0.0) {
+      // Degenerate column (the pinned next state has zero pair mass,
+      // possible when the Viterbi path disagrees with smoothing tails):
+      // fall back to the smoothed marginal at n.
+      for (std::size_t i = 0; i < k; ++i) {
+        weights[i] = fb.gamma(n, i);
+      }
+    }
+    states[n] = rng.categorical(weights);
   }
+  return states;
 }
 
 Ehmm::ViterbiResult Ehmm::viterbi(
@@ -374,6 +548,18 @@ Ehmm::ForwardBackwardResult Ehmm::forward_backward(
     std::span<const ChunkObservation> observations) const {
   Scratch scratch;
   return forward_backward(observations, scratch);
+}
+
+Ehmm::ForwardBackwardResult Ehmm::forward_backward_from_means(
+    std::span<const ChunkObservation> observations, const math::Matrix& means,
+    Scratch& scratch) const {
+  VERITAS_EXPECTS(!observations.empty());
+  emission_log_probs_from_means_into(observations, means,
+                                     scratch.log_emission);
+  window_deltas_into(observations, scratch.deltas);
+  ForwardBackwardResult result;
+  forward_backward_from(observations.size(), scratch, result);
+  return result;
 }
 
 Ehmm::InferencePass Ehmm::infer_fused(

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/emission_model.hpp"
@@ -29,8 +30,19 @@
 #include "core/state_space.hpp"
 #include "core/transition_model.hpp"
 #include "math/matrix.hpp"
+#include "util/rng.hpp"
 
 namespace veritas::core {
+
+/// How the posterior capacity sampler (paper Algorithm 1) chooses the
+/// final chunk's state before backward sampling.
+struct SamplerConfig {
+  enum class LastState {
+    kViterbi,    ///< paper Algorithm 1: pin to the MAP final state
+    kPosterior,  ///< pure FFBS: sample from gamma(N-1, ·)
+  };
+  LastState last_state = LastState::kViterbi;
+};
 
 class Ehmm {
  public:
@@ -51,12 +63,40 @@ class Ehmm {
   const EmissionModel& emission() const noexcept { return emission_; }
   double delta_s() const noexcept { return delta_s_; }
 
+  /// Per-session memo over the TCP emission kernel: the k-state mean row
+  /// of chunk n is a pure function of its (TCP state, size) tuple, so
+  /// each distinct tuple runs the estimator f once per session — one
+  /// entry covers every (state bucket, tcp-state, size) argument triple,
+  /// span-candidate evaluations included — and repeats become row
+  /// copies. Cleared at the start of each session.
+  struct EmissionMemo {
+    struct Key {
+      double cwnd, ssthresh, rto, min_rtt, rtt, gap, size;
+      /// Bit-pattern equality, matching KeyHash (which hashes bit
+      /// patterns): double == would make +0.0 and -0.0 equal keys with
+      /// different hashes — undefined for unordered_map. Distinct bit
+      /// patterns just miss a dedup; correctness is unaffected.
+      bool operator==(const Key& other) const noexcept;
+    };
+    struct KeyHash {
+      std::size_t operator()(const Key& key) const noexcept;
+    };
+    static Key key_of(const ChunkObservation& obs) noexcept;
+
+    /// Maps a tuple to the first observation row computed for it.
+    std::unordered_map<Key, std::uint32_t, KeyHash> rows;
+    void clear() { rows.clear(); }
+  };
+
   /// Reusable per-session workspace. A default-constructed Scratch works
   /// for any session; buffers grow to the largest session seen and are
   /// reused, so the recursions allocate nothing in steady state. Use one
-  /// Scratch per thread.
+  /// Scratch per thread. After forward_backward the alpha/beta/em/deltas
+  /// buffers hold that session's tables — sample_posterior and
+  /// pair_posterior read them instead of materialized xi matrices.
   struct Scratch {
     math::Matrix log_emission;        ///< N x K emission log-probs
+    math::Matrix emission_mean;       ///< N x K emission means f(...)
     math::Matrix em;                  ///< row-scaled emissions exp(logE - max)
     math::Matrix alpha;               ///< scaled forward table
     math::Matrix beta;                ///< scaled backward table
@@ -65,6 +105,7 @@ class Ehmm {
     std::vector<double> log_scale;    ///< forward scaling factors
     std::vector<double> row;          ///< K-sized recursion buffer
     std::vector<std::uint32_t> back;  ///< flat N*K Viterbi backpointers
+    EmissionMemo emission_memo;       ///< per-session estimator memo
   };
 
   /// GTBW window index of wall-clock time t.
@@ -84,6 +125,23 @@ class Ehmm {
   void emission_log_probs_into(std::span<const ChunkObservation> observations,
                                math::Matrix& out) const;
 
+  /// N x K matrix of emission means: (n, i) -> f(candidate_i, W_sn, S_n),
+  /// span-averaged under kMultiWindow. Deduplicated through `memo`
+  /// (cleared on entry). When `plain_means` is non-null it receives the
+  /// un-averaged f(value(i), W, S) matrix — what Baum-Welch's σ
+  /// re-estimate consumes; identical to `means` except under
+  /// kMultiWindow, and filled from the same estimator evaluations.
+  void emission_means_into(std::span<const ChunkObservation> observations,
+                           math::Matrix& means, EmissionMemo& memo,
+                           math::Matrix* plain_means = nullptr) const;
+
+  /// Emission log-probs from precomputed means:
+  /// out(n, i) = log Normal(Y_n; means(n, i), σ). Composing this with
+  /// emission_means_into is bit-identical to emission_log_probs_into.
+  void emission_log_probs_from_means_into(
+      std::span<const ChunkObservation> observations,
+      const math::Matrix& means, math::Matrix& out) const;
+
   struct ViterbiResult {
     std::vector<std::size_t> states;  ///< MAP state index per chunk (I*)
     double log_likelihood = 0.0;      ///< log P(obs, I*) up to emission scaling
@@ -101,9 +159,13 @@ class Ehmm {
   struct ForwardBackwardResult {
     /// gamma(n, i) = P(C_sn = value(i) | all observations).
     math::Matrix gamma;
-    /// xi[n](i, j) = Γ_{i,j,n} = P(C_sn = i, C_s(n+1) = j | observations)
-    /// for n = 0..N-2 (paper Eq. 6).
-    std::vector<math::Matrix> xi;
+    /// pair_totals[n] = Σ_{i,j} α_n(i) A^Δ(i,j) ẽ_{n+1}(j) β_{n+1}(j) for
+    /// n = 0..N-2: the normalizer of the pair posterior Γ_n (paper
+    /// Eq. 6). Γ itself is no longer materialized — the seed allocated
+    /// N-1 k×k xi matrices that only the sampler and Baum-Welch read;
+    /// both now consume the alpha/beta/emission rows in Scratch
+    /// directly, and pair_posterior() rebuilds one Γ_n on demand.
+    std::vector<double> pair_totals;
     /// log P(observations) under the model.
     double log_likelihood = 0.0;
   };
@@ -113,6 +175,34 @@ class Ehmm {
       std::span<const ChunkObservation> observations) const;
   ForwardBackwardResult forward_backward(
       std::span<const ChunkObservation> observations, Scratch& scratch) const;
+
+  /// Forward-backward with caller-supplied emission means (as produced
+  /// by emission_means_into). The means are invariant in (A, u, σ), so
+  /// Baum-Welch computes them once per session and reuses them across
+  /// EM iterations. Bit-identical to forward_backward when the means
+  /// match the model's.
+  ForwardBackwardResult forward_backward_from_means(
+      std::span<const ChunkObservation> observations,
+      const math::Matrix& means, Scratch& scratch) const;
+
+  /// One pair posterior Γ_n (k×k), rebuilt from the scratch arenas of
+  /// the forward_backward call that produced `fb`. Bit-identical to the
+  /// xi[n] matrix the seed materialized, degenerate fallback included.
+  /// Compatibility accessor for tests/diagnostics; hot paths never
+  /// build the matrix.
+  math::Matrix pair_posterior(const ForwardBackwardResult& fb,
+                              const Scratch& scratch, std::size_t n) const;
+
+  /// Draws one posterior state sequence (paper Algorithm 1): pins or
+  /// samples the final state, then samples backward through the pair
+  /// posterior — reconstructed on the fly from alpha/beta/emission rows
+  /// in `scratch`, never materializing Γ. Draws are bit-identical to the
+  /// seed's xi-based sampler for the same Rng state. Requires viterbi,
+  /// fb and scratch from the same observations (e.g. via infer_fused).
+  std::vector<std::size_t> sample_posterior(
+      const ViterbiResult& viterbi, const ForwardBackwardResult& fb,
+      const Scratch& scratch, util::Rng& rng,
+      const SamplerConfig& config = {}) const;
 
   /// Fused single pass: emission log-probs and window deltas are computed
   /// once and shared by the Viterbi and forward-backward recursions.

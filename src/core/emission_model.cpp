@@ -48,7 +48,9 @@ double EmissionModel::mean_throughput_mbps(double candidate_mbps,
       return net::estimate_throughput_no_tcp_state_mbps(
           candidate_mbps, obs.tcp, obs.size_bytes, tcp_config_);
   }
-  return 0.0;  // unreachable
+  // Exhaustive switch, no default: -Wswitch flags a future Estimator
+  // value at compile time instead of silently returning 0 here.
+  VERITAS_UNREACHABLE();
 }
 
 double EmissionModel::log_prob(double candidate_mbps,

@@ -81,7 +81,7 @@ VeritasResult InferenceEngine::infer(const sim::SessionLog& log,
   for (std::size_t k = 0; k < config_.num_samples; ++k) {
     util::Rng child = rng.fork(k);
     const std::vector<std::size_t> states =
-        sample_capacity_states(viterbi, fb, child, config_.sampler);
+        ehmm_.sample_posterior(viterbi, fb, scratch, child, config_.sampler);
     result.samples.push_back(
         states_to_trace(ehmm_.space(), states, observations, config_.delta_s,
                         total_duration, config_.interpolation));

@@ -1,52 +1,14 @@
 #include "core/sampler.hpp"
 
-#include "math/distributions.hpp"
-#include "util/expects.hpp"
-
 namespace veritas::core {
 
 std::vector<std::size_t> sample_capacity_states(
-    const Ehmm::ViterbiResult& viterbi,
-    const Ehmm::ForwardBackwardResult& forward_backward, util::Rng& rng,
+    const Ehmm& ehmm, const Ehmm::ViterbiResult& viterbi,
+    const Ehmm::ForwardBackwardResult& forward_backward,
+    const Ehmm::Scratch& scratch, util::Rng& rng,
     const SamplerConfig& config) {
-  const std::size_t n_obs = viterbi.states.size();
-  VERITAS_EXPECTS(n_obs >= 1);
-  VERITAS_EXPECTS(forward_backward.xi.size() + 1 == n_obs);
-  const std::size_t k = forward_backward.gamma.cols();
-
-  std::vector<std::size_t> states(n_obs, 0);
-
-  switch (config.last_state) {
-    case SamplerConfig::LastState::kViterbi:
-      states[n_obs - 1] = viterbi.states[n_obs - 1];
-      break;
-    case SamplerConfig::LastState::kPosterior: {
-      states[n_obs - 1] = rng.categorical(forward_backward.gamma.row(n_obs - 1));
-      break;
-    }
-  }
-
-  // Backward sampling through the pair posterior Γ.
-  std::vector<double> weights(k, 0.0);
-  for (std::size_t n = n_obs - 1; n-- > 0;) {
-    const math::Matrix& pair = forward_backward.xi[n];
-    const std::size_t next = states[n + 1];
-    double total = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      weights[i] = pair(i, next);
-      total += weights[i];
-    }
-    if (total <= 0.0) {
-      // Degenerate column (the pinned next state has zero pair mass,
-      // possible when the Viterbi path disagrees with smoothing tails):
-      // fall back to the smoothed marginal at n.
-      for (std::size_t i = 0; i < k; ++i) {
-        weights[i] = forward_backward.gamma(n, i);
-      }
-    }
-    states[n] = rng.categorical(weights);
-  }
-  return states;
+  return ehmm.sample_posterior(viterbi, forward_backward, scratch, rng,
+                               config);
 }
 
 }  // namespace veritas::core

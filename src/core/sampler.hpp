@@ -6,6 +6,12 @@
 // Each call yields one plausible GTBW assignment at the chunk starts,
 // capturing the uncertainty inherent in the inversion; Veritas replays
 // several samples to produce a range of what-if outcomes.
+//
+// The sampler is xi-free: Γ is never materialized. The needed column is
+// rebuilt on the fly from the alpha/beta/emission rows left in
+// Ehmm::Scratch by the forward_backward pass (Ehmm::sample_posterior);
+// this header keeps the free-function spelling and re-exports
+// SamplerConfig (now defined next to Ehmm).
 #pragma once
 
 #include <span>
@@ -16,20 +22,14 @@
 
 namespace veritas::core {
 
-struct SamplerConfig {
-  /// How the final chunk's state is chosen before backward sampling.
-  enum class LastState {
-    kViterbi,    ///< paper Algorithm 1: pin to the MAP final state
-    kPosterior,  ///< pure FFBS: sample from gamma(N-1, ·)
-  };
-  LastState last_state = LastState::kViterbi;
-};
-
 /// Draws one state-index sequence (length N) from the posterior.
-/// Requires viterbi/fb computed from the same observations.
+/// Requires viterbi/forward_backward/scratch computed from the same
+/// observations (e.g. one Ehmm::infer_fused call). Forwards to
+/// Ehmm::sample_posterior.
 std::vector<std::size_t> sample_capacity_states(
-    const Ehmm::ViterbiResult& viterbi,
-    const Ehmm::ForwardBackwardResult& forward_backward, util::Rng& rng,
+    const Ehmm& ehmm, const Ehmm::ViterbiResult& viterbi,
+    const Ehmm::ForwardBackwardResult& forward_backward,
+    const Ehmm::Scratch& scratch, util::Rng& rng,
     const SamplerConfig& config = {});
 
 }  // namespace veritas::core

@@ -40,6 +40,14 @@ double segments_for_bytes(double size_bytes, const TcpConfig& config) {
   return std::ceil(size_bytes / config.mss_bytes);
 }
 
+bool in_slow_start(double cwnd_segments, double ssthresh_segments,
+                   double bdp_segments, const TcpConfig& config) {
+  const bool delay_exit =
+      config.enable_hystart &&
+      cwnd_segments >= config.hystart_bdp_fraction * bdp_segments;
+  return cwnd_segments < ssthresh_segments && !delay_exit;
+}
+
 double grow_window(double cwnd_segments, double ssthresh_segments,
                    double bdp_segments, const TcpConfig& config) {
   if (config.congestion_control == CongestionControl::kBbrLike) {
@@ -53,12 +61,10 @@ double grow_window(double cwnd_segments, double ssthresh_segments,
     return std::min(std::max(grown, config.init_cwnd),
                     config.rwnd_segments);
   }
-  const bool delay_exit =
-      config.enable_hystart &&
-      cwnd_segments >= config.hystart_bdp_fraction * bdp_segments;
-  const bool slow_start = cwnd_segments < ssthresh_segments && !delay_exit;
   const double grown =
-      slow_start ? 2.0 * cwnd_segments : cwnd_segments + 1.0;
+      in_slow_start(cwnd_segments, ssthresh_segments, bdp_segments, config)
+          ? 2.0 * cwnd_segments
+          : cwnd_segments + 1.0;
   return std::min(grown, config.rwnd_segments);
 }
 

@@ -83,6 +83,13 @@ void apply_slow_start_restart(TcpState& w, const TcpConfig& config);
 /// Bandwidth-delay product in segments for the given rate and RTT.
 double bdp_segments(double mbps, double rtt_s, const TcpConfig& config);
 
+/// True when a cubic-like window is still in slow start: below ssthresh
+/// and (with hystart) below the configured fraction of the BDP. The
+/// single definition shared by grow_window and the closed-form round
+/// counter (net::detail::count_rounds), so the two cannot drift.
+bool in_slow_start(double cwnd_segments, double ssthresh_segments,
+                   double bdp_segments, const TcpConfig& config);
+
 /// One round of congestion-window growth: slow start doubles the window
 /// until it reaches ssthresh or (with hystart) the configured fraction of
 /// the BDP; afterwards congestion avoidance adds one segment per round.

@@ -8,6 +8,150 @@
 
 namespace veritas::net {
 
+namespace detail {
+
+int count_rounds_iterative(double cwnd, double ssthresh, double bdp,
+                           double data_segments, const TcpConfig& config) {
+  double sent = 0.0;
+  int rounds = 0;
+  while (sent < data_segments) {
+    sent += std::min(cwnd, bdp);
+    cwnd = grow_window(cwnd, ssthresh, bdp, config);
+    ++rounds;
+  }
+  return rounds;
+}
+
+namespace {
+
+// True when w is a multiple of 2^-20 with |w| < 2^26. Every congestion
+// window a real stack produces is far coarser (doublings, +1 steps and
+// halvings of the initial window), and on this grid the +1.0
+// congestion-avoidance recurrence and its arithmetic-series partial sums
+// are exact in double precision, so a jumped round count provably equals
+// the reference loop's.
+bool on_coarse_grid(double w) {
+  if (!(w >= 0.0) || w >= 67108864.0) return false;
+  const double scaled = w * 1048576.0;
+  return scaled == std::floor(scaled);
+}
+
+// S(r) = r*c + r*(r-1)/2: segments sent by r congestion-avoidance rounds
+// starting from window c. Exact under the coarse-grid preconditions.
+double ca_sum(double c, double r) { return r * c + r * (r - 1.0) * 0.5; }
+
+}  // namespace
+
+int count_rounds(double cwnd0, double ssthresh, double bdp,
+                 double data_segments, const TcpConfig& config) {
+  // The reference loop's partial sums carry rounding error bounded by
+  // (#rounds)*eps*sum; any loop-exit decision closer to a boundary than
+  // this slack is ambiguous and is resolved by running the reference.
+  const double slack = 1e-9 * (data_segments + 1.0);
+  const bool cubic =
+      config.congestion_control == CongestionControl::kCubicLike;
+  double cwnd = cwnd0;
+
+  // `sent` is kept bit-identical to the reference loop's accumulator:
+  // literal steps replay the same operations in the same order, and the
+  // congestion-avoidance jump is exact arithmetic on the coarse grid.
+  double sent = 0.0;
+  long rounds = 0;
+
+  for (int steps = 0; steps < 512; ++steps) {
+    if (sent >= data_segments) return static_cast<int>(rounds);
+
+    const double send = std::min(cwnd, bdp);
+    const double next = grow_window(cwnd, ssthresh, bdp, config);
+
+    // Constant-send tail: either the window stopped evolving (fixed
+    // point of grow_window), or it already covers the pipe and is
+    // non-decreasing, so every remaining round delivers `per`.
+    const bool fixed_point = next == cwnd;
+    const bool saturated = send == bdp && next >= cwnd;
+    if (fixed_point || saturated) {
+      const double per = fixed_point ? send : bdp;
+      if (!(per > 0.0)) break;  // degenerate: defer to the reference
+      const double remaining = data_segments - sent;
+      const double ratio = remaining / per;
+      if (!(ratio < 4e6)) break;  // error bound / overflow cap
+      long k = static_cast<long>(std::ceil(ratio));
+      if (k < 1) k = 1;
+      while (k > 1 && static_cast<double>(k - 1) * per >= remaining) --k;
+      while (static_cast<double>(k) * per < remaining) ++k;
+      // Distance of the exit decision from the nearest flip point must
+      // exceed the reference's accumulated rounding error.
+      const double lo = remaining - static_cast<double>(k - 1) * per;
+      const double hi = static_cast<double>(k) * per - remaining;
+      if (lo < slack || hi < slack) break;
+      return static_cast<int>(rounds + k);
+    }
+
+    // Congestion-avoidance run (cubic only): sends c, c+1, c+2, ...
+    // while the window stays under both the pipe and the receive window.
+    // !slow_start is absorbing (the window only grows), so the whole run
+    // can be jumped with the arithmetic series — exactly, on the grid.
+    if (cubic && next == cwnd + 1.0) {
+      if (!in_slow_start(cwnd, ssthresh, bdp, config)) {
+        if (!on_coarse_grid(cwnd) || !on_coarse_grid(sent) ||
+            data_segments >= 1073741824.0) {
+          break;  // off-grid: exactness argument void, use the reference
+        }
+        // Largest t with cwnd + t <= min(bdp, rwnd): beyond it the send
+        // caps at bdp or growth clamps at rwnd. Window values are exact,
+        // so a floor plus local adjustment lands the crossing exactly.
+        const double bound = std::min(bdp, config.rwnd_segments);
+        long t_max = static_cast<long>(std::floor(bound - cwnd));
+        while (cwnd + static_cast<double>(t_max + 1) <= bound) ++t_max;
+        while (t_max > 0 && cwnd + static_cast<double>(t_max) > bound)
+          --t_max;
+        if (t_max < 0) t_max = 0;
+        const long run = t_max + 1;  // rounds sending cwnd .. cwnd+t_max
+        if (cwnd + static_cast<double>(run) >= 67108864.0) break;
+
+        // Minimal r in [1, run] with sent + S(r) >= data, if any. The
+        // quadratic solve gets within a step or two; the exact S
+        // evaluations land it. Never extrapolate past the run: beyond it
+        // the sends cap at bdp (or growth clamps at rwnd).
+        const double need = data_segments - sent;  // exact on the grid
+        const double c2 = 2.0 * cwnd - 1.0;
+        long r = static_cast<long>(
+            std::ceil((std::sqrt(c2 * c2 + 8.0 * need) - c2) * 0.5));
+        r = std::clamp(r, 1L, run);
+        while (r > 1 && ca_sum(cwnd, static_cast<double>(r - 1)) >= need)
+          --r;
+        while (r < run && ca_sum(cwnd, static_cast<double>(r)) < need) ++r;
+        if (ca_sum(cwnd, static_cast<double>(r)) >= need) {
+          return static_cast<int>(rounds + r);
+        }
+        // The run ends (send caps or growth clamps) before the data is
+        // done: account for the whole run and re-classify. The final
+        // growth carries grow_window's receive-window clamp — when the
+        // run ended at the rwnd boundary the reference's next window is
+        // rwnd, not cwnd+run.
+        sent += ca_sum(cwnd, static_cast<double>(run));
+        rounds += run;
+        cwnd = std::min(cwnd + static_cast<double>(run),
+                        config.rwnd_segments);
+        continue;
+      }
+    }
+
+    // Literal step (slow-start doubling, BBR startup, clamp transients):
+    // identical operations to the reference, so `sent` stays bit-exact.
+    sent += send;
+    cwnd = next;
+    ++rounds;
+  }
+
+  // A guard tripped (boundary too close, off-grid window, or an
+  // adversarial trajectory): the reference loop, replayed from the
+  // original inputs, is the semantics.
+  return count_rounds_iterative(cwnd0, ssthresh, bdp, data_segments, config);
+}
+
+}  // namespace detail
+
 double estimate_throughput_mbps(double gtbw_mbps, const TcpState& w,
                                 double size_bytes, const TcpConfig& config) {
   VERITAS_EXPECTS(size_bytes > 0.0);
@@ -29,16 +173,13 @@ double estimate_throughput_mbps(double gtbw_mbps, const TcpState& w,
     return size_bytes * 8.0 / 1e6 / state.min_rtt_s;
   }
 
-  // Branch 2: count transmission rounds while the window opens (same
-  // growth law as the deployed stack, see net::grow_window).
-  double cwnd = state.cwnd_segments;
-  double sent = 0.0;
-  int rounds = 0;
-  while (sent < data_segments) {
-    sent += std::min(cwnd, bdp);
-    cwnd = grow_window(cwnd, state.ssthresh_segments, bdp, config);
-    ++rounds;
-  }
+  // Branch 2: transmission rounds while the window opens (same growth
+  // law as the deployed stack, see net::grow_window). The round count is
+  // closed-form with a guarded fallback to the per-round reference loop;
+  // see detail::count_rounds.
+  const int rounds =
+      detail::count_rounds(state.cwnd_segments, state.ssthresh_segments, bdp,
+                           data_segments, config);
   const double estimated =
       size_bytes * 8.0 / 1e6 / (static_cast<double>(rounds) * state.min_rtt_s);
   return std::min(estimated, gtbw_mbps);

@@ -26,6 +26,27 @@ double estimate_download_time_s(double gtbw_mbps, const TcpState& w,
                                 double size_bytes,
                                 const TcpConfig& config = {});
 
+namespace detail {
+
+/// The seed's per-round loop counting transmission rounds for
+/// `data_segments` starting from window `cwnd` (post-SSR) under the
+/// grow_window law: the executable specification the closed-form path is
+/// property-tested against, and the fallback when one of its guards trips.
+int count_rounds_iterative(double cwnd, double ssthresh, double bdp,
+                           double data_segments, const TcpConfig& config);
+
+/// Closed-form round count: slow-start doublings are O(log) literal
+/// steps, congestion-avoidance runs collapse to an arithmetic-series
+/// solve (exact on the coarse window grid real stacks produce), and
+/// constant-send tails to one division with a floating-point boundary
+/// guard. Bit-identical to count_rounds_iterative: any input where the
+/// rounded reference sums could flip a loop-exit decision falls back to
+/// the reference loop itself.
+int count_rounds(double cwnd, double ssthresh, double bdp,
+                 double data_segments, const TcpConfig& config);
+
+}  // namespace detail
+
 /// Ablation hook (bench_ablate_tcp_state): a deliberately broken variant
 /// of f that ignores the TCP state entirely and assumes the connection is
 /// in steady state, i.e. returns min(gtbw, size/min_rtt). Demonstrates why

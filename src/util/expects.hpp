@@ -41,3 +41,11 @@ namespace detail {
       ::veritas::detail::contract_fail("Postcondition", #cond, __FILE__,   \
                                        __LINE__);                          \
   } while (false)
+
+/// Marks a path the surrounding logic proves impossible (e.g. after an
+/// exhaustive switch over an enum, where adding a default case would
+/// defeat -Wswitch). Throws instead of invoking UB so a violated
+/// assumption is diagnosable.
+#define VERITAS_UNREACHABLE()                                              \
+  ::veritas::detail::contract_fail("Unreachable-path invariant",           \
+                                   "unreachable", __FILE__, __LINE__)

@@ -145,11 +145,13 @@ TEST(Ehmm, PosteriorMarginalsMatchBruteForce) {
 TEST(Ehmm, PairPosteriorsMatchBruteForce) {
   const Ehmm ehmm = small_ehmm();
   const auto obs = small_sequence();
-  const auto fb = ehmm.forward_backward(obs);
+  Ehmm::Scratch scratch;
+  const auto fb = ehmm.forward_backward(obs, scratch);
   const auto brute = brute_force(ehmm, obs);
-  ASSERT_EQ(fb.xi.size(), brute.pairs.size());
-  for (std::size_t t = 0; t < fb.xi.size(); ++t) {
-    EXPECT_LT(fb.xi[t].max_abs_diff(brute.pairs[t]), 1e-9) << "pair " << t;
+  ASSERT_EQ(fb.pair_totals.size(), brute.pairs.size());
+  for (std::size_t t = 0; t < fb.pair_totals.size(); ++t) {
+    const math::Matrix pair = ehmm.pair_posterior(fb, scratch, t);
+    EXPECT_LT(pair.max_abs_diff(brute.pairs[t]), 1e-9) << "pair " << t;
   }
 }
 
@@ -164,20 +166,22 @@ TEST(Ehmm, GammaRowsSumToOne) {
   }
 }
 
-TEST(Ehmm, XiMarginalizesToGamma) {
+TEST(Ehmm, PairPosteriorMarginalizesToGamma) {
   const Ehmm ehmm = small_ehmm();
   const auto obs = small_sequence();
-  const auto fb = ehmm.forward_backward(obs);
+  Ehmm::Scratch scratch;
+  const auto fb = ehmm.forward_backward(obs, scratch);
   const std::size_t k = ehmm.space().size();
   for (std::size_t t = 0; t + 1 < obs.size(); ++t) {
+    const math::Matrix pair = ehmm.pair_posterior(fb, scratch, t);
     for (std::size_t i = 0; i < k; ++i) {
       double row_sum = 0.0;
-      for (std::size_t j = 0; j < k; ++j) row_sum += fb.xi[t](i, j);
+      for (std::size_t j = 0; j < k; ++j) row_sum += pair(i, j);
       EXPECT_NEAR(row_sum, fb.gamma(t, i), 1e-9);
     }
     for (std::size_t j = 0; j < k; ++j) {
       double col_sum = 0.0;
-      for (std::size_t i = 0; i < k; ++i) col_sum += fb.xi[t](i, j);
+      for (std::size_t i = 0; i < k; ++i) col_sum += pair(i, j);
       EXPECT_NEAR(col_sum, fb.gamma(t + 1, j), 1e-9);
     }
   }
@@ -187,7 +191,7 @@ TEST(Ehmm, SingleObservationPosterior) {
   const Ehmm ehmm = small_ehmm();
   const std::vector<ChunkObservation> obs{warm_observation(0.0, 2.0)};
   const auto fb = ehmm.forward_backward(obs);
-  EXPECT_EQ(fb.xi.size(), 0u);
+  EXPECT_EQ(fb.pair_totals.size(), 0u);
   // Posterior peaks at the true value (2 Mbps = state 2).
   std::size_t best = 0;
   for (std::size_t i = 1; i < ehmm.space().size(); ++i) {

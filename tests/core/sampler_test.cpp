@@ -18,26 +18,39 @@ std::vector<ChunkObservation> sequence() {
           warm_observation(24.0, 0.6), warm_observation(31.0, 0.4)};
 }
 
+// Fixture bundling one fused pass: viterbi + forward-backward sharing
+// the scratch the xi-free sampler reads from.
+struct Pass {
+  Ehmm::Scratch scratch;
+  Ehmm::InferencePass pass;
+  Pass(const Ehmm& ehmm, const std::vector<ChunkObservation>& obs)
+      : pass(ehmm.infer_fused(obs, scratch)) {}
+  const Ehmm::ViterbiResult& viterbi() const { return pass.viterbi; }
+  const Ehmm::ForwardBackwardResult& fb() const {
+    return pass.forward_backward;
+  }
+};
+
 TEST(Sampler, LastStatePinnedToViterbi) {
   const Ehmm ehmm = small_ehmm();
   const auto obs = sequence();
-  const auto viterbi = ehmm.viterbi(obs);
-  const auto fb = ehmm.forward_backward(obs);
+  const Pass p(ehmm, obs);
   util::Rng rng(1);
   for (int k = 0; k < 20; ++k) {
-    const auto states = sample_capacity_states(viterbi, fb, rng);
-    EXPECT_EQ(states.back(), viterbi.states.back());
+    const auto states =
+        sample_capacity_states(ehmm, p.viterbi(), p.fb(), p.scratch, rng);
+    EXPECT_EQ(states.back(), p.viterbi().states.back());
   }
 }
 
 TEST(Sampler, StatesWithinSpace) {
   const Ehmm ehmm = small_ehmm();
   const auto obs = sequence();
-  const auto viterbi = ehmm.viterbi(obs);
-  const auto fb = ehmm.forward_backward(obs);
+  const Pass p(ehmm, obs);
   util::Rng rng(2);
   for (int k = 0; k < 50; ++k) {
-    for (const std::size_t s : sample_capacity_states(viterbi, fb, rng)) {
+    for (const std::size_t s :
+         sample_capacity_states(ehmm, p.viterbi(), p.fb(), p.scratch, rng)) {
       EXPECT_LT(s, ehmm.space().size());
     }
   }
@@ -46,23 +59,22 @@ TEST(Sampler, StatesWithinSpace) {
 TEST(Sampler, DeterministicGivenRngState) {
   const Ehmm ehmm = small_ehmm();
   const auto obs = sequence();
-  const auto viterbi = ehmm.viterbi(obs);
-  const auto fb = ehmm.forward_backward(obs);
+  const Pass p(ehmm, obs);
   util::Rng rng1(7), rng2(7);
-  EXPECT_EQ(sample_capacity_states(viterbi, fb, rng1),
-            sample_capacity_states(viterbi, fb, rng2));
+  EXPECT_EQ(sample_capacity_states(ehmm, p.viterbi(), p.fb(), p.scratch, rng1),
+            sample_capacity_states(ehmm, p.viterbi(), p.fb(), p.scratch,
+                                   rng2));
 }
 
 TEST(Sampler, SamplesVaryWhenPosteriorIsWide) {
   // Wide emission noise -> uncertain posterior -> diverse samples.
   const Ehmm ehmm = small_ehmm(2.0);
   const auto obs = sequence();
-  const auto viterbi = ehmm.viterbi(obs);
-  const auto fb = ehmm.forward_backward(obs);
+  const Pass p(ehmm, obs);
   util::Rng rng(3);
   std::map<std::vector<std::size_t>, int> seen;
   for (int k = 0; k < 50; ++k) {
-    ++seen[sample_capacity_states(viterbi, fb, rng)];
+    ++seen[sample_capacity_states(ehmm, p.viterbi(), p.fb(), p.scratch, rng)];
   }
   EXPECT_GT(seen.size(), 3u);
 }
@@ -70,23 +82,21 @@ TEST(Sampler, SamplesVaryWhenPosteriorIsWide) {
 TEST(Sampler, SamplesConcentrateWhenPosteriorIsSharp) {
   const Ehmm ehmm = small_ehmm(0.05);
   const auto obs = sequence();
-  const auto viterbi = ehmm.viterbi(obs);
-  const auto fb = ehmm.forward_backward(obs);
+  const Pass p(ehmm, obs);
   util::Rng rng(4);
   std::map<std::vector<std::size_t>, int> seen;
   for (int k = 0; k < 50; ++k) {
-    ++seen[sample_capacity_states(viterbi, fb, rng)];
+    ++seen[sample_capacity_states(ehmm, p.viterbi(), p.fb(), p.scratch, rng)];
   }
   EXPECT_LE(seen.size(), 3u);
   // And the MAP path dominates.
-  EXPECT_GT(seen[viterbi.states], 25);
+  EXPECT_GT(seen[p.viterbi().states], 25);
 }
 
 TEST(Sampler, MarginalFrequenciesTrackPosterior) {
   const Ehmm ehmm = small_ehmm(1.0);
   const auto obs = sequence();
-  const auto viterbi = ehmm.viterbi(obs);
-  const auto fb = ehmm.forward_backward(obs);
+  const Pass p(ehmm, obs);
   util::Rng rng(5);
   const int trials = 4000;
   // Track frequency of each state at chunk 2 with a *posterior-sampled*
@@ -95,19 +105,19 @@ TEST(Sampler, MarginalFrequenciesTrackPosterior) {
   cfg.last_state = SamplerConfig::LastState::kPosterior;
   std::vector<double> freq(ehmm.space().size(), 0.0);
   for (int k = 0; k < trials; ++k) {
-    const auto states = sample_capacity_states(viterbi, fb, rng, cfg);
+    const auto states =
+        sample_capacity_states(ehmm, p.viterbi(), p.fb(), p.scratch, rng, cfg);
     freq[states[2]] += 1.0 / trials;
   }
   for (std::size_t i = 0; i < freq.size(); ++i) {
-    EXPECT_NEAR(freq[i], fb.gamma(2, i), 0.03) << "state " << i;
+    EXPECT_NEAR(freq[i], p.fb().gamma(2, i), 0.03) << "state " << i;
   }
 }
 
 TEST(Sampler, PosteriorLastStateRespectsGamma) {
   const Ehmm ehmm = small_ehmm(1.0);
   const auto obs = sequence();
-  const auto viterbi = ehmm.viterbi(obs);
-  const auto fb = ehmm.forward_backward(obs);
+  const Pass p(ehmm, obs);
   SamplerConfig cfg;
   cfg.last_state = SamplerConfig::LastState::kPosterior;
   util::Rng rng(6);
@@ -115,22 +125,83 @@ TEST(Sampler, PosteriorLastStateRespectsGamma) {
   std::vector<double> freq(ehmm.space().size(), 0.0);
   const std::size_t last = obs.size() - 1;
   for (int k = 0; k < trials; ++k) {
-    freq[sample_capacity_states(viterbi, fb, rng, cfg).back()] += 1.0 / trials;
+    freq[sample_capacity_states(ehmm, p.viterbi(), p.fb(), p.scratch, rng, cfg)
+             .back()] += 1.0 / trials;
   }
   for (std::size_t i = 0; i < freq.size(); ++i) {
-    EXPECT_NEAR(freq[i], fb.gamma(last, i), 0.03) << "state " << i;
+    EXPECT_NEAR(freq[i], p.fb().gamma(last, i), 0.03) << "state " << i;
   }
 }
 
 TEST(Sampler, SingleObservationWorks) {
   const Ehmm ehmm = small_ehmm();
   const std::vector<ChunkObservation> obs{warm_observation(0.0, 2.0)};
-  const auto viterbi = ehmm.viterbi(obs);
-  const auto fb = ehmm.forward_backward(obs);
+  const Pass p(ehmm, obs);
   util::Rng rng(8);
-  const auto states = sample_capacity_states(viterbi, fb, rng);
+  const auto states =
+      sample_capacity_states(ehmm, p.viterbi(), p.fb(), p.scratch, rng);
   ASSERT_EQ(states.size(), 1u);
-  EXPECT_EQ(states[0], viterbi.states[0]);
+  EXPECT_EQ(states[0], p.viterbi().states[0]);
+}
+
+// The xi-free sampler must reproduce the seed's xi-based draws bit for
+// bit: replay the seed algorithm against pair matrices materialized by
+// the compatibility accessor and compare sequences at fixed seeds.
+std::vector<std::size_t> seed_sampler_reference(
+    const Ehmm& ehmm, const Ehmm::ViterbiResult& viterbi,
+    const Ehmm::ForwardBackwardResult& fb, const Ehmm::Scratch& scratch,
+    util::Rng& rng, const SamplerConfig& config) {
+  const std::size_t n_obs = viterbi.states.size();
+  const std::size_t k = fb.gamma.cols();
+  std::vector<math::Matrix> xi;
+  for (std::size_t n = 0; n + 1 < n_obs; ++n) {
+    xi.push_back(ehmm.pair_posterior(fb, scratch, n));
+  }
+  std::vector<std::size_t> states(n_obs, 0);
+  switch (config.last_state) {
+    case SamplerConfig::LastState::kViterbi:
+      states[n_obs - 1] = viterbi.states[n_obs - 1];
+      break;
+    case SamplerConfig::LastState::kPosterior:
+      states[n_obs - 1] = rng.categorical(fb.gamma.row(n_obs - 1));
+      break;
+  }
+  std::vector<double> weights(k, 0.0);
+  for (std::size_t n = n_obs - 1; n-- > 0;) {
+    const math::Matrix& pair = xi[n];
+    const std::size_t next = states[n + 1];
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      weights[i] = pair(i, next);
+      total += weights[i];
+    }
+    if (total <= 0.0) {
+      for (std::size_t i = 0; i < k; ++i) weights[i] = fb.gamma(n, i);
+    }
+    states[n] = rng.categorical(weights);
+  }
+  return states;
+}
+
+TEST(Sampler, XiFreeDrawsMatchSeedXiSamplerBitExactly) {
+  for (const double sigma : {0.05, 0.5, 2.0}) {
+    const Ehmm ehmm = small_ehmm(sigma);
+    const auto obs = sequence();
+    const Pass p(ehmm, obs);
+    for (const auto last_state : {SamplerConfig::LastState::kViterbi,
+                                  SamplerConfig::LastState::kPosterior}) {
+      SamplerConfig cfg;
+      cfg.last_state = last_state;
+      for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        util::Rng rng_new(seed), rng_ref(seed);
+        EXPECT_EQ(ehmm.sample_posterior(p.viterbi(), p.fb(), p.scratch,
+                                        rng_new, cfg),
+                  seed_sampler_reference(ehmm, p.viterbi(), p.fb(), p.scratch,
+                                         rng_ref, cfg))
+            << "sigma " << sigma << " seed " << seed;
+      }
+    }
+  }
 }
 
 }  // namespace

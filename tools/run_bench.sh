@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
-# Runs the core perf benches and emits a BENCH_1.json snapshot seeding
-# the repo's perf trajectory: google-benchmark microbenches
-# (bench_micro_core) plus the batch/phase bench (bench_batch_infer,
-# wall-time per phase and sessions/sec at 1/2/4/N threads).
+# Runs the core perf benches and emits a BENCH_N.json snapshot of the
+# repo's perf trajectory: google-benchmark microbenches
+# (bench_micro_core), the batch/phase bench (bench_batch_infer,
+# wall-time per phase and sessions/sec at 1/2/4/N threads) and the
+# Baum-Welch training bench (bench_train, EM wall-time across thread
+# counts and the memoized-emission ablation).
 #
-# Usage: tools/run_bench.sh [output.json]   (default: BENCH_1.json)
+# Usage: tools/run_bench.sh [output.json]   (default: BENCH_2.json)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-out_json="${1:-${repo_root}/BENCH_1.json}"
+out_json="${1:-${repo_root}/BENCH_2.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
-cmake --build "${build_dir}" -j --target bench_micro_core bench_batch_infer \
-  >/dev/null
+cmake --build "${build_dir}" -j \
+  --target bench_micro_core bench_batch_infer bench_train >/dev/null
 
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
@@ -31,14 +33,30 @@ echo "== bench_batch_infer =="
   --repeat "${VERITAS_BENCH_REPEAT:-3}" \
   --json "${tmp_dir}/batch.json"
 
+echo
+echo "== bench_train =="
+"${build_dir}/bench/bench_train" \
+  --sessions "${VERITAS_BENCH_TRAIN_SESSIONS:-16}" \
+  --repeat "${VERITAS_BENCH_REPEAT:-3}" \
+  --json "${tmp_dir}/train.json"
+
 if command -v jq >/dev/null 2>&1; then
   jq -n \
     --slurpfile micro "${tmp_dir}/micro.json" \
     --slurpfile batch "${tmp_dir}/batch.json" \
-    '{micro: $micro[0], batch: $batch[0]}' > "${out_json}"
+    --slurpfile train "${tmp_dir}/train.json" \
+    '{micro: $micro[0], batch: $batch[0], train: $train[0]}' > "${out_json}"
 else
-  # No jq: the batch snapshot alone still carries the headline numbers.
-  cp "${tmp_dir}/batch.json" "${out_json}"
+  # No jq: merge the two plain snapshots by hand; they carry the
+  # headline numbers.
+  {
+    echo '{'
+    echo '"batch":'
+    cat "${tmp_dir}/batch.json"
+    echo ', "train":'
+    cat "${tmp_dir}/train.json"
+    echo '}'
+  } > "${out_json}"
 fi
 echo
 echo "wrote ${out_json}"
