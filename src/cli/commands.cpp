@@ -1,6 +1,8 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -8,6 +10,7 @@
 #include "core/veritas.hpp"
 #include "net/network_path.hpp"
 #include "query/counterfactual.hpp"
+#include "service/veritas_service.hpp"
 #include "sim/metrics.hpp"
 #include "sim/session.hpp"
 #include "trace/trace_generator.hpp"
@@ -49,6 +52,18 @@ video::Ladder ladder_from_name(const std::string& name) {
   if (name == "default") return video::default_ladder();
   if (name == "high") return video::high_ladder();
   throw ContractViolation("unknown ladder: " + name + " (default|high)");
+}
+
+/// The EHMM flags shared by infer and serve.
+core::VeritasConfig config_from_flags(const CommandLine& cmd) {
+  core::VeritasConfig cfg;
+  cfg.num_samples = static_cast<std::size_t>(cmd.number("--samples", 5.0));
+  cfg.delta_s = cmd.number("--delta", cfg.delta_s);
+  cfg.epsilon_mbps = cmd.number("--epsilon", cfg.epsilon_mbps);
+  cfg.sigma_mbps = cmd.number("--sigma", cfg.sigma_mbps);
+  cfg.max_mbps = cmd.number("--max-mbps", cfg.max_mbps);
+  cfg.seed = static_cast<std::uint64_t>(cmd.number("--seed", double(cfg.seed)));
+  return cfg;
 }
 
 int cmd_generate_trace(const CommandLine& cmd, std::ostream& out) {
@@ -93,13 +108,7 @@ int cmd_simulate(const CommandLine& cmd, std::ostream& out) {
 int cmd_infer(const CommandLine& cmd, std::ostream& out) {
   const sim::SessionLog log =
       sim::session_log_from_csv(read_text_file(cmd.require("--log")));
-  core::VeritasConfig cfg;
-  cfg.num_samples = static_cast<std::size_t>(cmd.number("--samples", 5.0));
-  cfg.delta_s = cmd.number("--delta", cfg.delta_s);
-  cfg.epsilon_mbps = cmd.number("--epsilon", cfg.epsilon_mbps);
-  cfg.sigma_mbps = cmd.number("--sigma", cfg.sigma_mbps);
-  cfg.max_mbps = cmd.number("--max-mbps", cfg.max_mbps);
-  cfg.seed = static_cast<std::uint64_t>(cmd.number("--seed", double(cfg.seed)));
+  const core::VeritasConfig cfg = config_from_flags(cmd);
   const std::string prefix = cmd.get("--out-prefix", "inferred");
 
   const core::Veritas veritas(cfg);
@@ -168,6 +177,58 @@ int cmd_whatif(const CommandLine& cmd, std::ostream& out) {
   out << "baseline (no causal adjustment): ssim=" << p.baseline.mean_ssim
       << " rebuffer_pct=" << p.baseline.rebuffer_ratio_pct
       << " bitrate=" << p.baseline.avg_bitrate_mbps << "\n";
+  return 0;
+}
+
+int cmd_serve(const CommandLine& cmd, std::ostream& out) {
+  // Load the workload: a comma-separated list of recorded session logs.
+  std::vector<sim::SessionLog> logs;
+  const std::string spec = cmd.require("--logs");
+  for (std::size_t pos = 0; pos <= spec.size();) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string path = spec.substr(pos, comma - pos);
+    if (!path.empty()) {
+      logs.push_back(sim::session_log_from_csv(read_text_file(path)));
+    }
+    pos = comma + 1;
+  }
+  VERITAS_EXPECTS(!logs.empty());
+
+  service::ServiceOptions options;
+  options.num_threads = static_cast<std::size_t>(cmd.number("--threads", 0.0));
+  options.queue_capacity =
+      static_cast<std::size_t>(cmd.number("--queue", 256.0));
+  options.cache_capacity =
+      static_cast<std::size_t>(cmd.number("--cache", 1024.0));
+  service::VeritasService service(options);
+  const std::string shard = cmd.get("--shard", "default");
+  service.add_shard(shard, config_from_flags(cmd));
+
+  const int repeat = std::max(1, static_cast<int>(cmd.number("--repeat", 2.0)));
+  out << "serving " << logs.size() << " sessions on shard '" << shard
+      << "' over " << service.num_lanes() << " lanes, " << repeat
+      << " rounds\n";
+  for (int round = 0; round < repeat; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    auto futures = service.submit_batch(logs, shard);
+    double total_ll = 0.0;
+    for (auto& future : futures) {
+      total_ll += future.get().abduction->log_likelihood;
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const service::ServiceStats stats = service.stats();
+    out << "round " << round << ": wall_ms=" << wall_ms
+        << " total_log_likelihood=" << total_ll
+        << " cache_hits=" << stats.cache_hits
+        << " cache_misses=" << stats.cache_misses << "\n";
+  }
+  const service::ServiceStats stats = service.stats();
+  out << "served " << stats.submitted << " queries (" << stats.computed
+      << " computed, " << stats.cache_hits << " from cache)\n";
   return 0;
 }
 
@@ -257,7 +318,10 @@ std::string usage() {
       "  replay          --trace FILE [--abr NAME] [--buffer S] [--ladder NAME]\n"
       "  whatif          --log LOG [--abr NAME] [--buffer S] [--ladder NAME]\n"
       "                  [--samples K]   (production what-if: no ground truth)\n"
-      "  predict         --log LOG --size BYTES\n";
+      "  predict         --log LOG --size BYTES\n"
+      "  serve           --logs LOG[,LOG...] [--repeat R] [--threads N]\n"
+      "                  [--shard NAME] [--queue N] [--cache N] [--samples K]\n"
+      "                  (async shard service; repeat rounds show the cache)\n";
 }
 
 int run_cli(std::span<const std::string> args, std::ostream& out,
@@ -274,6 +338,7 @@ int run_cli(std::span<const std::string> args, std::ostream& out,
     if (cmd.command == "replay") return cmd_replay(cmd, out);
     if (cmd.command == "whatif") return cmd_whatif(cmd, out);
     if (cmd.command == "predict") return cmd_predict(cmd, out);
+    if (cmd.command == "serve") return cmd_serve(cmd, out);
     err << "unknown command: " << cmd.command << "\n" << usage();
     return 2;
   } catch (const std::exception& e) {

@@ -6,6 +6,7 @@
 //   veritas_cli infer     --log log.csv --samples 5 --out-prefix inferred
 //   veritas_cli replay    --trace inferred_map.csv --abr bba --buffer 5
 //   veritas_cli predict   --log log.csv --size 1000000
+//   veritas_cli serve     --logs log.csv,log2.csv --repeat 2 --threads 4
 //
 // The dispatcher is a library function (testable without spawning a
 // process); tools/veritas_cli.cpp is a thin main().

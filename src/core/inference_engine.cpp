@@ -57,6 +57,12 @@ Ehmm::InferencePass InferenceEngine::infer_session(
 
 VeritasResult InferenceEngine::infer(const sim::SessionLog& log,
                                      Ehmm::Scratch& scratch) const {
+  return infer_with_seed(log, scratch, config_.seed);
+}
+
+VeritasResult InferenceEngine::infer_with_seed(
+    const sim::SessionLog& log, Ehmm::Scratch& scratch,
+    std::uint64_t sample_seed) const {
   const std::vector<ChunkObservation> observations =
       observations_from_log(log);
   const Ehmm::InferencePass pass = ehmm_.infer_fused(observations, scratch);
@@ -76,7 +82,7 @@ VeritasResult InferenceEngine::infer(const sim::SessionLog& log,
       states_to_trace(ehmm_.space(), viterbi.states, observations,
                       config_.delta_s, total_duration, config_.interpolation);
 
-  util::Rng rng(config_.seed);
+  util::Rng rng(sample_seed);
   result.samples.reserve(config_.num_samples);
   for (std::size_t k = 0; k < config_.num_samples; ++k) {
     util::Rng child = rng.fork(k);

@@ -81,9 +81,21 @@ class InferenceEngine {
 
   /// Full abduction for one session log (paper Eq. 1): MAP trace, K
   /// posterior sample traces, marginals. Deterministic in config().seed;
-  /// identical to the seed two-pass Veritas::infer output.
+  /// identical to the seed two-pass Veritas::infer output. VeritasResult
+  /// is a plain value type with no back-references into the engine, so a
+  /// result can be cached and shared (e.g. behind shared_ptr<const>)
+  /// independently of the engine's lifetime.
   VeritasResult infer(const sim::SessionLog& log, Ehmm::Scratch& scratch) const;
   VeritasResult infer(const sim::SessionLog& log) const;
+
+  /// infer() with the posterior-sampling seed overridden: bit-identical
+  /// to building an engine whose config differs only in `seed` and
+  /// calling its infer() — the model itself is seed-independent. Lets a
+  /// shared engine serve per-query seeds (e.g. per-session what-if
+  /// queries) without rebuilding the EHMM tables.
+  VeritasResult infer_with_seed(const sim::SessionLog& log,
+                                Ehmm::Scratch& scratch,
+                                std::uint64_t sample_seed) const;
 
   /// Abducts every log, fanning out over `num_threads` lanes (0 = the
   /// hardware thread count). Results are positionally identical to

@@ -12,6 +12,11 @@ namespace veritas::core {
 Veritas::Veritas(VeritasConfig config)
     : engine_(std::make_shared<const InferenceEngine>(config)) {}
 
+Veritas::Veritas(std::shared_ptr<const InferenceEngine> engine)
+    : engine_(std::move(engine)) {
+  VERITAS_EXPECTS(engine_ != nullptr);
+}
+
 Ehmm Veritas::make_ehmm() const { return engine_->ehmm(); }
 
 VeritasResult Veritas::infer(const sim::SessionLog& log) const {

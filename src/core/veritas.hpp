@@ -57,6 +57,11 @@ class Veritas {
  public:
   explicit Veritas(VeritasConfig config = {});
 
+  /// Wraps an already-built engine (non-null) instead of constructing a
+  /// new one — the service layer uses this to put a facade over a shard's
+  /// shared engine without re-deriving the EHMM tables.
+  explicit Veritas(std::shared_ptr<const InferenceEngine> engine);
+
   /// Abduction (paper Eq. 1): posterior over GTBW given the log.
   /// Requires a non-empty log. Deterministic in config().seed.
   VeritasResult infer(const sim::SessionLog& log) const;

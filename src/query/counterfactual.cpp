@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "abr/abr_factory.hpp"
+#include "core/baseline.hpp"
 #include "net/network_path.hpp"
+#include "service/veritas_service.hpp"
 #include "sim/session.hpp"
 #include "util/expects.hpp"
 
@@ -62,15 +64,46 @@ CounterfactualEngine::CounterfactualEngine(core::VeritasConfig veritas_config,
   VERITAS_EXPECTS(rtt_s > 0.0);
 }
 
+CounterfactualEngine::CounterfactualEngine(
+    std::shared_ptr<service::VeritasService> service, std::string shard,
+    double rtt_s)
+    : rtt_s_(rtt_s), service_(std::move(service)), shard_(std::move(shard)) {
+  VERITAS_EXPECTS(rtt_s > 0.0);
+  VERITAS_EXPECTS(service_ != nullptr);
+  // Snapshot for veritas_config(); abduction always resolves the shard's
+  // live engine, so a later swap_shard takes effect on the next query.
+  veritas_config_ = service_->shard_engine(shard_)->config();
+}
+
+std::shared_ptr<const core::VeritasResult> CounterfactualEngine::abduct(
+    const sim::SessionLog& log, std::uint64_t seed) const {
+  if (service_) {
+    service::Query query;
+    query.log = log;
+    query.shard = shard_;
+    query.kind = service::QueryKind::kAbduction;
+    // Same sampling stream as the local path: config seed xor caller
+    // seed — distinct per session, still deterministic and cacheable.
+    // seed_xor resolves against the shard the service pins at submit,
+    // so a concurrent swap can't mix one config's seed with another's
+    // engine.
+    query.seed_xor = seed;
+    return service_->submit(std::move(query)).get().abduction;
+  }
+  core::VeritasConfig cfg = veritas_config_;
+  cfg.seed ^= seed;
+  return std::make_shared<const core::VeritasResult>(
+      core::Veritas(cfg).infer(log));
+}
+
 WhatIfPrediction CounterfactualEngine::predict_whatif(
     const sim::SessionLog& log, const video::Video& video,
     const Setting& setting_b, std::uint64_t seed) const {
   // Abduction from the log alone (no ground truth)...
-  core::VeritasConfig cfg = veritas_config_;
-  cfg.seed ^= seed;  // distinct sampling per session, still deterministic
-  const core::Veritas veritas(cfg);
-  const core::VeritasResult inference = veritas.infer(log);
-  const trace::BandwidthTrace baseline = veritas.baseline(log);
+  const std::shared_ptr<const core::VeritasResult> inference_ptr =
+      abduct(log, seed);
+  const core::VeritasResult& inference = *inference_ptr;
+  const trace::BandwidthTrace baseline = core::baseline_trace(log);
 
   // ...then replay Setting B under each bandwidth hypothesis.
   WhatIfPrediction prediction;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,10 @@
 #include "sim/metrics.hpp"
 #include "trace/bandwidth_trace.hpp"
 #include "video/video.hpp"
+
+namespace veritas::service {
+class VeritasService;  // service/veritas_service.hpp
+}
 
 namespace veritas::query {
 
@@ -64,6 +69,15 @@ class CounterfactualEngine {
   explicit CounterfactualEngine(core::VeritasConfig veritas_config = {},
                                 double rtt_s = 0.08);
 
+  /// Service-backed: abduction routes through `service`'s shard `shard`
+  /// (non-null, must be registered), sharing that shard's prebuilt
+  /// engine and result cache with every other query in the process —
+  /// repeated what-ifs over one log abduct once. Replays still run
+  /// locally. Metrics are bit-identical to the config-based constructor
+  /// called with the shard's VeritasConfig.
+  CounterfactualEngine(std::shared_ptr<service::VeritasService> service,
+                       std::string shard, double rtt_s = 0.08);
+
   /// Full pipeline for one GT trace (steps 1-5 above). `seed` drives the
   /// stochastic pieces (posterior sampling, any stochastic ABR).
   CounterfactualOutcome evaluate(const trace::BandwidthTrace& gt_trace,
@@ -86,8 +100,15 @@ class CounterfactualEngine {
   double rtt_s() const noexcept { return rtt_s_; }
 
  private:
+  /// Posterior abduction for one log: through the service when backed,
+  /// else on a locally built engine. `seed` perturbs sampling only.
+  std::shared_ptr<const core::VeritasResult> abduct(const sim::SessionLog& log,
+                                                    std::uint64_t seed) const;
+
   core::VeritasConfig veritas_config_;
   double rtt_s_;
+  std::shared_ptr<service::VeritasService> service_;  ///< null = local
+  std::string shard_;
 };
 
 }  // namespace veritas::query

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <future>
+#include <memory>
 
+#include "service/veritas_service.hpp"
 #include "util/expects.hpp"
 #include "util/stats.hpp"
 
@@ -30,28 +34,29 @@ PredictorErrors summarize_errors(const std::vector<PredictionRecord>& records,
   return e;
 }
 
-InterventionalResult run_interventional_study(
-    std::vector<sim::SessionLog> train_logs,
-    std::vector<sim::SessionLog> test_logs,
-    const core::VeritasConfig& veritas_config,
-    const ml::FuguConfig& fugu_config, std::size_t warmup) {
+namespace {
+
+/// The study skeleton, parameterized over how the Veritas prediction
+/// sequence of test session `s` is obtained (locally or via a service
+/// shard). Sessions no longer than `warmup` are skipped without asking.
+InterventionalResult run_study_with(
+    const std::vector<sim::SessionLog>& train_logs,
+    const std::vector<sim::SessionLog>& test_logs,
+    const ml::FuguConfig& fugu_config, std::size_t warmup,
+    const std::function<
+        std::shared_ptr<const std::vector<core::NextChunkPrediction>>(
+            std::size_t)>& predictions_for) {
   VERITAS_EXPECTS(!train_logs.empty());
   VERITAS_EXPECTS(!test_logs.empty());
 
   ml::FuguNN fugu(fugu_config);
   fugu.fit(train_logs);
 
-  const core::Veritas veritas(veritas_config);
-  if (warmup == 0) warmup = fugu_config.past_chunks;
-  VERITAS_EXPECTS(warmup >= 1);
-
   InterventionalResult result;
   for (std::size_t s = 0; s < test_logs.size(); ++s) {
     const sim::SessionLog& log = test_logs[s];
     if (log.size() <= warmup) continue;
-    // One Viterbi pass per session covers all prefixes.
-    const std::vector<core::NextChunkPrediction> veritas_predictions =
-        veritas.predict_sequence(log);
+    const auto veritas_predictions = predictions_for(s);
     for (std::size_t n = warmup; n < log.size(); ++n) {
       PredictionRecord record;
       record.session = s;
@@ -59,7 +64,7 @@ InterventionalResult run_interventional_study(
       record.size_bytes = log.chunks[n].size_bytes;
       record.true_time_s = log.chunks[n].download_time_s();
       record.fugu_time_s = fugu.predict_chunk(log, n);
-      record.veritas_time_s = veritas_predictions[n].download_time_s;
+      record.veritas_time_s = (*veritas_predictions)[n].download_time_s;
       result.records.push_back(record);
     }
   }
@@ -67,6 +72,56 @@ InterventionalResult run_interventional_study(
   result.fugu = summarize_errors(result.records, false);
   result.veritas = summarize_errors(result.records, true);
   return result;
+}
+
+std::size_t resolve_warmup(const ml::FuguConfig& fugu_config,
+                           std::size_t warmup) {
+  if (warmup == 0) warmup = fugu_config.past_chunks;
+  VERITAS_EXPECTS(warmup >= 1);
+  return warmup;
+}
+
+}  // namespace
+
+InterventionalResult run_interventional_study(
+    std::vector<sim::SessionLog> train_logs,
+    std::vector<sim::SessionLog> test_logs,
+    const core::VeritasConfig& veritas_config,
+    const ml::FuguConfig& fugu_config, std::size_t warmup) {
+  warmup = resolve_warmup(fugu_config, warmup);
+  const core::Veritas veritas(veritas_config);
+  return run_study_with(
+      train_logs, test_logs, fugu_config, warmup, [&](std::size_t s) {
+        // One Viterbi pass per session covers all prefixes.
+        return std::make_shared<
+            const std::vector<core::NextChunkPrediction>>(
+            veritas.predict_sequence(test_logs[s]));
+      });
+}
+
+InterventionalResult run_interventional_study(
+    service::VeritasService& service, const std::string& shard,
+    std::vector<sim::SessionLog> train_logs,
+    std::vector<sim::SessionLog> test_logs,
+    const ml::FuguConfig& fugu_config, std::size_t warmup) {
+  warmup = resolve_warmup(fugu_config, warmup);
+
+  // Submit every eligible session before Fugu training starts: the
+  // service lanes fill the prediction futures in the background.
+  std::vector<std::future<service::InferenceResult>> futures(test_logs.size());
+  for (std::size_t s = 0; s < test_logs.size(); ++s) {
+    if (test_logs[s].size() <= warmup) continue;
+    service::Query query;
+    query.log = test_logs[s];
+    query.shard = shard;
+    query.kind = service::QueryKind::kPredictSequence;
+    futures[s] = service.submit(std::move(query));
+  }
+
+  return run_study_with(train_logs, test_logs, fugu_config, warmup,
+                        [&](std::size_t s) {
+                          return futures[s].get().predictions;
+                        });
 }
 
 }  // namespace veritas::query

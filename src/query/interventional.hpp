@@ -13,11 +13,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/veritas.hpp"
 #include "ml/fugu.hpp"
 #include "sim/session_log.hpp"
+
+namespace veritas::service {
+class VeritasService;  // service/veritas_service.hpp
+}
 
 namespace veritas::query {
 
@@ -54,6 +59,18 @@ InterventionalResult run_interventional_study(
     std::vector<sim::SessionLog> train_logs,
     std::vector<sim::SessionLog> test_logs,
     const core::VeritasConfig& veritas_config = {},
+    const ml::FuguConfig& fugu_config = {}, std::size_t warmup = 0);
+
+/// Service-routed variant: the Veritas per-session prediction sequences
+/// are answered by `service`'s shard `shard` as kPredictSequence
+/// queries — submitted up-front so the service lanes compute sessions
+/// concurrently (and repeats hit the shard's result cache) while Fugu
+/// trains and predicts on the calling thread. Records are bit-identical
+/// to the direct overload run with the shard's VeritasConfig.
+InterventionalResult run_interventional_study(
+    service::VeritasService& service, const std::string& shard,
+    std::vector<sim::SessionLog> train_logs,
+    std::vector<sim::SessionLog> test_logs,
     const ml::FuguConfig& fugu_config = {}, std::size_t warmup = 0);
 
 /// Computes signed-error statistics from records using the given

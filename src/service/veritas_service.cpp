@@ -1,0 +1,259 @@
+#include "service/veritas_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/expects.hpp"
+#include "util/hash.hpp"
+
+namespace veritas::service {
+
+std::size_t VeritasService::CacheKeyHash::operator()(
+    const CacheKey& key) const noexcept {
+  return static_cast<std::size_t>(util::Fnv1aHasher{}
+                                      .u64(key.log_hash)
+                                      .u64(key.epoch)
+                                      .u64(static_cast<std::uint64_t>(key.kind))
+                                      .u64(key.seed)
+                                      .digest());
+}
+
+VeritasService::VeritasService(ServiceOptions options)
+    : options_(options),
+      lanes_(options.num_threads == 0 ? util::ThreadPool::hardware_threads()
+                                      : options.num_threads),
+      cache_(std::max<std::size_t>(1, options.cache_capacity),
+             std::max<std::size_t>(1, options.cache_shards)),
+      queue_(std::max<std::size_t>(1, options.queue_capacity)),
+      pool_(lanes_) {
+  // Long-running drain jobs, one per lane; each owns a scratch arena
+  // reused across every job it executes.
+  for (std::size_t i = 0; i < lanes_; ++i) {
+    pool_.submit([this] { drain_lane(); });
+  }
+}
+
+VeritasService::~VeritasService() {
+  // Closing the queue stops new submissions and wakes blocked lanes;
+  // they drain the remaining accepted jobs (completing every handed-out
+  // future) and exit. wait_idle() then lets the pool join cleanly.
+  queue_.close();
+  pool_.wait_idle();
+}
+
+// --------------------------------------------------------------- registry
+
+std::uint64_t VeritasService::add_shard(const std::string& name,
+                                        const core::VeritasConfig& config,
+                                        core::EngineOptions engine_options) {
+  // Build outside the lock: engine construction precomputes the A^Δ and
+  // span tables and can take milliseconds.
+  return add_shard(name, std::make_shared<const core::InferenceEngine>(
+                             config, engine_options));
+}
+
+std::uint64_t VeritasService::add_shard(
+    const std::string& name,
+    std::shared_ptr<const core::InferenceEngine> engine) {
+  VERITAS_EXPECTS(engine != nullptr);
+  auto veritas = std::make_shared<const core::Veritas>(std::move(engine));
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  Shard& shard = shards_[name];
+  shard.veritas = std::move(veritas);
+  // Epochs are unique across every add/swap on this service, so a
+  // removed-and-re-added shard can never resurrect stale cache entries.
+  shard.epoch = next_epoch_++;
+  return shard.epoch;
+}
+
+std::uint64_t VeritasService::swap_shard(const std::string& name,
+                                         const core::VeritasConfig& config,
+                                         core::EngineOptions engine_options) {
+  // Build first (slow), then replace under one lock hold: a concurrent
+  // remove_shard can never interleave and be silently undone.
+  auto veritas = std::make_shared<const core::Veritas>(
+      std::make_shared<const core::InferenceEngine>(config, engine_options));
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = shards_.find(name);
+  VERITAS_EXPECTS(it != shards_.end());
+  it->second.veritas = std::move(veritas);
+  it->second.epoch = next_epoch_++;
+  return it->second.epoch;
+}
+
+bool VeritasService::remove_shard(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  return shards_.erase(name) > 0;
+}
+
+bool VeritasService::has_shard(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  return shards_.find(name) != shards_.end();
+}
+
+std::vector<std::string> VeritasService::shard_names() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<std::string> names;
+  names.reserve(shards_.size());
+  for (const auto& [name, shard] : shards_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::uint64_t VeritasService::shard_epoch(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = shards_.find(name);
+  VERITAS_EXPECTS(it != shards_.end());
+  return it->second.epoch;
+}
+
+std::shared_ptr<const core::InferenceEngine> VeritasService::shard_engine(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = shards_.find(name);
+  VERITAS_EXPECTS(it != shards_.end());
+  return it->second.veritas->engine_ptr();
+}
+
+// ------------------------------------------------------------- submission
+
+VeritasService::Job VeritasService::make_job(Query query) const {
+  Job job;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = shards_.find(query.shard);
+    if (it == shards_.end()) {
+      throw ContractViolation("unknown shard: " + query.shard);
+    }
+    job.shard = it->second;  // pin engine + epoch for this query
+  }
+  job.key.log_hash = util::hash_session_log(query.log);
+  job.key.epoch = job.shard.epoch;
+  job.key.kind = query.kind;
+  // Seed resolution against the *pinned* shard, so a concurrent swap
+  // cannot pair one shard's seed with another's engine. Prediction
+  // queries are seed-independent: normalize so seed-bearing duplicates
+  // share one cache entry.
+  if (query.kind == QueryKind::kAbduction) {
+    const std::uint64_t base = job.shard.veritas->config().seed;
+    job.key.seed = query.seed.value_or(base) ^ query.seed_xor.value_or(0);
+  } else {
+    job.key.seed = 0;
+  }
+  job.query = std::move(query);
+  return job;
+}
+
+bool VeritasService::serve_from_cache(Job& job) {
+  if (options_.cache_capacity == 0) return false;
+  // peek: the miss is counted only once the query is really accepted.
+  std::optional<CachedPayload> payload = cache_.peek(job.key);
+  if (!payload) return false;
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  InferenceResult result;
+  result.abduction = std::move(payload->abduction);
+  result.predictions = std::move(payload->predictions);
+  result.cache_hit = true;
+  result.shard_epoch = job.key.epoch;
+  job.promise.set_value(std::move(result));
+  return true;
+}
+
+std::future<InferenceResult> VeritasService::submit(Query query) {
+  Job job = make_job(std::move(query));
+  std::future<InferenceResult> future = job.promise.get_future();
+  if (serve_from_cache(job)) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+  if (!queue_.push(std::move(job))) {
+    throw ContractViolation("VeritasService is shutting down");
+  }
+  if (options_.cache_capacity > 0) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+std::optional<std::future<InferenceResult>> VeritasService::try_submit(
+    Query query) {
+  Job job = make_job(std::move(query));
+  std::future<InferenceResult> future = job.promise.get_future();
+  if (serve_from_cache(job)) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+  if (!queue_.try_push(job)) return std::nullopt;  // full or closing
+  if (options_.cache_capacity > 0) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+std::vector<std::future<InferenceResult>> VeritasService::submit_batch(
+    std::span<const sim::SessionLog> logs, const std::string& shard,
+    QueryKind kind) {
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(logs.size());
+  for (const sim::SessionLog& log : logs) {
+    Query query;
+    query.log = log;
+    query.shard = shard;
+    query.kind = kind;
+    futures.push_back(submit(std::move(query)));
+  }
+  return futures;
+}
+
+ServiceStats VeritasService::stats() const {
+  const auto cache = cache_.stats();
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.computed = computed_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.cache_evictions = cache.evictions;
+  s.cache_entries = cache.entries;
+  s.queue_depth = queue_.size();
+  return s;
+}
+
+// ---------------------------------------------------------------- workers
+
+void VeritasService::drain_lane() {
+  core::Ehmm::Scratch scratch;
+  while (std::optional<Job> job = queue_.pop()) {
+    execute(*job, scratch);
+  }
+}
+
+void VeritasService::execute(Job& job, core::Ehmm::Scratch& scratch) {
+  try {
+    InferenceResult result;
+    result.shard_epoch = job.shard.epoch;
+    const core::Veritas& veritas = *job.shard.veritas;
+    switch (job.query.kind) {
+      case QueryKind::kAbduction:
+        result.abduction = std::make_shared<const core::VeritasResult>(
+            veritas.engine().infer_with_seed(job.query.log, scratch,
+                                             job.key.seed));
+        break;
+      case QueryKind::kPredictSequence:
+        result.predictions =
+            std::make_shared<const std::vector<core::NextChunkPrediction>>(
+                veritas.predict_sequence(job.query.log));
+        break;
+    }
+    computed_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.cache_capacity > 0) {
+      cache_.put(job.key, CachedPayload{result.abduction, result.predictions});
+    }
+    job.promise.set_value(std::move(result));
+  } catch (...) {
+    job.promise.set_exception(std::current_exception());
+  }
+}
+
+}  // namespace veritas::service

@@ -1,0 +1,250 @@
+// The Veritas query service: many models, many queries, one process.
+//
+// The inference engine answers one session against one configuration;
+// an operator runs Veritas over a fleet, where sessions from different
+// deployments (per-ABR, per-CDN, per-network-tier) need different model
+// configurations and the same trace is queried repeatedly (a what-if
+// sweep re-abducts the identical log for every candidate setting). The
+// service adds the serving layer for that workload:
+//
+//  * a registry of named *shards* — each shard owns one immutable
+//    InferenceEngine built from its own VeritasConfig. Shards can be
+//    added, removed and hot-swapped (retrain/replace) while queries are
+//    in flight: a submitted query pins the engine it resolved, so a
+//    swap never perturbs running work.
+//  * an async submission front-end: submit() returns a
+//    std::future<InferenceResult> and enqueues the job on a *bounded*
+//    MPMC queue — a full queue blocks submitters (backpressure) instead
+//    of buffering without limit. Worker lanes drain the queue through
+//    util::ThreadPool, each lane reusing one Ehmm::Scratch arena across
+//    jobs, so steady-state serving allocates only results.
+//  * a sharded LRU result cache keyed by (session-log content hash,
+//    shard name, shard epoch, query kind, sampling seed). Every
+//    add/swap assigns the shard a fresh epoch from a service-global
+//    counter, so entries for a replaced model can never be served again
+//    — cache coherence by construction. Hits complete the future
+//    immediately without touching the queue.
+//
+// Determinism: a query's payload is bit-identical to calling the direct
+// single-threaded path (InferenceEngine::infer / Veritas::
+// predict_sequence) on an engine with the same configuration — for any
+// lane count, queue capacity, submission order, and whether the answer
+// came from the cache or a fresh computation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/veritas.hpp"
+#include "sim/session_log.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/lru_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace veritas::service {
+
+/// What the caller wants computed for a session.
+enum class QueryKind {
+  kAbduction,        ///< full posterior: MAP trace + K samples + marginals
+  kPredictSequence,  ///< per-chunk interventional next-chunk predictions
+};
+
+/// One unit of work for the service.
+struct Query {
+  sim::SessionLog log;
+  std::string shard;
+  QueryKind kind = QueryKind::kAbduction;
+  /// Overrides the shard config's posterior-sampling seed (kAbduction
+  /// only; prediction queries are seed-independent and ignore it).
+  /// Part of the cache key.
+  std::optional<std::uint64_t> seed;
+  /// XORed onto the resolved seed (kAbduction only) — the per-session
+  /// perturbation pattern (`config seed ^ session seed`). Resolved
+  /// against the shard pinned at submit time, so it composes correctly
+  /// with concurrent shard swaps, unlike reading the config seed
+  /// yourself before submitting.
+  std::optional<std::uint64_t> seed_xor;
+};
+
+/// A completed query. Payloads are immutable and shared with the result
+/// cache, so copying an InferenceResult is two refcount bumps.
+struct InferenceResult {
+  /// Set for QueryKind::kAbduction.
+  std::shared_ptr<const core::VeritasResult> abduction;
+  /// Set for QueryKind::kPredictSequence.
+  std::shared_ptr<const std::vector<core::NextChunkPrediction>> predictions;
+  bool cache_hit = false;
+  std::uint64_t shard_epoch = 0;  ///< epoch of the engine that answered
+};
+
+struct ServiceOptions {
+  /// Worker lanes draining the queue (0 = hardware thread count). Each
+  /// lane owns one scratch arena reused across jobs.
+  std::size_t num_threads = 0;
+  /// Submission queue bound: submit() blocks once this many jobs are
+  /// pending (cache hits bypass the queue).
+  std::size_t queue_capacity = 256;
+  /// Result-cache entries across all cache shards; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+  /// Independently locked cache shards.
+  std::size_t cache_shards = 8;
+};
+
+/// Point-in-time counters. queue_depth is instantaneous; the rest are
+/// monotonic over the service's lifetime.
+struct ServiceStats {
+  std::uint64_t submitted = 0;      ///< queries accepted (hits included)
+  std::uint64_t computed = 0;       ///< queries that ran inference
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_entries = 0;
+  std::size_t queue_depth = 0;
+};
+
+class VeritasService {
+ public:
+  explicit VeritasService(ServiceOptions options = {});
+
+  /// Drains and completes every accepted query, then joins the lanes.
+  ~VeritasService();
+
+  VeritasService(const VeritasService&) = delete;
+  VeritasService& operator=(const VeritasService&) = delete;
+
+  // ------------------------------------------------------------ registry
+
+  /// Registers a shard under `name`, building its engine from `config`.
+  /// Replaces any existing shard of that name (same as swap_shard).
+  /// Returns the shard's epoch — unique across all add/swap calls on
+  /// this service. Engine construction happens outside the registry
+  /// lock, so serving is not stalled by a build.
+  std::uint64_t add_shard(const std::string& name,
+                          const core::VeritasConfig& config,
+                          core::EngineOptions engine_options = {});
+
+  /// Registers a shard around an engine built elsewhere (non-null).
+  std::uint64_t add_shard(const std::string& name,
+                          std::shared_ptr<const core::InferenceEngine> engine);
+
+  /// Atomically replaces `name`'s engine and bumps its epoch, so cached
+  /// results for the old model can no longer be served. In-flight
+  /// queries keep the engine they resolved at submit time. Requires the
+  /// shard to exist.
+  std::uint64_t swap_shard(const std::string& name,
+                           const core::VeritasConfig& config,
+                           core::EngineOptions engine_options = {});
+
+  /// Unregisters `name`; in-flight queries finish on the old engine.
+  /// Returns false when no such shard exists.
+  bool remove_shard(const std::string& name);
+
+  bool has_shard(const std::string& name) const;
+  std::vector<std::string> shard_names() const;
+
+  /// Current epoch of `name`; requires the shard to exist.
+  std::uint64_t shard_epoch(const std::string& name) const;
+
+  /// Borrow the shard's current engine (e.g. for its config); requires
+  /// the shard to exist.
+  std::shared_ptr<const core::InferenceEngine> shard_engine(
+      const std::string& name) const;
+
+  // ---------------------------------------------------------- submission
+
+  /// Submits one query against a registered shard. Cache hits complete
+  /// the returned future before submit() returns; misses enqueue,
+  /// blocking while the queue is full (backpressure). Throws
+  /// ContractViolation when the shard is unknown or the service is
+  /// shutting down; a failure *inside* inference is delivered through
+  /// the future.
+  std::future<InferenceResult> submit(Query query);
+
+  /// Non-blocking submit: nullopt when the queue is full (cache hits
+  /// always succeed).
+  std::optional<std::future<InferenceResult>> try_submit(Query query);
+
+  /// Submits every log against `shard`; futures are positionally
+  /// aligned with `logs`. Blocks as needed (backpressure), so the batch
+  /// may be arbitrarily larger than the queue bound.
+  std::vector<std::future<InferenceResult>> submit_batch(
+      std::span<const sim::SessionLog> logs, const std::string& shard,
+      QueryKind kind = QueryKind::kAbduction);
+
+  ServiceStats stats() const;
+
+  std::size_t num_lanes() const noexcept { return lanes_; }
+
+ private:
+  struct Shard {
+    std::shared_ptr<const core::Veritas> veritas;  ///< facade over engine
+    std::uint64_t epoch = 0;
+  };
+
+  /// Four integers: the epoch alone identifies the (shard, model) pair
+  /// because every add/swap draws a service-unique epoch — no need to
+  /// carry the shard name.
+  struct CacheKey {
+    std::uint64_t log_hash = 0;
+    std::uint64_t epoch = 0;
+    QueryKind kind = QueryKind::kAbduction;
+    std::uint64_t seed = 0;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const noexcept;
+  };
+
+  /// What the cache stores: the immutable payload of one query.
+  struct CachedPayload {
+    std::shared_ptr<const core::VeritasResult> abduction;
+    std::shared_ptr<const std::vector<core::NextChunkPrediction>> predictions;
+  };
+
+  struct Job {
+    Shard shard;  ///< pinned at submit time
+    Query query;
+    CacheKey key;
+    std::promise<InferenceResult> promise;
+  };
+
+  /// Resolves the query's shard (throws on unknown) and computes its
+  /// cache key; the promise is default-constructed and unfulfilled.
+  Job make_job(Query query) const;
+
+  /// Probes the cache for the job's key; on a hit fulfills the promise
+  /// and returns true.
+  bool serve_from_cache(Job& job);
+
+  void drain_lane();
+  void execute(Job& job, core::Ehmm::Scratch& scratch);
+
+  ServiceOptions options_;
+  std::size_t lanes_ = 0;
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<std::string, Shard> shards_;
+  std::uint64_t next_epoch_ = 0;
+
+  util::ShardedLruCache<CacheKey, CachedPayload, CacheKeyHash> cache_;
+  util::BoundedQueue<Job> queue_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> computed_{0};
+  // Hit/miss are counted here, not by the LRU, so a try_submit probe
+  // whose enqueue is then rejected skews nothing.
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+
+  util::ThreadPool pool_;  ///< last member: joins before the rest die
+};
+
+}  // namespace veritas::service

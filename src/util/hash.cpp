@@ -1,0 +1,31 @@
+#include "util/hash.hpp"
+
+#include "sim/session_log.hpp"
+
+namespace veritas::util {
+
+std::uint64_t hash_bytes(const void* data, std::size_t size) noexcept {
+  return Fnv1aHasher{}.bytes(data, size).digest();
+}
+
+std::uint64_t hash_string(std::string_view s) noexcept {
+  return Fnv1aHasher{}.bytes(s.data(), s.size()).digest();
+}
+
+std::uint64_t hash_session_log(const sim::SessionLog& log) noexcept {
+  Fnv1aHasher h;
+  h.f64(log.chunk_duration_s).f64(log.rtt_s).u64(log.chunks.size());
+  for (const sim::ChunkLog& c : log.chunks) {
+    h.u64(c.index).u64(c.quality);
+    h.f64(c.size_bytes).f64(c.start_s).f64(c.end_s).f64(c.buffer_at_start_s);
+    h.f64(c.tcp_at_start.cwnd_segments)
+        .f64(c.tcp_at_start.ssthresh_segments)
+        .f64(c.tcp_at_start.rto_s)
+        .f64(c.tcp_at_start.min_rtt_s)
+        .f64(c.tcp_at_start.rtt_s)
+        .f64(c.tcp_at_start.last_send_gap_s);
+  }
+  return h.digest();
+}
+
+}  // namespace veritas::util

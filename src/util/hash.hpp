@@ -1,0 +1,80 @@
+// Fast stable content hashing (FNV-1a, 64-bit).
+//
+// The service layer keys its result cache by the *content* of a session
+// log, so the hash must be deterministic across runs, platforms and
+// standard libraries — std::hash guarantees none of that. FNV-1a over a
+// canonical byte feed (little-endian integers, IEEE-754 bit patterns for
+// doubles) gives a stable 64-bit digest that is cheap enough to compute
+// per query (a few ns per chunk).
+//
+// Collisions: a 64-bit digest makes accidental collisions between the
+// handful of distinct logs alive in a cache astronomically unlikely
+// (birthday bound ~2^32 entries); callers that cannot tolerate them
+// should compare payloads on hit.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace veritas::sim {
+struct SessionLog;  // sim/session_log.hpp
+}
+
+namespace veritas::util {
+
+/// Incremental FNV-1a hasher. Feed order matters: the digest is a pure
+/// function of the byte sequence fed, so two call sites agree iff they
+/// feed the same fields in the same order.
+class Fnv1aHasher {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  Fnv1aHasher& bytes(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= static_cast<std::uint64_t>(p[i]);
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  /// Canonical little-endian feed, independent of host endianness.
+  Fnv1aHasher& u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (v >> (8 * i)) & 0xFFu;
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  /// Hashes the IEEE-754 bit pattern (distinguishes +0.0 / -0.0; NaNs
+  /// hash by payload — acceptable for cache keys).
+  Fnv1aHasher& f64(double v) noexcept { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+  Fnv1aHasher& str(std::string_view s) noexcept {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot FNV-1a over a byte range.
+std::uint64_t hash_bytes(const void* data, std::size_t size) noexcept;
+
+/// One-shot FNV-1a over a string.
+std::uint64_t hash_string(std::string_view s) noexcept;
+
+/// Stable digest of every field a SessionLog carries (session constants
+/// plus, per chunk: index, quality, size, timings, buffer and the full
+/// TCP snapshot). Two logs hash equal iff they are field-for-field
+/// bit-identical; any single-field change perturbs the digest.
+std::uint64_t hash_session_log(const sim::SessionLog& log) noexcept;
+
+}  // namespace veritas::util

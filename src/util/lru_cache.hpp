@@ -1,0 +1,150 @@
+// Sharded LRU cache with hit/miss/eviction accounting.
+//
+// Keys are distributed over independently locked shards (the key's hash
+// picks the shard), so concurrent lookups from many service lanes rarely
+// contend on one mutex. Each shard keeps its own recency list and evicts
+// least-recently-used entries once it exceeds its slice of the total
+// capacity; values are returned by copy, so cache a cheap handle
+// (e.g. shared_ptr to an immutable result), not the payload itself.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace veritas::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;    ///< counted by get() only, never peek()
+    std::uint64_t misses = 0;  ///< counted by get() only, never peek()
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  /// At most `capacity` entries total, split across up to `shards`
+  /// locks (the shard count is clamped so per-shard slices never sum
+  /// past `capacity`). Requires capacity, shards >= 1.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8)
+      : shard_capacity_(slice_capacity(capacity, shards)) {
+    const std::size_t count = std::min(shards, capacity);
+    shards_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  /// Looks the key up, promoting it to most-recently-used on a hit.
+  std::optional<Value> get(const Key& key) { return lookup(key, true); }
+
+  /// get() without touching the hit/miss counters (still promotes).
+  /// For probes that may not represent a served request — e.g. a
+  /// try-submission that can still be rejected on a full queue.
+  std::optional<Value> peek(const Key& key) { return lookup(key, false); }
+
+  /// Inserts or refreshes the key as most-recently-used, evicting the
+  /// shard's LRU tail when over capacity.
+  void put(const Key& key, Value value) {
+    Shard& shard = shard_of(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.order.begin());
+    if (shard.order.size() > shard_capacity_) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  /// Drops every entry (counters are kept).
+  void clear() {
+    for (auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->order.clear();
+      shard->index.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->order.size();
+    }
+    return total;
+  }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Aggregated counters across shards (consistent per shard, summed
+  /// without a global lock).
+  Stats stats() const {
+    Stats total;
+    for (const auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      total.hits += shard->hits;
+      total.misses += shard->misses;
+      total.evictions += shard->evictions;
+      total.entries += shard->order.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::pair<Key, Value>> order;  ///< front = most recent
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  static std::size_t slice_capacity(std::size_t capacity, std::size_t shards) {
+    VERITAS_EXPECTS(capacity >= 1);
+    VERITAS_EXPECTS(shards >= 1);
+    // Floor over the clamped shard count: slices sum to <= capacity.
+    return capacity / std::min(shards, capacity);
+  }
+
+  std::optional<Value> lookup(const Key& key, bool count) {
+    Shard& shard = shard_of(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      if (count) ++shard.misses;
+      return std::nullopt;
+    }
+    if (count) ++shard.hits;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return it->second->second;
+  }
+
+  Shard& shard_of(const Key& key) {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  const std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace veritas::util

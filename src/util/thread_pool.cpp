@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <utility>
 
 #include "util/expects.hpp"
 
@@ -39,8 +40,13 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    error = std::exchange(pending_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
@@ -55,9 +61,16 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    job();
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      // Keep the worker alive; hand the error to the next wait_idle().
+      error = std::current_exception();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !pending_error_) pending_error_ = error;
       --active_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }

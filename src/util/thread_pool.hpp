@@ -6,16 +6,24 @@
 // uneven session lengths load-balance, and the calling thread works too —
 // a pool of size T applies T+1 threads to the loop.
 //
-// Exceptions thrown by the body are captured and the first one is
-// rethrown on the calling thread after every worker has stopped.
+// Exceptions never terminate the process: parallel_for captures the
+// first body exception and rethrows it on the calling thread; a plain
+// submit() job that throws has its exception stashed and rethrown by the
+// next wait_idle() (workers keep running); submit_task() returns a
+// future that carries the task's result or exception.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace veritas::util {
@@ -44,10 +52,28 @@ class ThreadPool {
       std::size_t count,
       const std::function<void(std::size_t worker, std::size_t index)>& body);
 
-  /// Enqueues one fire-and-forget job.
+  /// Enqueues one fire-and-forget job. If the job throws, the worker
+  /// survives and the first uncollected exception is rethrown by the
+  /// next wait_idle() — never std::terminate. Prefer submit_task() when
+  /// the caller wants the specific task's outcome.
   void submit(std::function<void()> job);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Enqueues a task and returns a future for its result; an exception
+  /// thrown by the task is delivered through the future, not wait_idle.
+  template <typename F>
+  auto submit_task(F&& task) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // shared_ptr because std::function requires a copyable callable.
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    submit([packaged] { (*packaged)(); });
+    return future;
+  }
+
+  /// Blocks until the queue is empty and all workers are idle, then
+  /// rethrows the first exception any fire-and-forget job raised since
+  /// the last wait_idle (clearing it).
   void wait_idle();
 
  private:
@@ -60,6 +86,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::exception_ptr pending_error_;  ///< first uncollected submit() error
 };
 
 }  // namespace veritas::util

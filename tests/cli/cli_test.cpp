@@ -128,6 +128,31 @@ TEST_F(CliTest, WhatIfRunsFromLogAlone) {
   EXPECT_NE(out_.str().find("baseline"), std::string::npos);
 }
 
+TEST_F(CliTest, ServeRunsRoundsAndReportsCache) {
+  ASSERT_EQ(run({"generate-trace", "--out", path("gt.csv")}), 0);
+  ASSERT_EQ(run({"simulate", "--trace", path("gt.csv"), "--out",
+                 path("log1.csv")}),
+            0);
+  ASSERT_EQ(run({"simulate", "--trace", path("gt.csv"), "--out",
+                 path("log2.csv"), "--abr", "bba"}),
+            0);
+  ASSERT_EQ(run({"serve", "--logs", path("log1.csv") + "," + path("log2.csv"),
+                 "--repeat", "2", "--threads", "2", "--samples", "2"}),
+            0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("serving 2 sessions"), std::string::npos);
+  EXPECT_NE(text.find("round 0:"), std::string::npos);
+  EXPECT_NE(text.find("round 1:"), std::string::npos);
+  // Round two re-submits the same logs: both answered from the cache.
+  EXPECT_NE(text.find("served 4 queries (2 computed, 2 from cache)"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ServeRequiresLogs) {
+  EXPECT_EQ(run({"serve"}), 1);
+  EXPECT_NE(err_.str().find("--logs"), std::string::npos);
+}
+
 TEST_F(CliTest, InferReportsLikelihood) {
   ASSERT_EQ(run({"generate-trace", "--out", path("gt.csv")}), 0);
   ASSERT_EQ(run({"simulate", "--trace", path("gt.csv"), "--out",

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "abr/abr_factory.hpp"
 #include "net/network_path.hpp"
 #include "query/experiment_setup.hpp"
+#include "service/veritas_service.hpp"
 #include "sim/session.hpp"
 #include "trace/trace_generator.hpp"
 #include "util/expects.hpp"
@@ -159,6 +162,47 @@ TEST(CounterfactualEngine, PredictWhatIfNeedsNoGroundTruth) {
   EXPECT_EQ(p.veritas_samples.size(), engine.veritas_config().num_samples);
   EXPECT_GT(p.veritas_low.mean_ssim, 0.85);
   EXPECT_LE(p.veritas_low.mean_ssim, p.veritas_high.mean_ssim);
+}
+
+TEST(CounterfactualEngine, ServiceBackedMatchesLocalBitForBit) {
+  const auto traces = trace::make_traces(trace::TraceFamily::kFccLike, 1, 71);
+  const video::Video v = short_video();
+  const net::NetworkPath path(traces[0], 0.08);
+  auto abr = abr::make_abr("mpc");
+  const auto log = sim::run_session(v, *abr, path).log;
+  Setting b;
+  b.abr = "bba";
+
+  const core::VeritasConfig cfg;  // paper defaults
+  const CounterfactualEngine local(cfg);
+  auto service = std::make_shared<service::VeritasService>();
+  service->add_shard("prod", cfg);
+  const CounterfactualEngine backed(service, "prod");
+  EXPECT_EQ(backed.veritas_config().sigma_mbps, cfg.sigma_mbps);
+
+  for (const std::uint64_t seed : {0ULL, 5ULL}) {
+    const auto expected = local.predict_whatif(log, v, b, seed);
+    const auto actual = backed.predict_whatif(log, v, b, seed);
+    EXPECT_EQ(actual.baseline.mean_ssim, expected.baseline.mean_ssim);
+    EXPECT_EQ(actual.veritas_low.mean_ssim, expected.veritas_low.mean_ssim);
+    EXPECT_EQ(actual.veritas_high.rebuffer_ratio_pct,
+              expected.veritas_high.rebuffer_ratio_pct);
+    EXPECT_EQ(actual.veritas_low.avg_bitrate_mbps,
+              expected.veritas_low.avg_bitrate_mbps);
+    ASSERT_EQ(actual.veritas_samples.size(), expected.veritas_samples.size());
+    for (std::size_t k = 0; k < actual.veritas_samples.size(); ++k) {
+      EXPECT_EQ(actual.veritas_samples[k].mean_ssim,
+                expected.veritas_samples[k].mean_ssim);
+    }
+  }
+
+  // The repeated what-if sweep hit the shard's cache: one abduction per
+  // distinct (log, seed), not per call.
+  const auto again = backed.predict_whatif(log, v, b, 5);
+  EXPECT_EQ(again.veritas_low.mean_ssim,
+            local.predict_whatif(log, v, b, 5).veritas_low.mean_ssim);
+  EXPECT_GE(service->stats().cache_hits, 1u);
+  EXPECT_EQ(service->stats().computed, 2u);  // seeds 0 and 5 only
 }
 
 TEST(ExperimentSetup, DeploymentProducesOneLogPerTrace) {

@@ -5,6 +5,7 @@
 #include "abr/abr_factory.hpp"
 #include "net/network_path.hpp"
 #include "query/experiment_setup.hpp"
+#include "service/veritas_service.hpp"
 #include "sim/session.hpp"
 #include "trace/trace_generator.hpp"
 #include "util/expects.hpp"
@@ -105,6 +106,36 @@ TEST(InterventionalStudy, FuguHasUnderestimationTailVeritasDoesNot) {
   EXPECT_GT(result.veritas.p10_error_s, result.fugu.p10_error_s / 2.0);
   EXPECT_LT(result.veritas.worst_underestimate_s,
             result.fugu.worst_underestimate_s);
+}
+
+TEST(InterventionalStudy, ServiceRoutedMatchesDirectBitForBit) {
+  const auto train = logs_for("mpc", 3, 81, 40);
+  const auto test = logs_for("random", 2, 97, 40);
+  const core::VeritasConfig cfg;
+
+  const InterventionalResult direct =
+      run_interventional_study(train, test, cfg, fast_fugu());
+
+  service::VeritasService service;
+  service.add_shard("prod", cfg);
+  const InterventionalResult routed =
+      run_interventional_study(service, "prod", train, test, fast_fugu());
+
+  ASSERT_EQ(routed.records.size(), direct.records.size());
+  for (std::size_t i = 0; i < routed.records.size(); ++i) {
+    EXPECT_EQ(routed.records[i].session, direct.records[i].session);
+    EXPECT_EQ(routed.records[i].chunk, direct.records[i].chunk);
+    EXPECT_EQ(routed.records[i].veritas_time_s,
+              direct.records[i].veritas_time_s);
+    EXPECT_EQ(routed.records[i].fugu_time_s, direct.records[i].fugu_time_s);
+  }
+  EXPECT_EQ(routed.veritas.mean_abs_error_s, direct.veritas.mean_abs_error_s);
+  EXPECT_EQ(service.stats().computed, test.size());  // one query per session
+
+  // Running the study again is answered from the shard's cache.
+  (void)run_interventional_study(service, "prod", train, test, fast_fugu());
+  EXPECT_EQ(service.stats().computed, test.size());
+  EXPECT_GE(service.stats().cache_hits, test.size());
 }
 
 TEST(InterventionalStudy, RejectsEmptyInputs) {

@@ -1,0 +1,147 @@
+#include "util/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace veritas::util {
+namespace {
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.push(i));
+  EXPECT_EQ(queue.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto value = queue.pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFull) {
+  BoundedQueue<int> queue(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(queue.try_push(a));
+  EXPECT_TRUE(queue.try_push(b));
+  EXPECT_FALSE(queue.try_push(c));  // full; c not consumed
+  EXPECT_EQ(c, 3);
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_TRUE(queue.try_push(c));
+}
+
+TEST(BoundedQueue, TryPopOnEmptyReturnsNullopt) {
+  BoundedQueue<int> queue(2);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2));  // blocks: queue is full
+    pushed.store(true);
+  });
+
+  // The producer must be parked on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load());
+
+  EXPECT_EQ(queue.pop().value(), 1);  // makes room, wakes the producer
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(1);
+  std::atomic<int> got{0};
+  std::thread consumer([&] { got.store(queue.pop().value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), 0);
+  EXPECT_TRUE(queue.push(7));
+  consumer.join();
+  EXPECT_EQ(got.load(), 7);
+}
+
+TEST(BoundedQueue, CloseDrainsAcceptedItemsThenEnds) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));  // closed: rejected
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());  // drained
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  ASSERT_TRUE(full.push(1));
+  BoundedQueue<int> empty(1);
+
+  std::thread producer([&] { EXPECT_FALSE(full.push(2)); });
+  std::thread consumer([&] { EXPECT_FALSE(empty.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(full.pop().value(), 1);  // accepted before close: still drained
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersDeliverEachItemOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(8);  // far smaller than the item count
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (const auto value = queue.pop()) {
+        const std::lock_guard<std::mutex> lock(seen_mutex);
+        EXPECT_TRUE(seen.insert(*value).second) << "duplicate " << *value;
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(seen.size(), std::size_t{kProducers} * kPerProducer);
+}
+
+TEST(BoundedQueue, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> queue(2);
+  EXPECT_TRUE(queue.push(std::make_unique<int>(42)));
+  const auto value = queue.pop();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(**value, 42);
+}
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::util

@@ -1,0 +1,108 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/session_log.hpp"
+
+namespace veritas::util {
+namespace {
+
+sim::SessionLog small_log() {
+  sim::SessionLog log;
+  log.chunk_duration_s = 2.0;
+  log.rtt_s = 0.08;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim::ChunkLog c;
+    c.index = i;
+    c.quality = i % 2;
+    c.size_bytes = 1e6 + 1000.0 * double(i);
+    c.start_s = 2.0 * double(i);
+    c.end_s = c.start_s + 1.0;
+    c.buffer_at_start_s = 3.0;
+    c.tcp_at_start.cwnd_segments = 20.0 + double(i);
+    log.chunks.push_back(c);
+  }
+  return log;
+}
+
+TEST(Hash, MatchesKnownFnv1aVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(hash_bytes("", 0), 14695981039346656037ULL);
+  EXPECT_EQ(hash_string("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(hash_string("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, HasherIsIncremental) {
+  const std::uint64_t whole = hash_string("foobar");
+  Fnv1aHasher h;
+  h.bytes("foo", 3).bytes("bar", 3);
+  EXPECT_EQ(h.digest(), whole);
+}
+
+TEST(Hash, U64FeedIsBytewiseLittleEndian) {
+  // u64(v) must equal feeding v's 8 little-endian bytes, which is what
+  // makes the digest platform-independent.
+  const std::uint64_t v = 0x0123456789abcdefULL;
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+  }
+  EXPECT_EQ(Fnv1aHasher{}.u64(v).digest(), hash_bytes(bytes, 8));
+}
+
+TEST(Hash, F64DistinguishesSignedZero) {
+  EXPECT_NE(Fnv1aHasher{}.f64(0.0).digest(), Fnv1aHasher{}.f64(-0.0).digest());
+}
+
+TEST(Hash, StrIsLengthPrefixed) {
+  // ("ab", "c") and ("a", "bc") must not collide.
+  EXPECT_NE(Fnv1aHasher{}.str("ab").str("c").digest(),
+            Fnv1aHasher{}.str("a").str("bc").digest());
+}
+
+TEST(Hash, SessionLogHashIsDeterministic) {
+  EXPECT_EQ(hash_session_log(small_log()), hash_session_log(small_log()));
+}
+
+TEST(Hash, SessionLogHashCoversEveryField) {
+  const std::uint64_t base = hash_session_log(small_log());
+  std::set<std::uint64_t> digests{base};
+
+  // Perturb each field of one chunk (and the session constants) in turn;
+  // every perturbation must change the digest, and all must differ.
+  auto perturbed = [&](auto&& mutate) {
+    sim::SessionLog log = small_log();
+    mutate(log);
+    const std::uint64_t digest = hash_session_log(log);
+    EXPECT_NE(digest, base);
+    return digest;
+  };
+  digests.insert(perturbed([](auto& l) { l.chunk_duration_s = 4.0; }));
+  digests.insert(perturbed([](auto& l) { l.rtt_s = 0.1; }));
+  digests.insert(perturbed([](auto& l) { l.chunks[2].index = 9; }));
+  digests.insert(perturbed([](auto& l) { l.chunks[2].quality = 5; }));
+  digests.insert(perturbed([](auto& l) { l.chunks[2].size_bytes += 1.0; }));
+  digests.insert(perturbed([](auto& l) { l.chunks[2].start_s += 1e-9; }));
+  digests.insert(perturbed([](auto& l) { l.chunks[2].end_s += 1e-9; }));
+  digests.insert(
+      perturbed([](auto& l) { l.chunks[2].buffer_at_start_s = 0.0; }));
+  digests.insert(
+      perturbed([](auto& l) { l.chunks[2].tcp_at_start.cwnd_segments = 1.0; }));
+  digests.insert(perturbed(
+      [](auto& l) { l.chunks[2].tcp_at_start.ssthresh_segments = 7.0; }));
+  digests.insert(
+      perturbed([](auto& l) { l.chunks[2].tcp_at_start.rto_s = 0.3; }));
+  digests.insert(
+      perturbed([](auto& l) { l.chunks[2].tcp_at_start.min_rtt_s = 0.01; }));
+  digests.insert(
+      perturbed([](auto& l) { l.chunks[2].tcp_at_start.rtt_s = 0.2; }));
+  digests.insert(perturbed(
+      [](auto& l) { l.chunks[2].tcp_at_start.last_send_gap_s = 1.0; }));
+  digests.insert(perturbed([](auto& l) { l.chunks.pop_back(); }));
+  EXPECT_EQ(digests.size(), 16u);  // base + 15 distinct perturbations
+}
+
+}  // namespace
+}  // namespace veritas::util

@@ -1,0 +1,113 @@
+#include "util/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace veritas::util {
+namespace {
+
+/// Single shard makes eviction order fully deterministic.
+using SingleShard = ShardedLruCache<int, std::string>;
+
+TEST(ShardedLruCache, GetReturnsWhatPutStored) {
+  SingleShard cache(4, 1);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  EXPECT_EQ(cache.get(1).value(), "one");
+  EXPECT_EQ(cache.get(2).value(), "two");
+  EXPECT_FALSE(cache.get(3).has_value());
+}
+
+TEST(ShardedLruCache, PutRefreshesExistingKey) {
+  SingleShard cache(4, 1);
+  cache.put(1, "old");
+  cache.put(1, "new");
+  EXPECT_EQ(cache.get(1).value(), "new");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsed) {
+  SingleShard cache(2, 1);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  cache.put(3, "three");  // evicts 1
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedLruCache, GetPromotesAgainstEviction) {
+  SingleShard cache(2, 1);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  EXPECT_TRUE(cache.get(1).has_value());  // 1 is now most recent
+  cache.put(3, "three");                  // evicts 2, not 1
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(ShardedLruCache, CountsHitsAndMisses) {
+  SingleShard cache(4, 1);
+  cache.put(1, "one");
+  (void)cache.get(1);  // hit
+  (void)cache.get(1);  // hit
+  (void)cache.get(9);  // miss
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ShardedLruCache, ClearKeepsCounters) {
+  SingleShard cache(4, 1);
+  cache.put(1, "one");
+  (void)cache.get(1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ShardedLruCache, CapacityIsSplitAcrossShards) {
+  // 8 entries over 4 shards: each shard holds at most 2, so inserting
+  // many keys keeps the total bounded by 8 regardless of distribution.
+  ShardedLruCache<int, int> cache(8, 4);
+  for (int i = 0; i < 100; ++i) cache.put(i, i);
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_GE(cache.stats().evictions, 92u);
+}
+
+TEST(ShardedLruCache, RejectsZeroCapacityOrShards) {
+  EXPECT_THROW((ShardedLruCache<int, int>(0, 1)), ContractViolation);
+  EXPECT_THROW((ShardedLruCache<int, int>(1, 0)), ContractViolation);
+}
+
+TEST(ShardedLruCache, ConcurrentMixedAccessIsSafe) {
+  ShardedLruCache<int, int> cache(64, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const int key = (t * 37 + i) % 128;
+        if (i % 3 == 0) {
+          cache.put(key, key * 2);
+        } else if (const auto v = cache.get(key)) {
+          EXPECT_EQ(*v, key * 2);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.stats();
+  // Each thread does 1333 gets (the 2000 - 667 iterations with i%3 != 0).
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 1333u);
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace veritas::util

@@ -87,6 +87,52 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   EXPECT_EQ(done.load(), 20);
 }
 
+TEST(ThreadPool, ThrowingSubmitJobIsRethrownOnWaitIdleNotTerminate) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  // A fire-and-forget job that throws must not take the process (or the
+  // worker) down; the error surfaces at the next wait_idle().
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] { done.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(done.load(), 10);  // workers survived and kept draining
+
+  // The error was collected: the pool is clean and reusable.
+  pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 11);
+}
+
+TEST(ThreadPool, OnlyFirstPendingErrorIsKept) {
+  ThreadPool pool(1);  // one worker: jobs run in submission order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  pool.wait_idle();  // "second" was dropped, not queued behind "first"
+}
+
+TEST(ThreadPool, SubmitTaskDeliversResultThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit_task([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitTaskDeliversExceptionThroughFutureOnly) {
+  ThreadPool pool(2);
+  auto future =
+      pool.submit_task([]() -> int { throw std::runtime_error("task"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The packaged task absorbed the exception: nothing pends on wait_idle.
+  pool.wait_idle();
+}
+
 TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1u);
 }

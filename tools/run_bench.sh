@@ -2,20 +2,23 @@
 # Runs the core perf benches and emits a BENCH_N.json snapshot of the
 # repo's perf trajectory: google-benchmark microbenches
 # (bench_micro_core), the batch/phase bench (bench_batch_infer,
-# wall-time per phase and sessions/sec at 1/2/4/N threads) and the
+# wall-time per phase and sessions/sec at 1/2/4/N threads), the
 # Baum-Welch training bench (bench_train, EM wall-time across thread
-# counts and the memoized-emission ablation).
+# counts and the memoized-emission ablation) and the service bench
+# (bench_service, mixed-shard async throughput/latency, cold vs warm
+# result cache).
 #
-# Usage: tools/run_bench.sh [output.json]   (default: BENCH_2.json)
+# Usage: tools/run_bench.sh [output.json]   (default: BENCH_3.json)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-out_json="${1:-${repo_root}/BENCH_2.json}"
+out_json="${1:-${repo_root}/BENCH_3.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j \
-  --target bench_micro_core bench_batch_infer bench_train >/dev/null
+  --target bench_micro_core bench_batch_infer bench_train \
+  bench_service >/dev/null
 
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
@@ -40,21 +43,32 @@ echo "== bench_train =="
   --repeat "${VERITAS_BENCH_REPEAT:-3}" \
   --json "${tmp_dir}/train.json"
 
+echo
+echo "== bench_service =="
+"${build_dir}/bench/bench_service" \
+  --sessions "${VERITAS_BENCH_SESSIONS:-64}" \
+  --repeat "${VERITAS_BENCH_REPEAT:-3}" \
+  --json "${tmp_dir}/service.json"
+
 if command -v jq >/dev/null 2>&1; then
   jq -n \
     --slurpfile micro "${tmp_dir}/micro.json" \
     --slurpfile batch "${tmp_dir}/batch.json" \
     --slurpfile train "${tmp_dir}/train.json" \
-    '{micro: $micro[0], batch: $batch[0], train: $train[0]}' > "${out_json}"
+    --slurpfile service "${tmp_dir}/service.json" \
+    '{micro: $micro[0], batch: $batch[0], train: $train[0],
+      service: $service[0]}' > "${out_json}"
 else
-  # No jq: merge the two plain snapshots by hand; they carry the
-  # headline numbers.
+  # No jq: merge the plain snapshots by hand; they carry the headline
+  # numbers.
   {
     echo '{'
     echo '"batch":'
     cat "${tmp_dir}/batch.json"
     echo ', "train":'
     cat "${tmp_dir}/train.json"
+    echo ', "service":'
+    cat "${tmp_dir}/service.json"
     echo '}'
   } > "${out_json}"
 fi
