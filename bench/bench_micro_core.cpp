@@ -1,11 +1,18 @@
 // Microbenchmarks (google-benchmark) for the core inference primitives:
 // Viterbi, forward-backward, posterior sampling, transition powers, the
 // TCP simulator and the estimator f, plus a full end-to-end infer().
+//
+// Benchmarks that exercise the EHMM kernels take a `simd` argument:
+// /simd:0 forces the scalar reference table, /simd:1 the vectorized one
+// (skipped when the binary or CPU has no SIMD table), so one run records
+// the scalar-vs-SIMD trajectory side by side (tools/run_bench.sh →
+// BENCH_4.json).
 #include <benchmark/benchmark.h>
 
 #include "abr/abr_factory.hpp"
 #include "core/inference_engine.hpp"
 #include "core/veritas.hpp"
+#include "math/simd_kernels.hpp"
 #include "net/network_path.hpp"
 #include "net/throughput_estimator.hpp"
 #include "sim/session.hpp"
@@ -15,6 +22,7 @@
 namespace {
 
 using namespace veritas;
+namespace sk = veritas::math::simd_kernels;
 
 const sim::SessionLog& shared_log() {
   static const sim::SessionLog log = [] {
@@ -28,7 +36,29 @@ const sim::SessionLog& shared_log() {
   return log;
 }
 
+/// Applies the benchmark's simd argument to the kernel dispatcher.
+/// Returns false (after flagging a skip) when the SIMD table is absent.
+class KernelModeGuard {
+ public:
+  explicit KernelModeGuard(benchmark::State& state) {
+    const bool want_simd = state.range(0) == 1;
+    if (want_simd && sk::simd_ops() == nullptr) {
+      state.SkipWithError("SIMD kernel table unavailable");
+      ok_ = false;
+      return;
+    }
+    sk::set_mode(want_simd ? sk::Mode::kForceSimd : sk::Mode::kForceScalar);
+  }
+  ~KernelModeGuard() { sk::set_mode(sk::Mode::kAuto); }
+  explicit operator bool() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
 void BM_Viterbi(benchmark::State& state) {
+  KernelModeGuard guard(state);
+  if (!guard) return;
   const core::Veritas veritas;
   const core::Ehmm ehmm = veritas.make_ehmm();
   const auto obs = core::observations_from_log(shared_log());
@@ -37,9 +67,11 @@ void BM_Viterbi(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
 }
-BENCHMARK(BM_Viterbi);
+BENCHMARK(BM_Viterbi)->ArgName("simd")->Arg(0)->Arg(1);
 
 void BM_ForwardBackward(benchmark::State& state) {
+  KernelModeGuard guard(state);
+  if (!guard) return;
   const core::Veritas veritas;
   const core::Ehmm ehmm = veritas.make_ehmm();
   const auto obs = core::observations_from_log(shared_log());
@@ -48,7 +80,28 @@ void BM_ForwardBackward(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
 }
-BENCHMARK(BM_ForwardBackward);
+BENCHMARK(BM_ForwardBackward)->ArgName("simd")->Arg(0)->Arg(1);
+
+// The forward-backward *recursion* phase: emission means precomputed
+// once (the TCP estimator f is scalar and identical in both modes), so
+// this isolates what the SIMD kernels actually touch — batched emission
+// log-pdf, vectorized exp, forward/backward/pair sweeps.
+void BM_ForwardBackwardRecursion(benchmark::State& state) {
+  KernelModeGuard guard(state);
+  if (!guard) return;
+  const core::Veritas veritas;
+  const core::Ehmm ehmm = veritas.make_ehmm();
+  const auto obs = core::observations_from_log(shared_log());
+  core::Ehmm::Scratch scratch;
+  math::Matrix means;
+  ehmm.emission_means_into(obs, means, scratch.emission_memo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ehmm.forward_backward_from_means(obs, means, scratch));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
+}
+BENCHMARK(BM_ForwardBackwardRecursion)->ArgName("simd")->Arg(0)->Arg(1);
 
 void BM_PosteriorSample(benchmark::State& state) {
   const core::Veritas veritas;
@@ -65,12 +118,14 @@ void BM_PosteriorSample(benchmark::State& state) {
 BENCHMARK(BM_PosteriorSample);
 
 void BM_FullInfer(benchmark::State& state) {
+  KernelModeGuard guard(state);
+  if (!guard) return;
   const core::Veritas veritas;
   for (auto _ : state) {
     benchmark::DoNotOptimize(veritas.infer(shared_log()));
   }
 }
-BENCHMARK(BM_FullInfer);
+BENCHMARK(BM_FullInfer)->ArgName("simd")->Arg(0)->Arg(1);
 
 core::VeritasConfig multi_window_config() {
   core::VeritasConfig cfg;
@@ -90,6 +145,8 @@ BENCHMARK(BM_FullInferMultiWindow);
 // sharing them) with a reused scratch arena — the per-session hot path
 // of InferenceEngine::infer_batch.
 void BM_FusedSessionPass(benchmark::State& state) {
+  KernelModeGuard guard(state);
+  if (!guard) return;
   const core::InferenceEngine engine{core::VeritasConfig{}};
   const auto obs = core::observations_from_log(shared_log());
   core::Ehmm::Scratch scratch;
@@ -98,7 +155,7 @@ void BM_FusedSessionPass(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
 }
-BENCHMARK(BM_FusedSessionPass);
+BENCHMARK(BM_FusedSessionPass)->ArgName("simd")->Arg(0)->Arg(1);
 
 void BM_FusedSessionPassMultiWindow(benchmark::State& state) {
   const core::InferenceEngine engine{multi_window_config()};
@@ -124,6 +181,140 @@ void BM_EmissionLogProbs(benchmark::State& state) {
 }
 BENCHMARK(BM_EmissionLogProbs)->Arg(0)->Arg(1);
 
+// ------------------------------------------------------- kernel-level
+
+/// Shared fixture for the raw kernel benches: one prepared session
+/// (padded scratch tables) plus the dense Δ=1 transition tables.
+struct KernelFixture {
+  core::Veritas veritas;
+  core::Ehmm ehmm = veritas.make_ehmm();
+  std::vector<core::ChunkObservation> obs =
+      core::observations_from_log(shared_log());
+  core::Ehmm::Scratch scratch;
+  sk::DeltaTables tables;
+  std::size_t k = 0;
+  std::size_t stride = 0;
+
+  KernelFixture() {
+    (void)ehmm.forward_backward(obs, scratch);
+    const core::TransitionModel::PowerView view =
+        ehmm.transition().power_view(1);
+    tables.p = view.p->row_data(0);
+    tables.t = view.transposed->row_data(0);
+    tables.log_p = view.log_p->row_data(0);
+    tables.log_t = view.log_transposed->row_data(0);
+    tables.stride = view.p->col_stride();
+    k = ehmm.space().size();
+    stride = tables.stride;
+  }
+};
+
+const KernelFixture& kernel_fixture() {
+  static const KernelFixture fixture;
+  return fixture;
+}
+
+const sk::KernelOps& bench_ops(const benchmark::State& state) {
+  return state.range(0) == 1 ? *sk::simd_ops() : sk::scalar_ops();
+}
+
+bool skip_if_no_simd(benchmark::State& state) {
+  if (state.range(0) == 1 && sk::simd_ops() == nullptr) {
+    state.SkipWithError("SIMD kernel table unavailable");
+    return true;
+  }
+  return false;
+}
+
+// One batched emission row: k Normal log-densities from a means row.
+void BM_KernelEmissionRow(benchmark::State& state) {
+  if (skip_if_no_simd(state)) return;
+  const KernelFixture& f = kernel_fixture();
+  const sk::KernelOps& ops = bench_ops(state);
+  std::vector<double> out(f.stride, 0.0);
+  const double* means = f.scratch.emission_mean.row_data(0);
+  for (auto _ : state) {
+    ops.emission_log_pdf_row(4.2, means, f.k, f.stride, 0.5,
+                             -0.6931471805599453, 0.9189385332046727,
+                             out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(f.k));
+}
+BENCHMARK(BM_KernelEmissionRow)->ArgName("simd")->Arg(0)->Arg(1);
+
+// One row of exp(log_e - max): the forward-backward emission rescale.
+void BM_KernelExpRow(benchmark::State& state) {
+  if (skip_if_no_simd(state)) return;
+  const KernelFixture& f = kernel_fixture();
+  const sk::KernelOps& ops = bench_ops(state);
+  std::vector<double> out(f.stride, 0.0);
+  const double* log_row = f.scratch.log_emission.row_data(0);
+  for (auto _ : state) {
+    ops.exp_rows(log_row, 1.5, f.stride, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(f.stride));
+}
+BENCHMARK(BM_KernelExpRow)->ArgName("simd")->Arg(0)->Arg(1);
+
+// One k² max-plus Viterbi step over the dense Δ=1 tables.
+void BM_KernelViterbiStep(benchmark::State& state) {
+  if (skip_if_no_simd(state)) return;
+  const KernelFixture& f = kernel_fixture();
+  const sk::KernelOps& ops = bench_ops(state);
+  const double* prev = f.scratch.log_emission.row_data(0);
+  const double* e_n = f.scratch.log_emission.row_data(1);
+  std::vector<double> curr(f.stride, 0.0);
+  std::vector<std::uint32_t> back(f.stride, 0);
+  for (auto _ : state) {
+    ops.viterbi_step(prev, f.tables, f.k, e_n, curr.data(), back.data());
+    benchmark::DoNotOptimize(curr.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(f.k * f.k));
+}
+BENCHMARK(BM_KernelViterbiStep)->ArgName("simd")->Arg(0)->Arg(1);
+
+// One k² sum-product forward step.
+void BM_KernelForwardStep(benchmark::State& state) {
+  if (skip_if_no_simd(state)) return;
+  const KernelFixture& f = kernel_fixture();
+  const sk::KernelOps& ops = bench_ops(state);
+  const double* prev = f.scratch.alpha.row_data(0);
+  const double* em_n = f.scratch.em.row_data(1);
+  std::vector<double> row(f.stride, 0.0);
+  for (auto _ : state) {
+    ops.forward_step(prev, f.tables, f.k, em_n, row.data());
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(f.k * f.k));
+}
+BENCHMARK(BM_KernelForwardStep)->ArgName("simd")->Arg(0)->Arg(1);
+
+// One k² backward step with the fused pair-posterior normalizer.
+void BM_KernelBackwardPairStep(benchmark::State& state) {
+  if (skip_if_no_simd(state)) return;
+  const KernelFixture& f = kernel_fixture();
+  const sk::KernelOps& ops = bench_ops(state);
+  const double* em_next = f.scratch.em.row_data(1);
+  const double* beta_next = f.scratch.beta.row_data(1);
+  const double* alpha_n = f.scratch.alpha.row_data(0);
+  std::vector<double> beta_n(f.stride, 0.0);
+  double pair = 0.0;
+  for (auto _ : state) {
+    ops.backward_step(f.tables, f.k, em_next, beta_next, 1.25,
+                      beta_n.data(), alpha_n, &pair);
+    benchmark::DoNotOptimize(pair);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(f.k * f.k));
+}
+BENCHMARK(BM_KernelBackwardPairStep)->ArgName("simd")->Arg(0)->Arg(1);
+
+// --------------------------------------------------------- transition
+
 void BM_TransitionPower(benchmark::State& state) {
   const auto model = core::TransitionModel::tridiagonal(21);
   for (auto _ : state) {
@@ -133,6 +324,24 @@ void BM_TransitionPower(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransitionPower)->Arg(2)->Arg(16)->Arg(128);
+
+// Serving a power from the precomputed window (lock-free dense lookup)
+// vs falling back past it (mutex-guarded memo; delta 200 is memoized on
+// the first call, so steady-state cost = lock + map find). Motivates
+// sizing VeritasConfig::precomputed_powers to the workload's gap
+// distribution.
+void BM_TransitionPowerLookup(benchmark::State& state) {
+  static const core::TransitionModel model = [] {
+    core::TransitionModel m = core::TransitionModel::tridiagonal(21);
+    m.precompute_powers(core::Ehmm::kDefaultPrecomputedPowers);
+    return m;
+  }();
+  const auto delta = std::size_t(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&model.power(delta));
+  }
+}
+BENCHMARK(BM_TransitionPowerLookup)->ArgName("delta")->Arg(16)->Arg(200);
 
 void BM_EstimatorF(benchmark::State& state) {
   net::TcpState w;

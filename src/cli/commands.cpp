@@ -8,6 +8,7 @@
 
 #include "abr/abr_factory.hpp"
 #include "core/veritas.hpp"
+#include "math/simd_kernels.hpp"
 #include "net/network_path.hpp"
 #include "query/counterfactual.hpp"
 #include "service/veritas_service.hpp"
@@ -63,6 +64,8 @@ core::VeritasConfig config_from_flags(const CommandLine& cmd) {
   cfg.sigma_mbps = cmd.number("--sigma", cfg.sigma_mbps);
   cfg.max_mbps = cmd.number("--max-mbps", cfg.max_mbps);
   cfg.seed = static_cast<std::uint64_t>(cmd.number("--seed", double(cfg.seed)));
+  cfg.precomputed_powers = static_cast<std::size_t>(
+      cmd.number("--powers", double(cfg.precomputed_powers)));
   return cfg;
 }
 
@@ -208,7 +211,7 @@ int cmd_serve(const CommandLine& cmd, std::ostream& out) {
   const int repeat = std::max(1, static_cast<int>(cmd.number("--repeat", 2.0)));
   out << "serving " << logs.size() << " sessions on shard '" << shard
       << "' over " << service.num_lanes() << " lanes, " << repeat
-      << " rounds\n";
+      << " rounds (kernels: " << math::simd_kernels::backend_name() << ")\n";
   for (int round = 0; round < repeat; ++round) {
     const auto start = std::chrono::steady_clock::now();
     auto futures = service.submit_batch(logs, shard);
@@ -228,7 +231,13 @@ int cmd_serve(const CommandLine& cmd, std::ostream& out) {
   }
   const service::ServiceStats stats = service.stats();
   out << "served " << stats.submitted << " queries (" << stats.computed
-      << " computed, " << stats.cache_hits << " from cache)\n";
+      << " computed, " << stats.cache_hits << " from cache), queue_depth="
+      << stats.queue_depth << "\n";
+  for (const service::ShardStats& s : service.shard_stats()) {
+    out << "shard '" << s.name << "' epoch=" << s.epoch
+        << " submitted=" << s.submitted << " computed=" << s.computed
+        << " hits=" << s.cache_hits << " misses=" << s.cache_misses << "\n";
+  }
   return 0;
 }
 
@@ -315,6 +324,7 @@ std::string usage() {
       "                  random|fixed:K] [--buffer S] [--rtt S] [--ladder default|high]\n"
       "  infer           --log LOG [--out-prefix P] [--samples K] [--delta S]\n"
       "                  [--epsilon MBPS] [--sigma MBPS] [--max-mbps MBPS]\n"
+      "                  [--powers N]   (dense A^Δ table size)\n"
       "  replay          --trace FILE [--abr NAME] [--buffer S] [--ladder NAME]\n"
       "  whatif          --log LOG [--abr NAME] [--buffer S] [--ladder NAME]\n"
       "                  [--samples K]   (production what-if: no ground truth)\n"

@@ -4,14 +4,37 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <numbers>
 
 #include "math/distributions.hpp"
+#include "math/simd_kernels.hpp"
 #include "util/expects.hpp"
 
 namespace veritas::core {
 
 using math::kNegInf;
 using math::safe_log;
+
+namespace {
+
+using math::simd_kernels::DeltaTables;
+using math::simd_kernels::KernelOps;
+
+/// Fills `tables` with the padded dense layouts of `view`; false when the
+/// delta fell beyond the precomputed range (callers then run the legacy
+/// strided loops on view.p).
+bool dense_tables(const TransitionModel::PowerView& view,
+                  DeltaTables& tables) {
+  if (view.transposed == nullptr) return false;
+  tables.p = view.p->row_data(0);
+  tables.t = view.transposed->row_data(0);
+  tables.log_p = view.log_p->row_data(0);
+  tables.log_t = view.log_transposed->row_data(0);
+  tables.stride = view.p->col_stride();
+  return true;
+}
+
+}  // namespace
 
 bool Ehmm::EmissionMemo::Key::operator==(const Key& other) const noexcept {
   const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
@@ -119,8 +142,9 @@ void Ehmm::emission_means_into(std::span<const ChunkObservation> observations,
   const std::size_t n_obs = observations.size();
   const std::size_t k = space_.size();
   memo.clear();
-  means.resize(n_obs, k, 0.0);
-  if (plain_means != nullptr) plain_means->resize(n_obs, k, 0.0);
+  // Padded rows: the batched emission kernel may read whole lanes.
+  means.resize_padded(n_obs, k, 0.0);
+  if (plain_means != nullptr) plain_means->resize_padded(n_obs, k, 0.0);
   for (std::size_t n = 0; n < n_obs; ++n) {
     const ChunkObservation& obs = observations[n];
     double* mean_row = means.row_data(n);
@@ -176,14 +200,20 @@ void Ehmm::emission_log_probs_from_means_into(
   const std::size_t n_obs = observations.size();
   const std::size_t k = space_.size();
   VERITAS_EXPECTS(means.rows() == n_obs && means.cols() == k);
-  out.resize(n_obs, k, kNegInf);
+  out.resize_padded(n_obs, k, kNegInf);
+  // Batched Normal log-density (the body of EmissionModel::
+  // log_prob_given_mean), one SIMD-dispatched kernel call per chunk row.
+  // The kernel replicates math::log_normal_pdf's operation order, so
+  // scalar and vector paths agree bitwise with the per-call composition.
+  const KernelOps& ops = math::simd_kernels::active_ops();
+  const double sigma = emission_.sigma_mbps();
+  const double log_sigma = std::log(sigma);
+  const double half_log_2pi = 0.5 * std::log(2.0 * std::numbers::pi);
+  const std::size_t stride = out.col_stride();
   for (std::size_t n = 0; n < n_obs; ++n) {
-    const ChunkObservation& obs = observations[n];
-    const double* mean_row = means.row_data(n);
-    double* out_row = out.row_data(n);
-    for (std::size_t i = 0; i < k; ++i) {
-      out_row[i] = emission_.log_prob_given_mean(mean_row[i], obs);
-    }
+    ops.emission_log_pdf_row(observations[n].throughput_mbps,
+                             means.row_data(n), k, stride, sigma, log_sigma,
+                             half_log_2pi, out.row_data(n));
   }
 }
 
@@ -216,10 +246,12 @@ void Ehmm::viterbi_from(std::size_t n_obs, Scratch& scratch,
                         ViterbiResult& result) const {
   const std::size_t k = space_.size();
   const math::Matrix& log_emission = scratch.log_emission;
+  const KernelOps& ops = math::simd_kernels::active_ops();
 
-  result.scores.resize(n_obs, k, kNegInf);
-  // back[n * k + i]: predecessor state of the best path reaching (n, i).
-  scratch.back.assign(n_obs * k, 0);
+  result.scores.resize_padded(n_obs, k, kNegInf);
+  const std::size_t stride = result.scores.col_stride();
+  // back[n * stride + i]: predecessor of the best path reaching (n, i).
+  scratch.back.assign(n_obs * stride, 0);
 
   const auto initial = transition_.initial();
   {
@@ -236,28 +268,23 @@ void Ehmm::viterbi_from(std::size_t n_obs, Scratch& scratch,
     const double* prev = result.scores.row_data(n - 1);
     double* curr = result.scores.row_data(n);
     const double* e_n = log_emission.row_data(n);
-    std::uint32_t* back_n = scratch.back.data() + n * k;
+    std::uint32_t* back_n = scratch.back.data() + n * stride;
+    DeltaTables tables;
+    if (dense_tables(view, tables)) {
+      ops.viterbi_step(prev, tables, k, e_n, curr, back_n);
+      continue;
+    }
+    // Legacy fallback beyond the precomputed range: strided access with
+    // log computed on the fly (rare; correctness over speed).
+    const math::Matrix& a_delta = *view.p;
     for (std::size_t i = 0; i < k; ++i) {
       double best = kNegInf;
       std::size_t best_prev = 0;
-      if (view.log_transposed != nullptr) {
-        // Precomputed log A^Δ laid out so the j-loop is contiguous.
-        const double* log_a = view.log_transposed->row_data(i);
-        for (std::size_t j = 0; j < k; ++j) {
-          const double candidate = prev[j] + log_a[j];
-          if (candidate > best) {
-            best = candidate;
-            best_prev = j;
-          }
-        }
-      } else {
-        const math::Matrix& a_delta = *view.p;
-        for (std::size_t j = 0; j < k; ++j) {
-          const double candidate = prev[j] + safe_log(a_delta(j, i));
-          if (candidate > best) {
-            best = candidate;
-            best_prev = j;
-          }
+      for (std::size_t j = 0; j < k; ++j) {
+        const double candidate = prev[j] + safe_log(a_delta(j, i));
+        if (candidate > best) {
+          best = candidate;
+          best_prev = j;
         }
       }
       curr[i] = best + e_n[i];
@@ -281,7 +308,7 @@ void Ehmm::viterbi_from(std::size_t n_obs, Scratch& scratch,
   result.states.assign(n_obs, 0);
   for (std::size_t n = n_obs; n-- > 0;) {
     result.states[n] = state;
-    if (n > 0) state = scratch.back[n * k + state];
+    if (n > 0) state = scratch.back[n * stride + state];
   }
 }
 
@@ -289,12 +316,15 @@ void Ehmm::forward_backward_from(std::size_t n_obs, Scratch& scratch,
                                  ForwardBackwardResult& result) const {
   const std::size_t k = space_.size();
   const math::Matrix& log_emission = scratch.log_emission;
+  const KernelOps& ops = math::simd_kernels::active_ops();
 
   // Row-scaled emissions: em(n, i) = exp(logE(n, i) - rowmax(n)). The
   // per-row constant folds into the forward scaling factors, keeping the
   // recursion in a safe numeric range for arbitrarily unlikely data.
+  // Pads are exp(-inf - max) = 0, the sum-product neutral element.
   math::Matrix& em = scratch.em;
-  em.resize(n_obs, k, 0.0);
+  em.resize_padded(n_obs, k, 0.0);
+  const std::size_t stride = em.col_stride();
   std::vector<double>& row_max = scratch.row_max;
   row_max.assign(n_obs, kNegInf);
   for (std::size_t n = 0; n < n_obs; ++n) {
@@ -310,23 +340,21 @@ void Ehmm::forward_backward_from(std::size_t n_obs, Scratch& scratch,
       row_max[n] = 0.0;
       continue;
     }
-    for (std::size_t i = 0; i < k; ++i) {
-      em_row[i] = std::exp(log_row[i] - row_max[n]);
-    }
+    ops.exp_rows(log_row, row_max[n], stride, em_row);
   }
 
   // Forward pass with per-step normalization.
   math::Matrix& alpha = scratch.alpha;
-  alpha.resize(n_obs, k, 0.0);
+  alpha.resize_padded(n_obs, k, 0.0);
   std::vector<double>& log_scale = scratch.log_scale;
   log_scale.assign(n_obs, 0.0);
   std::vector<double>& row = scratch.row;
-  row.assign(k, 0.0);
+  row.assign(stride, 0.0);
   {
     const auto initial = transition_.initial();
     const double* em0 = em.row_data(0);
     for (std::size_t i = 0; i < k; ++i) row[i] = initial[i] * em0[i];
-    const double scale = math::normalize(row);
+    const double scale = math::normalize(std::span<double>(row.data(), k));
     log_scale[0] = safe_log(scale) + row_max[0];
     double* alpha0 = alpha.row_data(0);
     for (std::size_t i = 0; i < k; ++i) alpha0[i] = row[i];
@@ -336,35 +364,46 @@ void Ehmm::forward_backward_from(std::size_t n_obs, Scratch& scratch,
         transition_.power_view(scratch.deltas[n]);
     const double* prev = alpha.row_data(n - 1);
     const double* em_n = em.row_data(n);
-    for (std::size_t i = 0; i < k; ++i) {
-      double acc = 0.0;
-      if (view.transposed != nullptr) {
-        // T(i, j) = A^Δ(j, i): contiguous inner loop.
-        const double* a_col = view.transposed->row_data(i);
-        for (std::size_t j = 0; j < k; ++j) acc += prev[j] * a_col[j];
-      } else {
-        const math::Matrix& a_delta = *view.p;
+    DeltaTables tables;
+    if (dense_tables(view, tables)) {
+      ops.forward_step(prev, tables, k, em_n, row.data());
+    } else {
+      // Legacy fallback beyond the precomputed range: strided access.
+      const math::Matrix& a_delta = *view.p;
+      for (std::size_t i = 0; i < k; ++i) {
+        double acc = 0.0;
         for (std::size_t j = 0; j < k; ++j) acc += prev[j] * a_delta(j, i);
+        row[i] = acc * em_n[i];
       }
-      row[i] = acc * em_n[i];
     }
-    const double scale = math::normalize(row);
+    const double scale = math::normalize(std::span<double>(row.data(), k));
     log_scale[n] = safe_log(scale) + row_max[n];
     double* alpha_n = alpha.row_data(n);
     for (std::size_t i = 0; i < k; ++i) alpha_n[i] = row[i];
   }
 
-  // Backward pass using the same scaling factors.
+  // Backward pass using the same scaling factors, with the
+  // pair-posterior normalizers Z_n (paper Eq. 6) fused into the same
+  // sweep: the unscaled backward dot against A^Δ is exactly what the
+  // pair total folds with alpha, so one stream over the tables yields
+  // both. Only the scalar Z_n is kept — the scalar kernel accumulates it
+  // in the exact element order the seed used when it materialized xi, so
+  // everything reconstructed from it (sampler columns, Baum-Welch
+  // counts, pair_posterior) stays bit-identical; the SIMD kernel
+  // reassociates the sum across lanes within the tested tolerance.
   math::Matrix& beta = scratch.beta;
-  beta.resize(n_obs, k, 0.0);
+  beta.resize_padded(n_obs, k, 0.0);
   {
     double* beta_last = beta.row_data(n_obs - 1);
     for (std::size_t i = 0; i < k; ++i) beta_last[i] = 1.0;
   }
+  result.pair_totals.assign(n_obs - 1, 0.0);
   for (std::size_t n = n_obs - 1; n-- > 0;) {
-    const math::Matrix& a_delta = transition_.power(scratch.deltas[n + 1]);
+    const TransitionModel::PowerView view =
+        transition_.power_view(scratch.deltas[n + 1]);
     const double* em_next = em.row_data(n + 1);
     const double* beta_next = beta.row_data(n + 1);
+    const double* alpha_n = alpha.row_data(n);
     double* beta_n = beta.row_data(n);
     // The forward scale at step n+1 was exp(log_scale[n+1]); the scaled
     // beta recursion divides by the same *relative* factor, i.e. the
@@ -373,20 +412,33 @@ void Ehmm::forward_backward_from(std::size_t n_obs, Scratch& scratch,
     // by the alpha-row normalizer only.
     double scale = std::exp(log_scale[n + 1] - row_max[n + 1]);
     if (scale <= 0.0) scale = 1.0;
+    DeltaTables tables;
+    if (dense_tables(view, tables)) {
+      ops.backward_step(tables, k, em_next, beta_next, scale, beta_n,
+                        alpha_n, &result.pair_totals[n]);
+      continue;
+    }
+    // Legacy fallback beyond the precomputed range: strided access, beta
+    // and pair total in the historical separate-accumulator order.
+    const math::Matrix& a_delta = *view.p;
+    double total = 0.0;
     for (std::size_t i = 0; i < k; ++i) {
       double acc = 0.0;
       const double* a_row = a_delta.row_data(i);
+      const double alpha_i = alpha_n[i];
       for (std::size_t j = 0; j < k; ++j) {
         acc += a_row[j] * em_next[j] * beta_next[j];
+        total += alpha_i * a_row[j] * em_next[j] * beta_next[j];
       }
       beta_n[i] = acc / scale;
     }
+    result.pair_totals[n] = total;
   }
 
   result.log_likelihood = 0.0;
   for (const double s : log_scale) result.log_likelihood += s;
 
-  // Posterior marginals gamma.
+  // Posterior marginals gamma (unpadded: part of the public result).
   result.gamma.resize(n_obs, k, 0.0);
   for (std::size_t n = 0; n < n_obs; ++n) {
     const double* alpha_n = alpha.row_data(n);
@@ -394,29 +446,6 @@ void Ehmm::forward_backward_from(std::size_t n_obs, Scratch& scratch,
     double* gamma_n = result.gamma.row_data(n);
     for (std::size_t i = 0; i < k; ++i) gamma_n[i] = alpha_n[i] * beta_n[i];
     math::normalize(std::span<double>(gamma_n, k));
-  }
-
-  // Pair-posterior normalizers (paper Eq. 6). Only the scalar Z_n is
-  // kept — accumulated in the exact element order the seed used when it
-  // materialized xi, so everything reconstructed from it (sampler
-  // columns, Baum-Welch counts, pair_posterior) stays bit-identical —
-  // while the N-1 k×k allocations, stores and divides disappear.
-  result.pair_totals.clear();
-  result.pair_totals.reserve(n_obs - 1);
-  for (std::size_t n = 0; n + 1 < n_obs; ++n) {
-    const math::Matrix& a_delta = transition_.power(scratch.deltas[n + 1]);
-    const double* alpha_n = alpha.row_data(n);
-    const double* em_next = em.row_data(n + 1);
-    const double* beta_next = beta.row_data(n + 1);
-    double total = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      const double* a_row = a_delta.row_data(i);
-      const double alpha_i = alpha_n[i];
-      for (std::size_t j = 0; j < k; ++j) {
-        total += alpha_i * a_row[j] * em_next[j] * beta_next[j];
-      }
-    }
-    result.pair_totals.push_back(total);
   }
 }
 

@@ -94,6 +94,12 @@ class Ehmm {
   /// Scratch per thread. After forward_backward the alpha/beta/em/deltas
   /// buffers hold that session's tables — sample_posterior and
   /// pair_posterior read them instead of materialized xi matrices.
+  ///
+  /// All N x K matrices here have rows padded/aligned to the SIMD lane
+  /// quantum (math::kRowPadDoubles) with neutral pad values (0 for
+  /// probability-domain rows, -inf for log rows), so the vector kernels
+  /// load whole lanes without masking. Logical shape is unchanged;
+  /// iterate cols() or use row_data() + col_stride().
   struct Scratch {
     math::Matrix log_emission;        ///< N x K emission log-probs
     math::Matrix emission_mean;       ///< N x K emission means f(...)
@@ -103,8 +109,8 @@ class Ehmm {
     std::vector<std::size_t> deltas;  ///< Δn per chunk
     std::vector<double> row_max;      ///< per-row emission log max
     std::vector<double> log_scale;    ///< forward scaling factors
-    std::vector<double> row;          ///< K-sized recursion buffer
-    std::vector<std::uint32_t> back;  ///< flat N*K Viterbi backpointers
+    std::vector<double> row;          ///< padded-K recursion buffer
+    std::vector<std::uint32_t> back;  ///< flat N*stride Viterbi backpointers
     EmissionMemo emission_memo;       ///< per-session estimator memo
   };
 

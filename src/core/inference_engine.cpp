@@ -26,8 +26,11 @@ Ehmm build_ehmm(const VeritasConfig& config, const EngineOptions& options) {
     }
   }();
   EmissionModel emission(config.sigma_mbps, config.tcp, config.estimator);
+  const std::size_t powers = options.precomputed_powers != 0
+                                 ? options.precomputed_powers
+                                 : config.precomputed_powers;
   return Ehmm(std::move(space), std::move(transition), std::move(emission),
-              config.delta_s, options.precomputed_powers);
+              config.delta_s, powers);
 }
 
 }  // namespace

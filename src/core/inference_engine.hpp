@@ -44,6 +44,13 @@ struct VeritasConfig {
   SamplerConfig sampler;
   net::TcpConfig tcp;
   std::uint64_t seed = 1234;
+  /// Dense A^Δ power-table size: window deltas below this are served
+  /// lock-free from precomputed (padded) tables; deltas at or beyond it
+  /// fall back to the transition model's mutex-guarded memo with the
+  /// slower strided kernels (see bench_micro_core BM_TransitionPower*).
+  /// Raise it for workloads with long in-session gaps, lower it to trim
+  /// engine build time / memory for short sessions.
+  std::size_t precomputed_powers = Ehmm::kDefaultPrecomputedPowers;
 };
 
 /// Output of the abduction step.
@@ -57,9 +64,9 @@ struct VeritasResult {
 
 /// Engine construction knobs (the config covers the model itself).
 struct EngineOptions {
-  /// Dense A^Δ table size; Δ beyond it falls back to the transition
-  /// model's mutex-guarded memo.
-  std::size_t precomputed_powers = Ehmm::kDefaultPrecomputedPowers;
+  /// Overrides VeritasConfig::precomputed_powers when non-zero; 0 (the
+  /// default) defers to the config.
+  std::size_t precomputed_powers = 0;
 };
 
 class InferenceEngine {

@@ -103,17 +103,29 @@ TransitionModel TransitionModel::banded(std::size_t states, std::size_t band,
 void TransitionModel::precompute_powers(std::size_t max_delta) {
   if (dense_.size() > max_delta) return;
   const std::size_t k = states();
-  dense_.reserve(max_delta + 1);
-  for (std::size_t delta = dense_.size(); delta <= max_delta; ++delta) {
-    DenseEntry entry;
-    entry.p = math::matrix_power(a_, delta);
-    entry.transposed = entry.p.transposed();
-    entry.log_transposed = math::Matrix(k, k, math::kNegInf);
+  // Padded copy: logical entries from `src` (optionally transposed),
+  // pads filled with the operation's neutral element so SIMD kernels can
+  // load full lanes past column k.
+  const auto padded = [k](const math::Matrix& src, bool transpose,
+                          bool log_of, double fill) {
+    math::Matrix out;
+    out.resize_padded(k, k, fill);
     for (std::size_t i = 0; i < k; ++i) {
       for (std::size_t j = 0; j < k; ++j) {
-        entry.log_transposed(i, j) = math::safe_log(entry.p(j, i));
+        const double v = transpose ? src(j, i) : src(i, j);
+        out(i, j) = log_of ? math::safe_log(v) : v;
       }
     }
+    return out;
+  };
+  dense_.reserve(max_delta + 1);
+  for (std::size_t delta = dense_.size(); delta <= max_delta; ++delta) {
+    const math::Matrix power = math::matrix_power(a_, delta);
+    DenseEntry entry;
+    entry.p = padded(power, false, false, 0.0);
+    entry.transposed = padded(power, true, false, 0.0);
+    entry.log_p = padded(power, false, true, math::kNegInf);
+    entry.log_transposed = padded(power, true, true, math::kNegInf);
     dense_.push_back(std::move(entry));
   }
 }
@@ -136,6 +148,7 @@ TransitionModel::PowerView TransitionModel::power_view(
     const DenseEntry& entry = dense_[delta];
     view.p = &entry.p;
     view.transposed = &entry.transposed;
+    view.log_p = &entry.log_p;
     view.log_transposed = &entry.log_transposed;
   } else {
     view.p = &power(delta);

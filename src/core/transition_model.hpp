@@ -7,11 +7,17 @@
 // "Evolution of the embedded GTBW").
 //
 // Powers are served from a dense immutable table built by
-// precompute_powers(): entry Δ holds A^Δ plus the transposed and
-// elementwise-log-transposed variants the EHMM recursions consume with
-// contiguous inner loops. Lookups in the table are lock-free and safe to
-// share across threads; deltas beyond the table fall back to a
-// mutex-guarded memo so arbitrarily long session gaps stay correct.
+// precompute_powers(): entry Δ holds A^Δ plus transposed /
+// elementwise-log variants, all with rows padded to the SIMD lane
+// quantum (math::kRowPadDoubles) and pad columns holding neutral
+// elements (0 for probabilities, -inf for logs) so vector kernels can
+// load whole lanes without masking. The scalar recursions consume the
+// transposed layouts with contiguous inner loops; the SIMD recursions
+// stream the untransposed (or, backward, transposed) rows in
+// column blocks. Lookups in the table are lock-free and safe to share
+// across threads; deltas beyond the table fall back to a mutex-guarded
+// memo so arbitrarily long session gaps stay correct. The table size is
+// configurable per engine (VeritasConfig::precomputed_powers).
 #pragma once
 
 #include <cstddef>
@@ -68,15 +74,17 @@ class TransitionModel {
   std::size_t precomputed_powers() const noexcept { return dense_.size(); }
 
   /// A^delta (delta = 0 yields the identity). Lock-free for deltas in the
-  /// precomputed table, mutex-guarded memoization beyond it.
+  /// precomputed table (rows padded, see above), mutex-guarded
+  /// memoization beyond it (rows unpadded).
   const math::Matrix& power(std::size_t delta) const;
 
-  /// A^delta together with the precomputed transposed / log-transposed
-  /// layouts. The pointers are null for deltas beyond the dense table
+  /// A^delta together with the precomputed transposed / log layouts. The
+  /// non-`p` pointers are null for deltas beyond the dense table
   /// (callers fall back to the strided / log-on-the-fly loops).
   struct PowerView {
     const math::Matrix* p = nullptr;
     const math::Matrix* transposed = nullptr;      ///< T(i, j) = A^Δ(j, i)
+    const math::Matrix* log_p = nullptr;           ///< log A^Δ(i, j)
     const math::Matrix* log_transposed = nullptr;  ///< L(i, j) = log A^Δ(j, i)
   };
   PowerView power_view(std::size_t delta) const;
@@ -85,6 +93,7 @@ class TransitionModel {
   struct DenseEntry {
     math::Matrix p;
     math::Matrix transposed;
+    math::Matrix log_p;
     math::Matrix log_transposed;
   };
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numbers>
 
+#include "math/simd_kernels.hpp"
 #include "util/expects.hpp"
 
 namespace veritas::math {
@@ -18,6 +19,29 @@ double log_normal_pdf(double x, double mean, double sigma) {
 
 double normal_pdf(double x, double mean, double sigma) {
   return std::exp(log_normal_pdf(x, mean, sigma));
+}
+
+void log_normal_pdf_rows(double x, std::span<const double> means,
+                         double sigma, std::span<double> out) {
+  VERITAS_EXPECTS(sigma > 0.0);
+  VERITAS_EXPECTS(out.size() >= means.size());
+  const double log_sigma = std::log(sigma);
+  const double half_log_2pi = 0.5 * std::log(2.0 * std::numbers::pi);
+  // stride == k: the batch API pads nothing; padded callers go through
+  // the kernel table directly (core/ehmm.cpp).
+  simd_kernels::active_ops().emission_log_pdf_row(
+      x, means.data(), means.size(), means.size(), sigma, log_sigma,
+      half_log_2pi, out.data());
+}
+
+void exp_rows(std::span<const double> xs, std::span<double> out) {
+  VERITAS_EXPECTS(out.size() >= xs.size());
+  simd_kernels::active_ops().exp_rows(xs.data(), 0.0, xs.size(), out.data());
+}
+
+void log_rows(std::span<const double> xs, std::span<double> out) {
+  VERITAS_EXPECTS(out.size() >= xs.size());
+  simd_kernels::active_ops().log_rows(xs.data(), xs.size(), out.data());
 }
 
 double log_sum_exp(std::span<const double> xs) {

@@ -1,9 +1,15 @@
 // Probability helpers for the EHMM: Gaussian log-density (the emission
 // noise of paper Eq. 3), numerically stable log-sum-exp, and in-place
 // normalization of weight vectors.
+//
+// The *_rows batch variants dispatch through the SIMD kernel table
+// (math/simd_kernels.hpp): one call evaluates a whole k-state row with
+// vector lanes when the CPU supports it, falling back to bit-identical
+// scalar loops otherwise.
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <span>
 #include <vector>
@@ -21,6 +27,22 @@ double log_normal_pdf(double x, double mean, double sigma);
 
 /// N(x; mean, sigma^2). Requires sigma > 0.
 double normal_pdf(double x, double mean, double sigma);
+
+/// Batched emission log-density: out[i] = log_normal_pdf(x, means[i],
+/// sigma) for i < means.size(); out must be at least as long. Requires
+/// sigma > 0. Runs through the active SIMD kernel (scalar and vector
+/// paths agree bitwise — the lane ops replicate the scalar operation
+/// order exactly).
+void log_normal_pdf_rows(double x, std::span<const double> means,
+                         double sigma, std::span<double> out);
+
+/// Batched out[i] = exp(xs[i]) (SIMD-dispatched; the vector path is a
+/// ~2 ulp polynomial approximation, property-tested against libm).
+void exp_rows(std::span<const double> xs, std::span<double> out);
+
+/// Batched out[i] = log(xs[i]), std::log semantics (SIMD-dispatched,
+/// ~1 ulp on the vector path).
+void log_rows(std::span<const double> xs, std::span<double> out);
 
 /// log(sum_i exp(xs[i])) computed stably. Returns -inf for empty input or
 /// when all entries are -inf.

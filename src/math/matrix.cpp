@@ -7,7 +7,7 @@
 namespace veritas::math {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    : rows_(rows), cols_(cols), stride_(cols), data_(rows * cols, fill) {
   VERITAS_EXPECTS(rows > 0 && cols > 0);
 }
 
@@ -27,11 +27,21 @@ Matrix Matrix::identity(std::size_t n) {
   return m;
 }
 
-void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
+void Matrix::reshape(std::size_t rows, std::size_t cols, std::size_t stride,
+                     double fill) {
   VERITAS_EXPECTS(rows > 0 && cols > 0);
   rows_ = rows;
   cols_ = cols;
-  data_.assign(rows * cols, fill);
+  stride_ = stride;
+  data_.assign(rows * stride, fill);
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
+  reshape(rows, cols, cols, fill);
+}
+
+void Matrix::resize_padded(std::size_t rows, std::size_t cols, double fill) {
+  reshape(rows, cols, padded_cols(cols), fill);
 }
 
 Matrix Matrix::operator*(const Matrix& rhs) const {
@@ -80,8 +90,10 @@ Matrix Matrix::transposed() const {
 double Matrix::max_abs_diff(const Matrix& rhs) const {
   VERITAS_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
   double worst = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    worst = std::max(worst, std::abs(data_[i] - rhs.data_[i]));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      worst = std::max(worst, std::abs((*this)(r, c) - rhs(r, c)));
+    }
   }
   return worst;
 }

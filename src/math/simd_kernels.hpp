@@ -1,0 +1,153 @@
+// Runtime-dispatched kernel table for the EHMM hot loops.
+//
+// Two implementations of the same KernelOps interface ship in every
+// binary:
+//
+//   * scalar_ops() — the reference loops, compiled with baseline flags in
+//     math/simd_kernels_scalar.cpp. Bit-identical to the pre-SIMD
+//     implementations: per-element operation order is preserved exactly.
+//   * simd_ops()  — vectorized over the *state* (output) dimension with
+//     the lane layer in math/simd.hpp, compiled in
+//     math/simd_kernels_simd.cpp with the best ISA the compiler supports
+//     (-mavx2 on x86 when available, NEON on AArch64). nullptr when the
+//     build disabled SIMD (-DVERITAS_SIMD=OFF) or the running CPU lacks
+//     the compiled ISA (checked once via cpuid).
+//
+// Because the SIMD recursions vectorize across outputs and broadcast the
+// sequential input, each output's accumulation order matches the scalar
+// loop and the viterbi/forward/backward kernels are bit-identical to
+// scalar_ops(). Only exp_rows/log_rows (polynomial approximations, ~2 ulp)
+// and pair_total (lane-reassociated global sum) differ, within the
+// tolerances tested in tests/core/kernel_equivalence_test.cpp.
+//
+// Dispatch: active_ops() resolves simd_ops() when available, unless the
+// process-global mode (set_mode / ScopedMode, used by tests and benches)
+// or the VERITAS_SIMD environment variable ("off" / "scalar" / "0")
+// forces the scalar table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace veritas::math::simd_kernels {
+
+/// CPU feature bits a kernel table needs at run time.
+inline constexpr unsigned kCpuBaseline = 0;
+inline constexpr unsigned kCpuAvx2 = 1u << 0;
+
+/// Padded row-major views of one transition power A^Δ (see
+/// core/transition_model.hpp). All four tables share `stride`, a multiple
+/// of math::kRowPadDoubles; pad columns hold 0 in p/t and -inf in the log
+/// tables, so full-lane loads read neutral elements.
+struct DeltaTables {
+  const double* p = nullptr;      ///< row j: A^Δ(j, ·)
+  const double* t = nullptr;      ///< row i: A^Δ(·, i) (transposed)
+  const double* log_p = nullptr;  ///< elementwise log of p
+  const double* log_t = nullptr;  ///< elementwise log of t
+  std::size_t stride = 0;
+};
+
+/// One table of kernel entry points. All row pointers refer to padded
+/// rows (stride multiple of math::kRowPadDoubles) unless noted.
+struct KernelOps {
+  const char* name = "";     ///< "scalar", "avx2", "sse2", "neon"
+  unsigned cpu_features = kCpuBaseline;
+
+  /// Batched emission log-density: out[i] = log Normal(y; means[i], σ)
+  /// for i < k, computed as -0.5 z² - log σ - 0.5 log 2π with z =
+  /// (y - means[i]) / σ — the exact operation order of
+  /// math::log_normal_pdf, so scalar and SIMD agree bitwise. Pads
+  /// out[k..stride) with -inf. `means` only needs k readable entries.
+  void (*emission_log_pdf_row)(double y, const double* means, std::size_t k,
+                               std::size_t stride, double sigma,
+                               double log_sigma, double half_log_2pi,
+                               double* out);
+
+  /// out[i] = exp(in[i] - shift) for i < n (any n; the hot path passes a
+  /// full padded stride). SIMD uses the vexp approximation.
+  void (*exp_rows)(const double* in, double shift, std::size_t n,
+                   double* out);
+
+  /// out[i] = log(in[i]) for i < n, std::log semantics (0 → -inf,
+  /// negative → NaN). SIMD uses the vlog approximation.
+  void (*log_rows)(const double* in, std::size_t n, double* out);
+
+  /// One max-plus Viterbi step: for each state i < k,
+  ///   curr[i] = max_j (prev[j] + log A^Δ(j, i)) + e_n[i]
+  /// with back[i] = the smallest argmax j (first-strictly-greater update
+  /// rule). prev/e_n/curr/back are padded rows; pads of curr end up -inf.
+  /// Bit-identical between scalar and SIMD tables.
+  void (*viterbi_step)(const double* prev, const DeltaTables& a,
+                       std::size_t k, const double* e_n, double* curr,
+                       std::uint32_t* back);
+
+  /// One sum-product forward step: row[i] = (Σ_j prev[j] A^Δ(j, i)) ·
+  /// em_n[i], accumulated in ascending j per output. Bit-identical
+  /// between scalar and SIMD tables. Pads of row end up 0.
+  void (*forward_step)(const double* prev, const DeltaTables& a,
+                       std::size_t k, const double* em_n, double* row);
+
+  /// One backward step: beta_n[i] = (Σ_j A^Δ(i, j) em_next[j]
+  /// beta_next[j]) / scale, per-term order ((a·em)·beta), ascending j.
+  /// Bit-identical between scalar and SIMD tables. Pads end up 0.
+  /// When pair_total is non-null, additionally accumulates the pair
+  /// posterior normalizer Σ_{i,j} alpha_n[i] A^Δ(i,j) em_next[j]
+  /// beta_next[j] into *pair_total in the same sweep (the unscaled
+  /// backward dot reused — one stream over A^Δ instead of two). The
+  /// scalar table keeps the historical i-major j-minor term order
+  /// (bit-identical to a separate pass); the SIMD table reassociates the
+  /// sum across lanes (ulp-level difference).
+  void (*backward_step)(const DeltaTables& a, std::size_t k,
+                        const double* em_next, const double* beta_next,
+                        double scale, double* beta_n, const double* alpha_n,
+                        double* pair_total);
+
+  /// Pair-posterior normalizer Σ_{i,j} alpha[i] A^Δ(i,j) em_next[j]
+  /// beta_next[j]. The SIMD table reassociates the global sum across
+  /// lanes (ulp-level difference from scalar).
+  double (*pair_total)(const double* alpha_n, const DeltaTables& a,
+                       std::size_t k, const double* em_next,
+                       const double* beta_next);
+};
+
+/// The reference table (always available).
+const KernelOps& scalar_ops();
+
+/// The vectorized table, or nullptr when SIMD is compiled out or the CPU
+/// lacks the compiled ISA. Stable for the process lifetime.
+const KernelOps* simd_ops();
+
+/// The table the EHMM should use right now (mode / env / CPU resolved).
+const KernelOps& active_ops();
+
+/// Name of the table active_ops() currently returns.
+const char* backend_name();
+
+enum class Mode {
+  kAuto,         ///< simd when available (default; env var may veto)
+  kForceScalar,  ///< reference loops regardless of CPU
+  kForceSimd,    ///< simd_ops() even if env said off (no-op when null)
+};
+Mode mode() noexcept;
+void set_mode(Mode m) noexcept;
+
+/// RAII mode override for tests and benchmarks.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m) : saved_(mode()) { set_mode(m); }
+  ~ScopedMode() { set_mode(saved_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode saved_;
+};
+
+namespace detail {
+/// Defined in math/simd_kernels_simd.cpp: the compiled vector table, or
+/// nullptr when VERITAS_SIMD_DISABLED. Constant-initialized data — safe
+/// to read on any CPU (the dispatcher checks cpu_features before use).
+extern const KernelOps* const compiled_simd_table;
+}  // namespace detail
+
+}  // namespace veritas::math::simd_kernels

@@ -1,0 +1,374 @@
+// Vectorized kernel table. This TU is compiled with the strongest SIMD
+// flags the toolchain offers (CMake adds -mavx2 -ffp-contract=off on x86
+// when available; AArch64 gets NEON by default), so math/simd.hpp picks
+// the widest backend here. The dispatcher (simd_kernels_scalar.cpp) only
+// routes calls into this TU after checking the table's cpu_features
+// against the running CPU, and this TU exposes nothing but
+// constant-initialized data, so merely linking it is safe on older CPUs.
+//
+// Vectorization strategy: the recursions vectorize across the *output*
+// state dimension i in blocks of whole lanes, broadcasting the
+// sequential j input. Each output's accumulation order therefore matches
+// the scalar reference exactly, making viterbi/forward/backward steps
+// bit-identical to scalar_ops(); only exp/log (polynomial approximation)
+// and pair_total (lane-reassociated reduction) differ by ulps. Rows are
+// padded to math::kRowPadDoubles with neutral elements (0 / -inf), so
+// the lane loops never need tail masks.
+#include "math/simd_kernels.hpp"
+
+#ifndef VERITAS_SIMD_DISABLED
+
+#include <cstddef>
+#include <limits>
+
+#include "math/simd.hpp"
+
+namespace veritas::math::simd_kernels {
+namespace {
+
+namespace s = veritas::math::simd;
+
+constexpr std::size_t kW = s::kLanes;
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// --------------------------------------------------------------- emission
+
+void emission_log_pdf_row_simd(double y, const double* means, std::size_t k,
+                               std::size_t stride, double sigma,
+                               double log_sigma, double half_log_2pi,
+                               double* out) {
+  const s::VecD vy = s::vset1(y);
+  const s::VecD vsigma = s::vset1(sigma);
+  const s::VecD vneg_half = s::vset1(-0.5);
+  const s::VecD vlog_sigma = s::vset1(log_sigma);
+  const s::VecD vhalf_log_2pi = s::vset1(half_log_2pi);
+  // `means` may be an unpadded caller row: only read k entries.
+  const std::size_t full = k - k % kW;
+  for (std::size_t i = 0; i < full; i += kW) {
+    const s::VecD z = s::vdiv(s::vsub(vy, s::vload(means + i)), vsigma);
+    const s::VecD v = s::vsub(
+        s::vsub(s::vmul(s::vmul(vneg_half, z), z), vlog_sigma),
+        vhalf_log_2pi);
+    s::vstore(out + i, v);
+  }
+  for (std::size_t i = full; i < k; ++i) {
+    const double z = (y - means[i]) / sigma;
+    out[i] = -0.5 * z * z - log_sigma - half_log_2pi;
+  }
+  for (std::size_t i = k; i < stride; ++i) out[i] = kNegInf;
+}
+
+// ---------------------------------------------------------------- exp/log
+
+void exp_rows_simd(const double* in, double shift, std::size_t n,
+                   double* out) {
+  const s::VecD vshift = s::vset1(shift);
+  const std::size_t full = n - n % kW;
+  for (std::size_t i = 0; i < full; i += kW) {
+    s::vstore(out + i, s::vexp(s::vsub(s::vload(in + i), vshift)));
+  }
+  if (full < n) {
+    // Tail through a lane-wide buffer so every element goes through the
+    // same approximation as the vector body.
+    double buf[kW];
+    for (std::size_t i = full; i < n; ++i) buf[i - full] = in[i] - shift;
+    for (std::size_t i = n - full; i < kW; ++i) buf[i] = 0.0;
+    s::VecD v = s::vexp(s::vload(buf));
+    s::vstore(buf, v);
+    for (std::size_t i = full; i < n; ++i) out[i] = buf[i - full];
+  }
+}
+
+void log_rows_simd(const double* in, std::size_t n, double* out) {
+  const std::size_t full = n - n % kW;
+  for (std::size_t i = 0; i < full; i += kW) {
+    s::vstore(out + i, s::vlog(s::vload(in + i)));
+  }
+  if (full < n) {
+    double buf[kW];
+    for (std::size_t i = full; i < n; ++i) buf[i - full] = in[i];
+    for (std::size_t i = n - full; i < kW; ++i) buf[i] = 1.0;
+    s::VecD v = s::vlog(s::vload(buf));
+    s::vstore(buf, v);
+    for (std::size_t i = full; i < n; ++i) out[i] = buf[i - full];
+  }
+}
+
+// -------------------------------------------------------------- recursions
+
+/// NV lanes-worth of Viterbi outputs starting at column `col`: per output
+/// lane, iterate j ascending and keep the first strictly-greater
+/// candidate — exactly the scalar argmax rule, so scores and backpointers
+/// match the reference bitwise.
+template <int NV>
+void viterbi_cols(const double* prev, const double* log_p,
+                  std::size_t stride, std::size_t k, const double* e_n,
+                  double* curr, std::uint32_t* back, std::size_t col) {
+  s::VecD best[NV];
+  s::VecD idx[NV];
+  for (int v = 0; v < NV; ++v) {
+    best[v] = s::vset1(kNegInf);
+    idx[v] = s::vzero();
+  }
+  const double* row_j = log_p + col;
+  for (std::size_t j = 0; j < k; ++j, row_j += stride) {
+    const s::VecD pj = s::vset1(prev[j]);
+    const s::VecD vj = s::vset1(static_cast<double>(j));
+    for (int v = 0; v < NV; ++v) {
+      const s::VecD cand = s::vadd(pj, s::vload(row_j + v * kW));
+      const s::VecD mask = s::vgt(cand, best[v]);
+      best[v] = s::vblend(best[v], cand, mask);
+      idx[v] = s::vblend(idx[v], vj, mask);
+    }
+  }
+  for (int v = 0; v < NV; ++v) {
+    s::vstore(curr + col + v * kW,
+              s::vadd(best[v], s::vload(e_n + col + v * kW)));
+    double lanes[kW];
+    s::vstore(lanes, idx[v]);
+    for (std::size_t l = 0; l < kW; ++l) {
+      back[col + v * kW + l] = static_cast<std::uint32_t>(lanes[l]);
+    }
+  }
+}
+
+void viterbi_step_simd(const double* prev, const DeltaTables& a,
+                       std::size_t k, const double* e_n, double* curr,
+                       std::uint32_t* back) {
+  const std::size_t stride = a.stride;
+  std::size_t col = 0;
+  while (col < stride) {
+    const std::size_t nv = (stride - col) / kW < 4 ? (stride - col) / kW : 4;
+    switch (nv) {
+      case 1:
+        viterbi_cols<1>(prev, a.log_p, stride, k, e_n, curr, back, col);
+        break;
+      case 2:
+        viterbi_cols<2>(prev, a.log_p, stride, k, e_n, curr, back, col);
+        break;
+      case 3:
+        viterbi_cols<3>(prev, a.log_p, stride, k, e_n, curr, back, col);
+        break;
+      default:
+        viterbi_cols<4>(prev, a.log_p, stride, k, e_n, curr, back, col);
+        break;
+    }
+    col += nv * kW;
+  }
+}
+
+/// NV lanes-worth of forward outputs: acc[i] accumulates prev[j] ·
+/// A^Δ(j, i) in ascending j — scalar order per output — then scales by
+/// the emission row.
+template <int NV>
+void forward_cols(const double* prev, const double* p, std::size_t stride,
+                  std::size_t k, const double* em_n, double* row,
+                  std::size_t col) {
+  s::VecD acc[NV];
+  for (int v = 0; v < NV; ++v) acc[v] = s::vzero();
+  const double* row_j = p + col;
+  for (std::size_t j = 0; j < k; ++j, row_j += stride) {
+    const s::VecD pj = s::vset1(prev[j]);
+    for (int v = 0; v < NV; ++v) {
+      acc[v] = s::vadd(acc[v], s::vmul(pj, s::vload(row_j + v * kW)));
+    }
+  }
+  for (int v = 0; v < NV; ++v) {
+    s::vstore(row + col + v * kW,
+              s::vmul(acc[v], s::vload(em_n + col + v * kW)));
+  }
+}
+
+void forward_step_simd(const double* prev, const DeltaTables& a,
+                       std::size_t k, const double* em_n, double* row) {
+  const std::size_t stride = a.stride;
+  std::size_t col = 0;
+  while (col < stride) {
+    const std::size_t nv = (stride - col) / kW < 8 ? (stride - col) / kW : 8;
+    switch (nv) {
+      case 1:
+        forward_cols<1>(prev, a.p, stride, k, em_n, row, col);
+        break;
+      case 2:
+        forward_cols<2>(prev, a.p, stride, k, em_n, row, col);
+        break;
+      case 3:
+        forward_cols<3>(prev, a.p, stride, k, em_n, row, col);
+        break;
+      case 4:
+        forward_cols<4>(prev, a.p, stride, k, em_n, row, col);
+        break;
+      case 5:
+        forward_cols<5>(prev, a.p, stride, k, em_n, row, col);
+        break;
+      case 6:
+        forward_cols<6>(prev, a.p, stride, k, em_n, row, col);
+        break;
+      case 7:
+        forward_cols<7>(prev, a.p, stride, k, em_n, row, col);
+        break;
+      default:
+        forward_cols<8>(prev, a.p, stride, k, em_n, row, col);
+        break;
+    }
+    col += nv * kW;
+  }
+}
+
+/// NV lanes-worth of backward outputs over the transposed table: the
+/// per-term order ((a · em) · beta) and ascending-j accumulation match
+/// the scalar loop, so beta results are bit-identical. When WithPair,
+/// the unscaled dots are additionally folded into *pair_acc against the
+/// alpha row (pad lanes contribute exactly 0: alpha pads and
+/// transposed-table pads are 0) — the pair normalizer reuses the sweep
+/// instead of re-streaming A^Δ.
+template <int NV, bool WithPair>
+void backward_cols(const double* t, std::size_t stride, std::size_t k,
+                   const double* em_next, const double* beta_next,
+                   double scale, double* beta_n, const double* alpha_n,
+                   s::VecD* pair_acc, std::size_t col) {
+  s::VecD acc[NV];
+  for (int v = 0; v < NV; ++v) acc[v] = s::vzero();
+  const double* row_j = t + col;
+  for (std::size_t j = 0; j < k; ++j, row_j += stride) {
+    const s::VecD em_j = s::vset1(em_next[j]);
+    const s::VecD beta_j = s::vset1(beta_next[j]);
+    for (int v = 0; v < NV; ++v) {
+      acc[v] = s::vadd(
+          acc[v],
+          s::vmul(s::vmul(s::vload(row_j + v * kW), em_j), beta_j));
+    }
+  }
+  const s::VecD vscale = s::vset1(scale);
+  for (int v = 0; v < NV; ++v) {
+    if (WithPair) {
+      *pair_acc = s::vadd(
+          *pair_acc, s::vmul(s::vload(alpha_n + col + v * kW), acc[v]));
+    }
+    s::vstore(beta_n + col + v * kW, s::vdiv(acc[v], vscale));
+  }
+}
+
+template <bool WithPair>
+void backward_sweep(const DeltaTables& a, std::size_t k,
+                    const double* em_next, const double* beta_next,
+                    double scale, double* beta_n, const double* alpha_n,
+                    double* pair_total) {
+  const std::size_t stride = a.stride;
+  s::VecD pair_acc = s::vzero();
+  std::size_t col = 0;
+  while (col < stride) {
+    const std::size_t nv = (stride - col) / kW < 8 ? (stride - col) / kW : 8;
+    switch (nv) {
+      case 1:
+        backward_cols<1, WithPair>(a.t, stride, k, em_next, beta_next, scale,
+                                   beta_n, alpha_n, &pair_acc, col);
+        break;
+      case 2:
+        backward_cols<2, WithPair>(a.t, stride, k, em_next, beta_next, scale,
+                                   beta_n, alpha_n, &pair_acc, col);
+        break;
+      case 3:
+        backward_cols<3, WithPair>(a.t, stride, k, em_next, beta_next, scale,
+                                   beta_n, alpha_n, &pair_acc, col);
+        break;
+      case 4:
+        backward_cols<4, WithPair>(a.t, stride, k, em_next, beta_next, scale,
+                                   beta_n, alpha_n, &pair_acc, col);
+        break;
+      case 5:
+        backward_cols<5, WithPair>(a.t, stride, k, em_next, beta_next, scale,
+                                   beta_n, alpha_n, &pair_acc, col);
+        break;
+      case 6:
+        backward_cols<6, WithPair>(a.t, stride, k, em_next, beta_next, scale,
+                                   beta_n, alpha_n, &pair_acc, col);
+        break;
+      case 7:
+        backward_cols<7, WithPair>(a.t, stride, k, em_next, beta_next, scale,
+                                   beta_n, alpha_n, &pair_acc, col);
+        break;
+      default:
+        backward_cols<8, WithPair>(a.t, stride, k, em_next, beta_next, scale,
+                                   beta_n, alpha_n, &pair_acc, col);
+        break;
+    }
+    col += nv * kW;
+  }
+  if (WithPair) {
+    double lanes[kW];
+    s::vstore(lanes, pair_acc);
+    double sum = 0.0;
+    for (std::size_t l = 0; l < kW; ++l) sum += lanes[l];
+    *pair_total = sum;
+  }
+}
+
+void backward_step_simd(const DeltaTables& a, std::size_t k,
+                        const double* em_next, const double* beta_next,
+                        double scale, double* beta_n, const double* alpha_n,
+                        double* pair_total) {
+  if (alpha_n != nullptr && pair_total != nullptr) {
+    backward_sweep<true>(a, k, em_next, beta_next, scale, beta_n, alpha_n,
+                         pair_total);
+  } else {
+    backward_sweep<false>(a, k, em_next, beta_next, scale, beta_n, nullptr,
+                          nullptr);
+  }
+}
+
+double pair_total_simd(const double* alpha_n, const DeltaTables& a,
+                       std::size_t k, const double* em_next,
+                       const double* beta_next) {
+  // Standalone pair normalizer (used when the backward sweep could not
+  // fuse it): per i-lane dot over j, multiplied by alpha and reduced in
+  // fixed lane order.
+  const std::size_t stride = a.stride;
+  s::VecD total = s::vzero();
+  for (std::size_t col = 0; col < stride; col += kW) {
+    s::VecD acc = s::vzero();
+    const double* row_j = a.t + col;
+    for (std::size_t j = 0; j < k; ++j, row_j += stride) {
+      acc = s::vadd(acc, s::vmul(s::vmul(s::vload(row_j), s::vset1(em_next[j])),
+                                 s::vset1(beta_next[j])));
+    }
+    total = s::vadd(total, s::vmul(s::vload(alpha_n + col), acc));
+  }
+  double lanes[kW];
+  s::vstore(lanes, total);
+  double sum = 0.0;
+  for (std::size_t l = 0; l < kW; ++l) sum += lanes[l];
+  return sum;
+}
+
+constexpr KernelOps kSimdOps = {
+    VERITAS_SIMD_BACKEND_NAME,
+#ifdef VERITAS_SIMD_BACKEND_AVX2
+    kCpuAvx2,
+#else
+    kCpuBaseline,
+#endif
+    &emission_log_pdf_row_simd,
+    &exp_rows_simd,
+    &log_rows_simd,
+    &viterbi_step_simd,
+    &forward_step_simd,
+    &backward_step_simd,
+    &pair_total_simd,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelOps* const compiled_simd_table = &kSimdOps;
+}  // namespace detail
+
+}  // namespace veritas::math::simd_kernels
+
+#else  // VERITAS_SIMD_DISABLED
+
+namespace veritas::math::simd_kernels::detail {
+const KernelOps* const compiled_simd_table = nullptr;
+}  // namespace veritas::math::simd_kernels::detail
+
+#endif

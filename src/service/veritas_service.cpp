@@ -60,6 +60,11 @@ std::uint64_t VeritasService::add_shard(
   const std::lock_guard<std::mutex> lock(registry_mutex_);
   Shard& shard = shards_[name];
   shard.veritas = std::move(veritas);
+  // Counters follow the name: a replaced shard keeps its history, a
+  // fresh name starts at zero.
+  if (shard.counters == nullptr) {
+    shard.counters = std::make_shared<ShardCounters>();
+  }
   // Epochs are unique across every add/swap on this service, so a
   // removed-and-re-added shard can never resurrect stale cache entries.
   shard.epoch = next_epoch_++;
@@ -150,6 +155,7 @@ bool VeritasService::serve_from_cache(Job& job) {
   std::optional<CachedPayload> payload = cache_.peek(job.key);
   if (!payload) return false;
   cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  job.shard.counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
   InferenceResult result;
   result.abduction = std::move(payload->abduction);
   result.predictions = std::move(payload->predictions);
@@ -164,15 +170,19 @@ std::future<InferenceResult> VeritasService::submit(Query query) {
   std::future<InferenceResult> future = job.promise.get_future();
   if (serve_from_cache(job)) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    job.shard.counters->submitted.fetch_add(1, std::memory_order_relaxed);
     return future;
   }
+  const std::shared_ptr<ShardCounters> counters = job.shard.counters;
   if (!queue_.push(std::move(job))) {
     throw ContractViolation("VeritasService is shutting down");
   }
   if (options_.cache_capacity > 0) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    counters->cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  counters->submitted.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
@@ -182,13 +192,18 @@ std::optional<std::future<InferenceResult>> VeritasService::try_submit(
   std::future<InferenceResult> future = job.promise.get_future();
   if (serve_from_cache(job)) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    job.shard.counters->submitted.fetch_add(1, std::memory_order_relaxed);
     return future;
   }
+  // try_push moves from `job` on success; keep the counter handle alive.
+  const std::shared_ptr<ShardCounters> counters = job.shard.counters;
   if (!queue_.try_push(job)) return std::nullopt;  // full or closing
   if (options_.cache_capacity > 0) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    counters->cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  counters->submitted.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
@@ -205,6 +220,31 @@ std::vector<std::future<InferenceResult>> VeritasService::submit_batch(
     futures.push_back(submit(std::move(query)));
   }
   return futures;
+}
+
+std::vector<ShardStats> VeritasService::shard_stats() const {
+  std::vector<ShardStats> out;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    out.reserve(shards_.size());
+    for (const auto& [name, shard] : shards_) {
+      ShardStats s;
+      s.name = name;
+      s.epoch = shard.epoch;
+      s.submitted = shard.counters->submitted.load(std::memory_order_relaxed);
+      s.computed = shard.counters->computed.load(std::memory_order_relaxed);
+      s.cache_hits =
+          shard.counters->cache_hits.load(std::memory_order_relaxed);
+      s.cache_misses =
+          shard.counters->cache_misses.load(std::memory_order_relaxed);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShardStats& a, const ShardStats& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 ServiceStats VeritasService::stats() const {
@@ -247,6 +287,7 @@ void VeritasService::execute(Job& job, core::Ehmm::Scratch& scratch) {
         break;
     }
     computed_.fetch_add(1, std::memory_order_relaxed);
+    job.shard.counters->computed.fetch_add(1, std::memory_order_relaxed);
     if (options_.cache_capacity > 0) {
       cache_.put(job.key, CachedPayload{result.abduction, result.predictions});
     }

@@ -98,8 +98,8 @@ struct ServiceOptions {
   std::size_t cache_shards = 8;
 };
 
-/// Point-in-time counters. queue_depth is instantaneous; the rest are
-/// monotonic over the service's lifetime.
+/// Point-in-time counters. queue_depth is an instantaneous gauge; the
+/// rest are monotonic over the service's lifetime.
 struct ServiceStats {
   std::uint64_t submitted = 0;      ///< queries accepted (hits included)
   std::uint64_t computed = 0;       ///< queries that ran inference
@@ -107,7 +107,21 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   std::size_t cache_entries = 0;
-  std::size_t queue_depth = 0;
+  std::size_t queue_depth = 0;      ///< jobs pending in the bounded queue
+};
+
+/// Per-shard slice of the service counters. Counters follow the shard
+/// *name*: they persist across swap_shard (a hot-swapped model keeps its
+/// traffic history) and reset only when the shard is removed and
+/// re-added. A query that was accepted but not yet executed has been
+/// counted in submitted (and hits/misses) but not yet in computed.
+struct ShardStats {
+  std::string name;
+  std::uint64_t epoch = 0;          ///< epoch of the current engine
+  std::uint64_t submitted = 0;      ///< queries accepted for this shard
+  std::uint64_t computed = 0;       ///< queries that ran inference
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 class VeritasService {
@@ -181,12 +195,26 @@ class VeritasService {
 
   ServiceStats stats() const;
 
+  /// Per-shard counter snapshot, sorted by shard name.
+  std::vector<ShardStats> shard_stats() const;
+
   std::size_t num_lanes() const noexcept { return lanes_; }
 
  private:
+  /// Lock-free per-shard counters, shared between the registry entry and
+  /// every in-flight job that resolved the shard (so a concurrent
+  /// remove_shard can never invalidate a worker's counter).
+  struct ShardCounters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> computed{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+  };
+
   struct Shard {
     std::shared_ptr<const core::Veritas> veritas;  ///< facade over engine
     std::uint64_t epoch = 0;
+    std::shared_ptr<ShardCounters> counters;
   };
 
   /// Four integers: the epoch alone identifies the (shard, model) pair

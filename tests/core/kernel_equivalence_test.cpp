@@ -1,0 +1,333 @@
+// SIMD/scalar kernel equivalence:
+//
+//  * raw-kernel level, k ∈ {1, 3, 8, 17, 32}: the viterbi / forward /
+//    backward steps must be *bit-identical* between tables (the SIMD
+//    kernels vectorize across outputs and broadcast the sequential
+//    input, preserving each output's accumulation order); the fused
+//    pair-posterior normalizer and exp rows agree within tight
+//    tolerances. Non-lane-multiple k exercises the padded tail columns.
+//  * Ehmm level, k ∈ {3, 8, 17, 32}: identical Viterbi paths, scores
+//    and backpointer-driven decisions, posteriors within 1e-9 (observed
+//    ~1e-13: only the exp approximation and the pair reduction differ),
+//    at 1 and 4 inference threads.
+//  * the configurable A^Δ precompute window: a tiny dense table plus
+//    the mutex-guarded fallback must reproduce the full-table results
+//    bit-for-bit.
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/inference_engine.hpp"
+#include "core/test_helpers.hpp"
+#include "core/veritas.hpp"
+#include "math/simd_kernels.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace sk = veritas::math::simd_kernels;
+
+namespace {
+
+using namespace veritas;
+using core::ChunkObservation;
+using core::Ehmm;
+
+bool simd_available() { return sk::simd_ops() != nullptr; }
+
+/// Random row-stochastic transition over k states (k = 1 allowed).
+core::TransitionModel random_transition(std::size_t k, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.05, 1.0);
+  math::Matrix a(k, k, 0.0);
+  std::vector<double> initial(k, 0.0);
+  double init_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      a(i, j) = dist(rng);
+      row_sum += a(i, j);
+    }
+    for (std::size_t j = 0; j < k; ++j) a(i, j) /= row_sum;
+    initial[i] = dist(rng);
+    init_sum += initial[i];
+  }
+  for (double& u : initial) u /= init_sum;
+  return core::TransitionModel(std::move(a), std::move(initial));
+}
+
+/// Padded dense tables of A^Δ for the raw kernel harness.
+sk::DeltaTables tables_of(const core::TransitionModel& model,
+                          std::size_t delta) {
+  const core::TransitionModel::PowerView view = model.power_view(delta);
+  sk::DeltaTables t;
+  t.p = view.p->row_data(0);
+  t.t = view.transposed->row_data(0);
+  t.log_p = view.log_p->row_data(0);
+  t.log_t = view.log_transposed->row_data(0);
+  t.stride = view.p->col_stride();
+  return t;
+}
+
+/// Padded random row: logical entries from dist, pads = `pad`.
+std::vector<double> padded_row(std::size_t k, double pad, std::mt19937_64& rng,
+                               double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  std::vector<double> row(math::padded_cols(k), pad);
+  for (std::size_t i = 0; i < k; ++i) row[i] = dist(rng);
+  return row;
+}
+
+class KernelEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelEquivalence, RawKernelsMatchScalar) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD table in this build";
+  const std::size_t k = GetParam();
+  const std::size_t stride = math::padded_cols(k);
+  core::TransitionModel model = random_transition(k, 100 + k);
+  model.precompute_powers(4);
+  const sk::DeltaTables tables = tables_of(model, 2);
+  ASSERT_EQ(tables.stride, stride);
+
+  const sk::KernelOps& scalar = sk::scalar_ops();
+  const sk::KernelOps& simd = *sk::simd_ops();
+  std::mt19937_64 rng(900 + k);
+
+  for (int round = 0; round < 25; ++round) {
+    // Log-domain inputs for viterbi (pads -inf), probability-domain for
+    // the sum-product kernels (pads 0).
+    const std::vector<double> prev_log =
+        padded_row(k, -std::numeric_limits<double>::infinity(), rng, -40.0,
+                   0.0);
+    const std::vector<double> e_n =
+        padded_row(k, -std::numeric_limits<double>::infinity(), rng, -40.0,
+                   0.0);
+    const std::vector<double> prev_prob = padded_row(k, 0.0, rng, 0.0, 1.0);
+    const std::vector<double> em = padded_row(k, 0.0, rng, 0.0, 1.0);
+    const std::vector<double> beta = padded_row(k, 0.0, rng, 0.0, 2.0);
+    const std::vector<double> alpha = padded_row(k, 0.0, rng, 0.0, 1.0);
+
+    // Viterbi: scores and backpointers bit-identical.
+    std::vector<double> curr_a(stride, 0.0), curr_b(stride, 0.0);
+    std::vector<std::uint32_t> back_a(stride, 0), back_b(stride, 0);
+    scalar.viterbi_step(prev_log.data(), tables, k, e_n.data(),
+                        curr_a.data(), back_a.data());
+    simd.viterbi_step(prev_log.data(), tables, k, e_n.data(), curr_b.data(),
+                      back_b.data());
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(curr_a[i], curr_b[i]) << "k=" << k << " i=" << i;
+      EXPECT_EQ(back_a[i], back_b[i]) << "k=" << k << " i=" << i;
+    }
+
+    // Forward: bit-identical.
+    std::vector<double> row_a(stride, 0.0), row_b(stride, 0.0);
+    scalar.forward_step(prev_prob.data(), tables, k, em.data(),
+                        row_a.data());
+    simd.forward_step(prev_prob.data(), tables, k, em.data(), row_b.data());
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(row_a[i], row_b[i]) << "k=" << k << " i=" << i;
+    }
+
+    // Backward: beta bit-identical; fused pair total within tolerance
+    // of the scalar (historical-order) accumulation.
+    std::vector<double> beta_a(stride, 0.0), beta_b(stride, 0.0);
+    double pair_a = 0.0, pair_b = 0.0;
+    scalar.backward_step(tables, k, em.data(), beta.data(), 1.375,
+                         beta_a.data(), alpha.data(), &pair_a);
+    simd.backward_step(tables, k, em.data(), beta.data(), 1.375,
+                       beta_b.data(), alpha.data(), &pair_b);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(beta_a[i], beta_b[i]) << "k=" << k << " i=" << i;
+    }
+    EXPECT_NEAR(pair_a, pair_b, 1e-12 * std::max(1.0, std::abs(pair_a)));
+    // Standalone pair kernel agrees with the fused accumulation.
+    const double pair_c =
+        simd.pair_total(alpha.data(), tables, k, em.data(), beta.data());
+    EXPECT_NEAR(pair_b, pair_c, 1e-12 * std::max(1.0, std::abs(pair_b)));
+
+    // exp rows (full padded stride, -inf pads -> exact 0).
+    std::vector<double> em_a(stride, -1.0), em_b(stride, -1.0);
+    scalar.exp_rows(e_n.data(), -3.0, stride, em_a.data());
+    simd.exp_rows(e_n.data(), -3.0, stride, em_b.data());
+    for (std::size_t i = 0; i < stride; ++i) {
+      EXPECT_NEAR(em_a[i], em_b[i], 5e-15 * em_a[i] + 0.0)
+          << "k=" << k << " i=" << i;
+    }
+    for (std::size_t i = k; i < stride; ++i) EXPECT_EQ(em_b[i], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StateCounts, KernelEquivalence,
+                         ::testing::Values(1, 3, 8, 17, 32));
+
+/// Ehmm over k states (k = ceil(max/eps) + 1 with eps 0.5).
+core::VeritasConfig config_for_states(std::size_t k) {
+  core::VeritasConfig cfg;
+  cfg.epsilon_mbps = 0.5;
+  cfg.max_mbps = 0.5 * static_cast<double>(k - 1);
+  return cfg;
+}
+
+std::vector<sim::SessionLog> test_logs() {
+  std::vector<sim::SessionLog> logs;
+  for (const std::uint64_t seed : {11ull, 29ull}) {
+    const auto gtbw = trace::make_traces(trace::TraceFamily::kWideRange, 1,
+                                         seed)[0];
+    logs.push_back(core::testing::deployed_log(gtbw, 40));
+  }
+  return logs;
+}
+
+class EhmmEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EhmmEquivalence, SimdMatchesScalarAcrossThreads) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD table in this build";
+  const std::size_t k = GetParam();
+  const core::VeritasConfig cfg = config_for_states(k);
+  const core::InferenceEngine engine(cfg);
+  ASSERT_EQ(engine.ehmm().space().size(), k);
+  const auto logs = test_logs();
+
+  std::vector<core::VeritasResult> scalar_results;
+  {
+    const sk::ScopedMode mode(sk::Mode::kForceScalar);
+    for (const auto& log : logs) scalar_results.push_back(engine.infer(log));
+  }
+
+  const sk::ScopedMode mode(sk::Mode::kForceSimd);
+  for (const std::size_t threads : {1u, 4u}) {
+    const std::vector<core::VeritasResult> simd_results =
+        engine.infer_batch(logs, threads);
+    ASSERT_EQ(simd_results.size(), scalar_results.size());
+    for (std::size_t s = 0; s < logs.size(); ++s) {
+      const core::VeritasResult& a = scalar_results[s];
+      const core::VeritasResult& b = simd_results[s];
+      // Viterbi decisions identical (the max-plus kernel is
+      // bit-identical and emissions are bitwise equal).
+      ASSERT_EQ(a.map_states_mbps.size(), b.map_states_mbps.size());
+      for (std::size_t n = 0; n < a.map_states_mbps.size(); ++n) {
+        EXPECT_EQ(a.map_states_mbps[n], b.map_states_mbps[n])
+            << "k=" << k << " session=" << s << " n=" << n;
+      }
+      // Posteriors within the advertised tolerance (issue: 1e-9; the
+      // only divergences are the exp approximation and the pair-total
+      // lane reduction).
+      EXPECT_LE(a.posterior_marginals.max_abs_diff(b.posterior_marginals),
+                1e-9)
+          << "k=" << k << " session=" << s;
+      EXPECT_NEAR(a.log_likelihood, b.log_likelihood,
+                  1e-9 * std::abs(a.log_likelihood))
+          << "k=" << k << " session=" << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StateCounts, EhmmEquivalence,
+                         ::testing::Values(3, 8, 17, 32));
+
+TEST(EhmmEquivalence, MultiWindowEstimatorWithinTolerance) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD table in this build";
+  core::VeritasConfig cfg;
+  cfg.estimator = core::EmissionModel::Estimator::kMultiWindow;
+  const core::InferenceEngine engine(cfg);
+  const auto logs = test_logs();
+  for (const auto& log : logs) {
+    core::VeritasResult a, b;
+    {
+      const sk::ScopedMode mode(sk::Mode::kForceScalar);
+      a = engine.infer(log);
+    }
+    {
+      const sk::ScopedMode mode(sk::Mode::kForceSimd);
+      b = engine.infer(log);
+    }
+    for (std::size_t n = 0; n < a.map_states_mbps.size(); ++n) {
+      EXPECT_EQ(a.map_states_mbps[n], b.map_states_mbps[n]);
+    }
+    EXPECT_LE(a.posterior_marginals.max_abs_diff(b.posterior_marginals),
+              1e-9);
+  }
+}
+
+// A tiny precompute window forces the mutex-guarded fallback (and the
+// legacy strided kernels) for the long-gap deltas — results must be
+// bit-identical to the full dense table, in both dispatch modes.
+TEST(PrecomputedPowerWindow, SmallWindowBitIdenticalToLarge) {
+  using core::testing::warm_observation;
+  // Session with rebuffer-sized gaps: window deltas 0, 1, 2, 5, 13 with
+  // δ = 5 s — everything past Δ=1 exercises the fallback on the small
+  // table.
+  std::vector<ChunkObservation> obs;
+  obs.push_back(warm_observation(0.0, 2.0));
+  obs.push_back(warm_observation(3.0, 2.5));
+  obs.push_back(warm_observation(8.0, 3.0));
+  obs.push_back(warm_observation(18.0, 2.0));
+  obs.push_back(warm_observation(44.0, 1.5));
+  obs.push_back(warm_observation(110.0, 2.5));
+
+  const auto make = [](std::size_t powers) {
+    core::StateSpace space(0.5, 10.0);
+    core::TransitionModel transition =
+        core::TransitionModel::tridiagonal(space.size());
+    core::EmissionModel emission(0.5);
+    return Ehmm(std::move(space), std::move(transition), std::move(emission),
+                5.0, powers);
+  };
+  const Ehmm small = make(1);
+  const Ehmm full = make(64);
+  EXPECT_EQ(small.transition().precomputed_powers(), 2u);
+
+  for (const sk::Mode m : {sk::Mode::kForceScalar, sk::Mode::kForceSimd}) {
+    if (m == sk::Mode::kForceSimd && !simd_available()) continue;
+    const sk::ScopedMode mode(m);
+    Ehmm::Scratch scratch_a, scratch_b;
+    const Ehmm::InferencePass a = small.infer_fused(obs, scratch_a);
+    const Ehmm::InferencePass b = full.infer_fused(obs, scratch_b);
+    EXPECT_EQ(a.viterbi.states, b.viterbi.states);
+    EXPECT_EQ(a.viterbi.scores.max_abs_diff(b.viterbi.scores), 0.0);
+    EXPECT_EQ(a.forward_backward.gamma.max_abs_diff(b.forward_backward.gamma),
+              0.0);
+    EXPECT_EQ(a.forward_backward.log_likelihood,
+              b.forward_backward.log_likelihood);
+    ASSERT_EQ(a.forward_backward.pair_totals.size(),
+              b.forward_backward.pair_totals.size());
+    for (std::size_t n = 0; n < a.forward_backward.pair_totals.size(); ++n) {
+      // The fallback always accumulates the pair total in scalar order,
+      // so it is exact against the dense scalar kernel; the dense SIMD
+      // kernel reassociates across lanes (ulp-level).
+      if (m == sk::Mode::kForceScalar) {
+        EXPECT_EQ(a.forward_backward.pair_totals[n],
+                  b.forward_backward.pair_totals[n]);
+      } else {
+        const double want = a.forward_backward.pair_totals[n];
+        EXPECT_NEAR(want, b.forward_backward.pair_totals[n],
+                    1e-12 * std::max(1.0, std::abs(want)));
+      }
+    }
+    if (m == sk::Mode::kForceScalar) {
+      util::Rng rng_a(42), rng_b(42);
+      EXPECT_EQ(small.sample_posterior(a.viterbi, a.forward_backward,
+                                       scratch_a, rng_a),
+                full.sample_posterior(b.viterbi, b.forward_backward,
+                                      scratch_b, rng_b));
+    }
+  }
+}
+
+// EngineOptions still overrides the config when explicitly non-zero.
+TEST(PrecomputedPowerWindow, EngineOptionsOverrideConfig) {
+  core::VeritasConfig cfg;
+  cfg.precomputed_powers = 2;
+  core::EngineOptions options;
+  options.precomputed_powers = 16;
+  const core::InferenceEngine engine(cfg, options);
+  EXPECT_GE(engine.ehmm().transition().precomputed_powers(), 16u);
+  const core::InferenceEngine config_engine(cfg);
+  // Config value honored (multi-window floors at kMaxSpanWindows only
+  // for that estimator; full-TCP takes the config verbatim).
+  EXPECT_EQ(config_engine.ehmm().transition().precomputed_powers(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// Property tests for the SIMD kernel layer (math/simd_kernels.hpp):
+// the vectorized exp/log approximations against libm across the value
+// ranges the EHMM feeds them, the batched emission log-pdf against the
+// scalar math::log_normal_pdf (bitwise — the kernel replicates the
+// scalar operation order), and the dispatch/override machinery.
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/distributions.hpp"
+#include "math/matrix.hpp"
+#include "math/simd_kernels.hpp"
+
+namespace sk = veritas::math::simd_kernels;
+namespace math = veritas::math;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool simd_available() { return sk::simd_ops() != nullptr; }
+
+std::vector<double> exp_via(const sk::KernelOps& ops,
+                            const std::vector<double>& xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  ops.exp_rows(xs.data(), 0.0, xs.size(), out.data());
+  return out;
+}
+
+std::vector<double> log_via(const sk::KernelOps& ops,
+                            const std::vector<double>& xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  ops.log_rows(xs.data(), xs.size(), out.data());
+  return out;
+}
+
+TEST(SimdDispatch, ScalarTableIsAlwaysPresent) {
+  EXPECT_STREQ(sk::scalar_ops().name, "scalar");
+  EXPECT_NE(sk::active_ops().name, nullptr);
+}
+
+TEST(SimdDispatch, ScopedModeForcesScalar) {
+  const sk::ScopedMode scoped(sk::Mode::kForceScalar);
+  EXPECT_STREQ(sk::active_ops().name, "scalar");
+  EXPECT_STREQ(sk::backend_name(), "scalar");
+}
+
+TEST(SimdDispatch, ScopedModeRestores) {
+  const sk::Mode before = sk::mode();
+  {
+    const sk::ScopedMode scoped(sk::Mode::kForceScalar);
+    EXPECT_EQ(sk::mode(), sk::Mode::kForceScalar);
+  }
+  EXPECT_EQ(sk::mode(), before);
+}
+
+TEST(SimdExp, ScalarTableMatchesLibmBitwise) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-700.0, 700.0);
+  std::vector<double> xs(257);
+  for (double& x : xs) x = dist(rng);
+  const std::vector<double> got = exp_via(sk::scalar_ops(), xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(got[i], std::exp(xs[i])) << "x=" << xs[i];
+  }
+}
+
+// The vectorized exp across the emission shift range (log-probs minus
+// their row max: always <= 0, typically a few hundred at most) and the
+// full safely-representable range. Cephes-style rational approximation:
+// a couple of ulp.
+TEST(SimdExp, VectorMatchesLibmWithinTolerance) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD table in this build";
+  std::mt19937_64 rng(11);
+  std::vector<double> xs;
+  std::uniform_real_distribution<double> emission(-500.0, 0.0);
+  std::uniform_real_distribution<double> wide(-708.0, 709.0);
+  for (int i = 0; i < 20000; ++i) xs.push_back(emission(rng));
+  for (int i = 0; i < 20000; ++i) xs.push_back(wide(rng));
+  const std::vector<double> got = exp_via(*sk::simd_ops(), xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double want = std::exp(xs[i]);
+    EXPECT_LE(std::abs(got[i] - want), 5e-15 * want)
+        << "x=" << xs[i] << " got=" << got[i] << " want=" << want;
+  }
+}
+
+TEST(SimdExp, VectorSpecialValues) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD table in this build";
+  const std::vector<double> xs = {0.0,
+                                  -0.0,
+                                  1.0,
+                                  -1.0,
+                                  -kInf,
+                                  kInf,
+                                  std::nan(""),
+                                  710.0,
+                                  1000.0,
+                                  -800.0,
+                                  -1e9};
+  const std::vector<double> got = exp_via(*sk::simd_ops(), xs);
+  EXPECT_EQ(got[0], 1.0);  // exact at 0
+  EXPECT_EQ(got[1], 1.0);
+  EXPECT_NEAR(got[2], std::exp(1.0), 1e-15);
+  EXPECT_NEAR(got[3], std::exp(-1.0), 1e-16);
+  EXPECT_EQ(got[4], 0.0);   // exp(-inf)
+  EXPECT_EQ(got[5], kInf);  // exp(+inf)
+  EXPECT_TRUE(std::isnan(got[6]));
+  EXPECT_EQ(got[7], kInf);  // overflow
+  EXPECT_EQ(got[8], kInf);
+  EXPECT_EQ(got[9], 0.0);  // flushed underflow
+  EXPECT_EQ(got[10], 0.0);
+}
+
+// Inputs in [-745, -708) flush to zero where libm returns subnormals;
+// the absolute error is below every tolerance the posteriors care about.
+TEST(SimdExp, VectorFlushesDeepUnderflowToZero) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD table in this build";
+  const std::vector<double> xs = {-709.0, -720.0, -740.0};
+  const std::vector<double> got = exp_via(*sk::simd_ops(), xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_GE(got[i], 0.0);
+    EXPECT_LE(got[i], 1e-307);
+  }
+}
+
+TEST(SimdLog, ScalarTableMatchesLibmBitwise) {
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> dist(1e-12, 1e12);
+  std::vector<double> xs(257);
+  for (double& x : xs) x = dist(rng);
+  const std::vector<double> got = log_via(sk::scalar_ops(), xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(got[i], std::log(xs[i])) << "x=" << xs[i];
+  }
+}
+
+TEST(SimdLog, VectorMatchesLibmWithinTolerance) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD table in this build";
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> exponent(-307.0, 307.0);
+  std::uniform_real_distribution<double> near_one(0.25, 4.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(std::pow(10.0, exponent(rng)));
+  for (int i = 0; i < 20000; ++i) xs.push_back(near_one(rng));
+  const std::vector<double> got = log_via(*sk::simd_ops(), xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double want = std::log(xs[i]);
+    const double tol = std::max(4e-15 * std::abs(want), 4e-16);
+    EXPECT_LE(std::abs(got[i] - want), tol)
+        << "x=" << xs[i] << " got=" << got[i] << " want=" << want;
+  }
+}
+
+TEST(SimdLog, VectorSpecialValues) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD table in this build";
+  const double subnormal = 5e-320;
+  const std::vector<double> xs = {1.0,   0.0,  -1.0, kInf,
+                                  std::nan(""), subnormal, 2.0, 0.5};
+  const std::vector<double> got = log_via(*sk::simd_ops(), xs);
+  EXPECT_EQ(got[0], 0.0);  // exact at 1
+  EXPECT_EQ(got[1], -kInf);
+  EXPECT_TRUE(std::isnan(got[2]));
+  EXPECT_EQ(got[3], kInf);
+  EXPECT_TRUE(std::isnan(got[4]));
+  EXPECT_NEAR(got[5], std::log(subnormal), 1e-12);
+  EXPECT_NEAR(got[6], std::log(2.0), 1e-15);
+  EXPECT_NEAR(got[7], std::log(0.5), 1e-15);
+}
+
+// The batched emission kernel replicates log_normal_pdf's operation
+// order, so scalar kernel, SIMD kernel (vector body *and* tail path)
+// and the plain scalar function agree bitwise.
+TEST(SimdEmissionRow, MatchesLogNormalPdfBitwise) {
+  std::mt19937_64 rng(19);
+  std::uniform_real_distribution<double> mean_dist(0.0, 10.0);
+  for (const std::size_t k : {1u, 3u, 8u, 17u, 21u, 32u}) {
+    std::vector<double> means(k);
+    for (double& m : means) m = mean_dist(rng);
+    const double y = 4.25;
+    const double sigma = 0.5;
+    std::vector<double> scalar_out(k, 0.0);
+    math::log_normal_pdf_rows(
+        y, std::span<const double>(means.data(), k), sigma,
+        std::span<double>(scalar_out.data(), k));
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(scalar_out[i], math::log_normal_pdf(y, means[i], sigma))
+          << "k=" << k << " i=" << i;
+    }
+    if (!simd_available()) continue;
+    std::vector<double> simd_out(math::padded_cols(k), 0.0);
+    const double log_sigma = std::log(sigma);
+    const double half_log_2pi =
+        0.5 * std::log(2.0 * 3.14159265358979323846);
+    sk::simd_ops()->emission_log_pdf_row(y, means.data(), k,
+                                         math::padded_cols(k), sigma,
+                                         log_sigma, half_log_2pi,
+                                         simd_out.data());
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(simd_out[i], math::log_normal_pdf(y, means[i], sigma))
+          << "k=" << k << " i=" << i;
+    }
+    for (std::size_t i = k; i < math::padded_cols(k); ++i) {
+      EXPECT_EQ(simd_out[i], -kInf) << "pad not -inf at " << i;
+    }
+  }
+}
+
+// math::exp_rows / log_rows route through the active table.
+TEST(SimdBatchWrappers, ExpAndLogRows) {
+  const std::vector<double> xs = {-2.0, -1.0, 0.0, 0.5, 3.0};
+  std::vector<double> e(xs.size(), 0.0);
+  std::vector<double> l(xs.size(), 0.0);
+  math::exp_rows(xs, e);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(e[i], std::exp(xs[i]), 1e-15 * std::exp(xs[i]) + 1e-18);
+  }
+  std::vector<double> pos = {0.1, 1.0, 2.5, 100.0, 1e10};
+  math::log_rows(pos, l);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_NEAR(l[i], std::log(pos[i]), 1e-14 * std::abs(std::log(pos[i])) + 1e-15);
+  }
+}
+
+// Padded matrices: logical accessors unaffected, stride rounded up.
+TEST(PaddedMatrix, StrideAndLogicalShape) {
+  math::Matrix m;
+  m.resize_padded(3, 21, -1.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 21u);
+  EXPECT_EQ(m.col_stride(), 24u);
+  m(2, 20) = 7.0;
+  EXPECT_EQ(m.row(2).size(), 21u);
+  EXPECT_EQ(m.row(2)[20], 7.0);
+  // Pad entries hold the fill value.
+  EXPECT_EQ(m.row_data(0)[21], -1.0);
+  EXPECT_EQ(m.row_data(0)[23], -1.0);
+  // Unpadded matrices keep stride == cols.
+  math::Matrix plain(2, 5, 0.0);
+  EXPECT_EQ(plain.col_stride(), 5u);
+  // max_abs_diff works across mixed strides.
+  math::Matrix p1(2, 3, 1.0);
+  math::Matrix p2;
+  p2.resize_padded(2, 3, 1.0);
+  EXPECT_EQ(p1.max_abs_diff(p2), 0.0);
+  p2(1, 2) = 1.5;
+  EXPECT_EQ(p1.max_abs_diff(p2), 0.5);
+}
+
+}  // namespace

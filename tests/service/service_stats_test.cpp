@@ -1,0 +1,129 @@
+// Per-shard counter export from VeritasService: hit/miss/computed
+// attribution to the right shard, persistence across hot swaps, and the
+// queue-depth gauge.
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/test_helpers.hpp"
+#include "service/veritas_service.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace {
+
+using namespace veritas;
+using service::Query;
+using service::ServiceStats;
+using service::ShardStats;
+using service::VeritasService;
+
+sim::SessionLog test_log(std::uint64_t seed) {
+  const auto gtbw =
+      trace::make_traces(trace::TraceFamily::kFccLike, 1, seed)[0];
+  return core::testing::deployed_log(gtbw, 24);
+}
+
+const ShardStats& find_shard(const std::vector<ShardStats>& stats,
+                             const std::string& name) {
+  for (const ShardStats& s : stats) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "shard not found: " << name;
+  static const ShardStats empty;
+  return empty;
+}
+
+TEST(ServiceShardStats, CountersAttributeToTheRightShard) {
+  service::ServiceOptions options;
+  options.num_threads = 2;
+  VeritasService svc(options);
+  svc.add_shard("a", core::VeritasConfig{});
+  core::VeritasConfig wide;
+  wide.max_mbps = 12.0;
+  svc.add_shard("b", wide);
+
+  const sim::SessionLog log = test_log(5);
+  // a: one miss then two hits; b: one miss.
+  for (int round = 0; round < 3; ++round) {
+    Query q;
+    q.log = log;
+    q.shard = "a";
+    svc.submit(std::move(q)).get();
+  }
+  {
+    Query q;
+    q.log = log;
+    q.shard = "b";
+    svc.submit(std::move(q)).get();
+  }
+
+  const std::vector<ShardStats> stats = svc.shard_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "a");  // name-sorted
+  EXPECT_EQ(stats[1].name, "b");
+
+  const ShardStats& a = find_shard(stats, "a");
+  EXPECT_EQ(a.submitted, 3u);
+  EXPECT_EQ(a.computed, 1u);
+  EXPECT_EQ(a.cache_hits, 2u);
+  EXPECT_EQ(a.cache_misses, 1u);
+  EXPECT_EQ(a.epoch, svc.shard_epoch("a"));
+
+  const ShardStats& b = find_shard(stats, "b");
+  EXPECT_EQ(b.submitted, 1u);
+  EXPECT_EQ(b.computed, 1u);
+  EXPECT_EQ(b.cache_hits, 0u);
+  EXPECT_EQ(b.cache_misses, 1u);
+
+  // Per-shard counters slice the service totals.
+  const ServiceStats total = svc.stats();
+  EXPECT_EQ(total.submitted, a.submitted + b.submitted);
+  EXPECT_EQ(total.computed, a.computed + b.computed);
+  EXPECT_EQ(total.cache_hits, a.cache_hits + b.cache_hits);
+  EXPECT_EQ(total.cache_misses, a.cache_misses + b.cache_misses);
+  EXPECT_EQ(total.queue_depth, 0u);  // drained
+}
+
+TEST(ServiceShardStats, CountersSurviveSwapAndResetOnReAdd) {
+  VeritasService svc(service::ServiceOptions{.num_threads = 1});
+  svc.add_shard("a", core::VeritasConfig{});
+  const sim::SessionLog log = test_log(9);
+  {
+    Query q;
+    q.log = log;
+    q.shard = "a";
+    svc.submit(std::move(q)).get();
+  }
+  EXPECT_EQ(svc.shard_stats()[0].submitted, 1u);
+
+  // Hot swap: history persists, epoch moves.
+  core::VeritasConfig swapped;
+  swapped.sigma_mbps = 0.75;
+  const std::uint64_t epoch = svc.swap_shard("a", swapped);
+  const ShardStats after_swap = svc.shard_stats()[0];
+  EXPECT_EQ(after_swap.submitted, 1u);
+  EXPECT_EQ(after_swap.epoch, epoch);
+
+  // Remove + re-add: fresh counters.
+  EXPECT_TRUE(svc.remove_shard("a"));
+  svc.add_shard("a", core::VeritasConfig{});
+  const ShardStats fresh = svc.shard_stats()[0];
+  EXPECT_EQ(fresh.submitted, 0u);
+  EXPECT_EQ(fresh.computed, 0u);
+}
+
+TEST(ServiceShardStats, QueueDepthGaugeReflectsPendingJobs) {
+  // No worker lanes would deadlock the bounded queue; instead use one
+  // lane and watch the gauge drain to zero after the batch completes.
+  VeritasService svc(service::ServiceOptions{.num_threads = 1});
+  svc.add_shard("a", core::VeritasConfig{});
+  std::vector<sim::SessionLog> logs;
+  for (std::uint64_t s = 0; s < 4; ++s) logs.push_back(test_log(20 + s));
+  auto futures = svc.submit_batch(logs, "a");
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(svc.stats().queue_depth, 0u);
+  EXPECT_EQ(svc.shard_stats()[0].computed, 4u);
+}
+
+}  // namespace

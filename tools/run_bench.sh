@@ -8,12 +8,17 @@
 # (bench_service, mixed-shard async throughput/latency, cold vs warm
 # result cache).
 #
-# Usage: tools/run_bench.sh [output.json]   (default: BENCH_3.json)
+# The micro benches run the EHMM kernel benchmarks at both /simd:0
+# (forced scalar reference) and /simd:1 (vectorized table), so the
+# snapshot records the scalar-vs-SIMD trajectory from a single binary —
+# compare e.g. BM_ForwardBackwardRecursion/simd:0 vs /simd:1.
+#
+# Usage: tools/run_bench.sh [output.json]   (default: BENCH_4.json)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-out_json="${1:-${repo_root}/BENCH_3.json}"
+out_json="${1:-${repo_root}/BENCH_4.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j \
