@@ -94,7 +94,8 @@ void BM_ForwardBackwardRecursion(benchmark::State& state) {
   const auto obs = core::observations_from_log(shared_log());
   core::Ehmm::Scratch scratch;
   math::Matrix means;
-  ehmm.emission_means_into(obs, means, scratch.emission_memo);
+  core::EstimatorCache means_cache;
+  ehmm.emission_means_into(obs, means, means_cache);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         ehmm.forward_backward_from_means(obs, means, scratch));
@@ -354,6 +355,128 @@ void BM_EstimatorF(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimatorF)->Arg(25000)->Arg(250000)->Arg(1000000);
+
+// ------------------------------------------ batched estimator (PR 5)
+
+/// k = 17 states (ε = 0.5, max 8 Mbps): the candidate-count the PR 5
+/// acceptance bar is written against.
+core::VeritasConfig k17_config() {
+  core::VeritasConfig cfg;
+  cfg.max_mbps = 8.0;
+  return cfg;
+}
+
+/// f over the whole 17-candidate row in one call. /simd:0 runs the
+/// reference composition (17 scalar estimator calls — the PR 4 emission
+/// path), /simd:1 the lane-parallel kernel.
+void BM_EstimatorBatchK17(benchmark::State& state) {
+  KernelModeGuard guard(state);
+  if (!guard) return;
+  std::vector<double> candidates;
+  for (int i = 0; i < 17; ++i) candidates.push_back(0.5 * i);
+  net::TcpState w;
+  w.cwnd_segments = 25.0;
+  w.ssthresh_segments = 30.0;
+  w.last_send_gap_s = 1.0;
+  std::vector<double> out(candidates.size(), 0.0);
+  for (auto _ : state) {
+    net::estimate_throughput_batch(candidates, w, 250000.0, net::TcpConfig{},
+                                   out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(candidates.size()));
+}
+BENCHMARK(BM_EstimatorBatchK17)->ArgName("simd")->Arg(0)->Arg(1);
+
+/// The emission-means phase of one session (the estimator-bound part of
+/// prepare()): /warm:0 clears the (W, S) cache every iteration (every
+/// tuple re-runs f — the cross-session-cache-less cost), /warm:1 leaves
+/// it warm (every tuple is a row copy — the steady state of an engine
+/// serving repeat traffic).
+void BM_EmissionMeansK17(benchmark::State& state) {
+  KernelModeGuard guard(state);
+  if (!guard) return;
+  const bool warm = state.range(1) == 1;
+  const core::InferenceEngine engine{k17_config()};
+  const auto obs = core::observations_from_log(shared_log());
+  core::EstimatorCache cache;
+  math::Matrix means;
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      cache.clear();
+      state.ResumeTiming();
+    }
+    engine.ehmm().emission_means_into(obs, means, cache);
+    benchmark::DoNotOptimize(means.row_data(0));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
+}
+BENCHMARK(BM_EmissionMeansK17)
+    ->ArgNames({"simd", "warm"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
+/// The PR 5 headline: one full forward-backward call *including* the
+/// estimator-driven emission phase, k = 17.
+///
+/// BM_FbWithEstimatorPr4BaselineK17 replays the PR 4 cost model in the
+/// current binary: emission means through the scalar per-candidate
+/// estimator with a per-session memo (cold cache each call), recursions
+/// through the SIMD kernels — the exact composition PR 4 shipped.
+/// BM_FbWithEstimatorK17 is the PR 5 path: batched estimator under the
+/// dispatch mode of /simd, cross-session cache warm or cold per /warm.
+void BM_FbWithEstimatorPr4BaselineK17(benchmark::State& state) {
+  if (sk::simd_ops() == nullptr) {
+    state.SkipWithError("SIMD kernel table unavailable");
+    return;
+  }
+  const core::InferenceEngine engine{k17_config()};
+  const auto obs = core::observations_from_log(shared_log());
+  core::Ehmm::Scratch scratch;
+  core::EstimatorCache cache;
+  math::Matrix means;
+  for (auto _ : state) {
+    cache.clear();  // per-session memo semantics
+    {
+      sk::ScopedMode scalar_mode(sk::Mode::kForceScalar);
+      engine.ehmm().emission_means_into(obs, means, cache);
+    }
+    sk::ScopedMode simd_mode(sk::Mode::kForceSimd);
+    benchmark::DoNotOptimize(
+        engine.ehmm().forward_backward_from_means(obs, means, scratch));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
+}
+BENCHMARK(BM_FbWithEstimatorPr4BaselineK17);
+
+void BM_FbWithEstimatorK17(benchmark::State& state) {
+  KernelModeGuard guard(state);
+  if (!guard) return;
+  const bool warm = state.range(1) == 1;
+  const core::InferenceEngine engine{k17_config()};
+  const auto obs = core::observations_from_log(shared_log());
+  core::Ehmm::Scratch scratch;
+  scratch.estimator_cache = engine.estimator_cache();
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      scratch.estimator_cache->clear();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(engine.ehmm().forward_backward(obs, scratch));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
+}
+BENCHMARK(BM_FbWithEstimatorK17)
+    ->ArgNames({"simd", "warm"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
 
 void BM_TcpDownload(benchmark::State& state) {
   const auto bw = trace::BandwidthTrace::constant(5.0, 100000.0, 5.0);

@@ -236,7 +236,10 @@ int cmd_serve(const CommandLine& cmd, std::ostream& out) {
   for (const service::ShardStats& s : service.shard_stats()) {
     out << "shard '" << s.name << "' epoch=" << s.epoch
         << " submitted=" << s.submitted << " computed=" << s.computed
-        << " hits=" << s.cache_hits << " misses=" << s.cache_misses << "\n";
+        << " hits=" << s.cache_hits << " misses=" << s.cache_misses
+        << " latency_us(p50/p95/p99)=" << s.latency_p50_us << "/"
+        << s.latency_p95_us << "/" << s.latency_p99_us << " (n="
+        << s.latency_count << ")\n";
   }
   return 0;
 }

@@ -112,6 +112,25 @@ BaumWelchResult baum_welch_train(
   std::vector<Ehmm::Scratch> scratch(pool.size() + 1);
   std::vector<SessionStats> stats(n_sessions);
 
+  // One shared (W, S) estimator memo for the whole training run: rows
+  // survive across E-step lanes and across EM iterations. The means are
+  // invariant in (A, u, σ), so for the plain estimators every tuple is
+  // computed exactly once per run; under kMultiWindow with
+  // update_transition the candidate-table id moves with A each
+  // iteration, making stale span-averaged rows unreachable by
+  // construction. Sized from a byte budget so large state spaces don't
+  // balloon resident memory.
+  const bool multi_window_cache = initial.emission().estimator() ==
+                                  EmissionModel::Estimator::kMultiWindow;
+  EstimatorCache::Config cache_config;
+  cache_config.capacity = EstimatorCache::entries_for_bytes(
+      config.estimator_cache_bytes, initial.space().size(),
+      multi_window_cache);
+  auto estimator_cache = std::make_shared<EstimatorCache>(cache_config);
+  for (Ehmm::Scratch& lane : scratch) {
+    lane.estimator_cache = estimator_cache;
+  }
+
   // The emission means f(candidate, W, S) do not depend on (A, u, σ), so
   // they are computed once per session and reused across iterations —
   // except under kMultiWindow with update_transition, where the
@@ -138,7 +157,7 @@ BaumWelchResult baum_welch_train(
       const std::vector<ChunkObservation>& obs = sessions[idx];
       Ehmm::Scratch& lane = scratch[worker];
       if (iter == 0 || !reuse_means) {
-        model.emission_means_into(obs, means[idx], lane.emission_memo,
+        model.emission_means_into(obs, means[idx], *lane.estimator_cache,
                                   needs_plain ? &plain[idx] : nullptr);
       }
       const Ehmm::ForwardBackwardResult fb =

@@ -43,6 +43,10 @@ struct BaumWelchConfig {
   /// (there the span-averaged means depend on A). The `false` setting is
   /// the bench ablation: re-run the TCP estimator every iteration.
   bool reuse_emission_means = true;
+  /// Byte budget of the run-wide (W, S) estimator memo shared across
+  /// E-step lanes and EM iterations (converted to entries from the
+  /// state-space size; see core/estimator_cache.hpp).
+  std::size_t estimator_cache_bytes = EstimatorCache::kDefaultByteBudget;
 };
 
 struct BaumWelchResult {

@@ -9,6 +9,7 @@
 #include "math/distributions.hpp"
 #include "math/simd_kernels.hpp"
 #include "util/expects.hpp"
+#include "util/hash.hpp"
 
 namespace veritas::core {
 
@@ -35,38 +36,6 @@ bool dense_tables(const TransitionModel::PowerView& view,
 }
 
 }  // namespace
-
-bool Ehmm::EmissionMemo::Key::operator==(const Key& other) const noexcept {
-  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
-  return bits(cwnd) == bits(other.cwnd) &&
-         bits(ssthresh) == bits(other.ssthresh) &&
-         bits(rto) == bits(other.rto) &&
-         bits(min_rtt) == bits(other.min_rtt) &&
-         bits(rtt) == bits(other.rtt) && bits(gap) == bits(other.gap) &&
-         bits(size) == bits(other.size);
-}
-
-std::size_t Ehmm::EmissionMemo::KeyHash::operator()(
-    const Key& key) const noexcept {
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (const double v : {key.cwnd, key.ssthresh, key.rto, key.min_rtt,
-                         key.rtt, key.gap, key.size}) {
-    std::uint64_t x = std::bit_cast<std::uint64_t>(v);
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    h = (h ^ x) * 0x2545f4914f6cdd1dULL;
-  }
-  return static_cast<std::size_t>(h);
-}
-
-Ehmm::EmissionMemo::Key Ehmm::EmissionMemo::key_of(
-    const ChunkObservation& obs) noexcept {
-  return Key{obs.tcp.cwnd_segments, obs.tcp.ssthresh_segments,
-             obs.tcp.rto_s,         obs.tcp.min_rtt_s,
-             obs.tcp.rtt_s,         obs.tcp.last_send_gap_s,
-             obs.size_bytes};
-}
 
 Ehmm::Ehmm(StateSpace space, TransitionModel transition,
            EmissionModel emission, double delta_s,
@@ -109,6 +78,41 @@ Ehmm::Ehmm(StateSpace space, TransitionModel transition,
       }
     }
   }
+
+  candidate_values_ = space_.values();
+
+  // Candidate-table id: a digest of everything an emission-mean row
+  // depends on besides (W, S). Two Ehmms produce bit-identical rows for
+  // every tuple iff these inputs match, so the id scopes EstimatorCache
+  // entries — a retrained transition model (kMultiWindow span table) or
+  // a different TcpConfig gets fresh keys by construction. σ is
+  // deliberately absent: the means do not depend on it.
+  util::Fnv1aHasher hasher;
+  hasher.u64(static_cast<std::uint64_t>(emission_.estimator()));
+  const net::TcpConfig& tcp = emission_.tcp_config();
+  hasher.u64(static_cast<std::uint64_t>(tcp.congestion_control))
+      .f64(tcp.mss_bytes)
+      .f64(tcp.init_cwnd)
+      .f64(tcp.initial_ssthresh)
+      .f64(tcp.min_rto_s)
+      .f64(tcp.rwnd_segments)
+      .u64(tcp.enable_ssr ? 1 : 0)
+      .u64(tcp.enable_loss ? 1 : 0)
+      .f64(tcp.queue_bdp_factor)
+      .u64(tcp.enable_hystart ? 1 : 0)
+      .f64(tcp.hystart_bdp_fraction)
+      .f64(tcp.rate_jitter);
+  hasher.f64(delta_s_).u64(candidate_values_.size());
+  for (const double v : candidate_values_) hasher.f64(v);
+  if (multi_window_) {
+    hasher.u64(span_candidates_.rows()).u64(span_candidates_.cols());
+    for (std::size_t i = 0; i < span_candidates_.rows(); ++i) {
+      for (std::size_t s = 0; s < span_candidates_.cols(); ++s) {
+        hasher.f64(span_candidates_(i, s));
+      }
+    }
+  }
+  emission_table_id_ = hasher.digest();
 }
 
 std::size_t Ehmm::window_of(double t_s) const {
@@ -136,60 +140,108 @@ std::vector<std::size_t> Ehmm::window_deltas(
 }
 
 void Ehmm::emission_means_into(std::span<const ChunkObservation> observations,
-                               math::Matrix& means, EmissionMemo& memo,
+                               math::Matrix& means, EstimatorCache& cache,
                                math::Matrix* plain_means) const {
   VERITAS_EXPECTS(!observations.empty());
   const std::size_t n_obs = observations.size();
   const std::size_t k = space_.size();
-  memo.clear();
   // Padded rows: the batched emission kernel may read whole lanes.
   means.resize_padded(n_obs, k, 0.0);
   if (plain_means != nullptr) plain_means->resize_padded(n_obs, k, 0.0);
+  const bool quantized = cache.quantizes();
+  // kMultiWindow span-estimation buffers, reused across rows.
+  std::vector<double> y0_row;
+  std::vector<double> span_cands;
+  std::vector<std::uint8_t> span_gt1;
+  if (multi_window_) {
+    y0_row.resize(k);
+    span_cands.resize(k);
+    span_gt1.resize(k);
+  }
+  ChunkObservation quantized_obs;
   for (std::size_t n = 0; n < n_obs; ++n) {
-    const ChunkObservation& obs = observations[n];
+    const ChunkObservation& obs = [&]() -> const ChunkObservation& {
+      if (!quantized) return observations[n];
+      // Lossy mode: both the key and the evaluation use the quantized
+      // inputs, so a hit stays bit-identical to the miss that filled it.
+      quantized_obs = observations[n];
+      quantized_obs.tcp.cwnd_segments =
+          cache.quantize(quantized_obs.tcp.cwnd_segments);
+      quantized_obs.tcp.ssthresh_segments =
+          cache.quantize(quantized_obs.tcp.ssthresh_segments);
+      quantized_obs.tcp.rto_s = cache.quantize(quantized_obs.tcp.rto_s);
+      quantized_obs.tcp.min_rtt_s =
+          cache.quantize(quantized_obs.tcp.min_rtt_s);
+      quantized_obs.tcp.rtt_s = cache.quantize(quantized_obs.tcp.rtt_s);
+      quantized_obs.tcp.last_send_gap_s =
+          cache.quantize(quantized_obs.tcp.last_send_gap_s);
+      quantized_obs.size_bytes = cache.quantize(quantized_obs.size_bytes);
+      return quantized_obs;
+    }();
     double* mean_row = means.row_data(n);
     double* plain_row =
         plain_means != nullptr ? plain_means->row_data(n) : nullptr;
-    const auto [it, inserted] = memo.rows.try_emplace(
-        EmissionMemo::key_of(obs), static_cast<std::uint32_t>(n));
-    if (!inserted) {
-      // A chunk with this exact (TCP state, size) tuple already ran the
-      // estimator: its mean row is identical.
-      const std::size_t src = it->second;
-      std::memcpy(mean_row, means.row_data(src), k * sizeof(double));
+    const EstimatorCache::Key key =
+        EstimatorCache::key_of(obs.tcp, obs.size_bytes, emission_table_id_);
+    if (const std::shared_ptr<const EstimatorCache::Entry> entry =
+            cache.find(key)) {
+      // This (TCP state, size) tuple already ran the estimator — in this
+      // session, an earlier one, or on another thread: the row is
+      // identical by construction.
+      std::memcpy(mean_row, entry->mean.data(), k * sizeof(double));
       if (plain_row != nullptr) {
-        std::memcpy(plain_row, plain_means->row_data(src),
-                    k * sizeof(double));
+        const std::vector<double>& plain =
+            entry->plain.empty() ? entry->mean : entry->plain;
+        std::memcpy(plain_row, plain.data(), k * sizeof(double));
       }
       continue;
     }
-    for (std::size_t i = 0; i < k; ++i) {
-      const double candidate = space_.value(i);
-      const double y0 = emission_.mean_throughput_mbps(candidate, obs);
-      if (plain_row != nullptr) plain_row[i] = y0;
-      if (!multi_window_) {
-        mean_row[i] = y0;
-        continue;
+    auto entry = std::make_shared<EstimatorCache::Entry>();
+    if (!multi_window_) {
+      // One batched estimator call for the whole candidate row.
+      emission_.mean_throughput_row(candidate_values_.data(), k, obs,
+                                    mean_row);
+      if (plain_row != nullptr) {
+        std::memcpy(plain_row, mean_row, k * sizeof(double));
       }
-      // Replace the candidate with its expected average over the
-      // download span: first estimate the span from f at the start
-      // value, then look up the precomputed average of
-      // E[C_{sn+m} | C_sn = candidate] over it. For spans <= 1 the
-      // candidate is unchanged, so the mean computed for the span
-      // estimate is already the emission mean — no second estimator call.
-      std::size_t span_windows = 1;
-      if (y0 > 1e-9) {
-        const double est_duration = obs.size_bytes * 8.0 / 1e6 / y0;
-        span_windows = std::min<std::size_t>(
-            static_cast<std::size_t>(est_duration / delta_s_) + 1,
-            kMaxSpanWindows);
+    } else {
+      // Replace each candidate with its expected average over the
+      // download span: estimate the span from f at the start value
+      // (first batched call), then re-evaluate f at the precomputed
+      // span-averaged candidate for the spans that exceed one window
+      // (second batched call; single-window lanes keep y0 and are fed a
+      // zero candidate, which short-circuits inside f).
+      emission_.mean_throughput_row(candidate_values_.data(), k, obs,
+                                    y0_row.data());
+      bool any_span = false;
+      for (std::size_t i = 0; i < k; ++i) {
+        std::size_t span_windows = 1;
+        if (y0_row[i] > 1e-9) {
+          const double est_duration = obs.size_bytes * 8.0 / 1e6 / y0_row[i];
+          span_windows = std::min<std::size_t>(
+              static_cast<std::size_t>(est_duration / delta_s_) + 1,
+              kMaxSpanWindows);
+        }
+        span_gt1[i] = span_windows > 1 ? 1 : 0;
+        span_cands[i] =
+            span_windows > 1 ? span_candidates_(i, span_windows) : 0.0;
+        any_span |= span_windows > 1;
       }
-      mean_row[i] =
-          span_windows > 1
-              ? emission_.mean_throughput_mbps(
-                    span_candidates_(i, span_windows), obs)
-              : y0;
+      if (any_span) {
+        emission_.mean_throughput_row(span_cands.data(), k, obs, mean_row);
+        for (std::size_t i = 0; i < k; ++i) {
+          if (span_gt1[i] == 0) mean_row[i] = y0_row[i];
+        }
+      } else {
+        std::memcpy(mean_row, y0_row.data(), k * sizeof(double));
+      }
+      if (plain_row != nullptr) {
+        std::memcpy(plain_row, y0_row.data(), k * sizeof(double));
+      }
+      entry->plain.assign(y0_row.begin(), y0_row.end());
     }
+    entry->mean.assign(mean_row, mean_row + k);
+    cache.insert(key, std::move(entry));
   }
 }
 
@@ -219,9 +271,9 @@ void Ehmm::emission_log_probs_from_means_into(
 
 void Ehmm::emission_log_probs_into(
     std::span<const ChunkObservation> observations, math::Matrix& out) const {
-  EmissionMemo memo;
+  EstimatorCache cache;
   math::Matrix means;
-  emission_means_into(observations, means, memo);
+  emission_means_into(observations, means, cache);
   emission_log_probs_from_means_into(observations, means, out);
 }
 
@@ -235,8 +287,19 @@ math::Matrix Ehmm::emission_log_probs(
 void Ehmm::prepare(std::span<const ChunkObservation> observations,
                    Scratch& scratch) const {
   VERITAS_EXPECTS(!observations.empty());
+  if (scratch.estimator_cache == nullptr) {
+    // No owner-provided cross-session cache: give the scratch a private
+    // one. It persists across this scratch's sessions (superset of the
+    // old per-session memo) with memory bounded by the same byte budget
+    // every other owner applies (entries derived from k, so large grids
+    // don't balloon).
+    EstimatorCache::Config config;
+    config.capacity = EstimatorCache::entries_for_bytes(
+        EstimatorCache::kDefaultByteBudget, space_.size(), multi_window_);
+    scratch.estimator_cache = std::make_shared<EstimatorCache>(config);
+  }
   emission_means_into(observations, scratch.emission_mean,
-                      scratch.emission_memo);
+                      *scratch.estimator_cache);
   emission_log_probs_from_means_into(observations, scratch.emission_mean,
                                      scratch.log_emission);
   window_deltas_into(observations, scratch.deltas);

@@ -21,11 +21,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/emission_model.hpp"
+#include "core/estimator_cache.hpp"
 #include "core/observation.hpp"
 #include "core/state_space.hpp"
 #include "core/transition_model.hpp"
@@ -63,31 +64,6 @@ class Ehmm {
   const EmissionModel& emission() const noexcept { return emission_; }
   double delta_s() const noexcept { return delta_s_; }
 
-  /// Per-session memo over the TCP emission kernel: the k-state mean row
-  /// of chunk n is a pure function of its (TCP state, size) tuple, so
-  /// each distinct tuple runs the estimator f once per session — one
-  /// entry covers every (state bucket, tcp-state, size) argument triple,
-  /// span-candidate evaluations included — and repeats become row
-  /// copies. Cleared at the start of each session.
-  struct EmissionMemo {
-    struct Key {
-      double cwnd, ssthresh, rto, min_rtt, rtt, gap, size;
-      /// Bit-pattern equality, matching KeyHash (which hashes bit
-      /// patterns): double == would make +0.0 and -0.0 equal keys with
-      /// different hashes — undefined for unordered_map. Distinct bit
-      /// patterns just miss a dedup; correctness is unaffected.
-      bool operator==(const Key& other) const noexcept;
-    };
-    struct KeyHash {
-      std::size_t operator()(const Key& key) const noexcept;
-    };
-    static Key key_of(const ChunkObservation& obs) noexcept;
-
-    /// Maps a tuple to the first observation row computed for it.
-    std::unordered_map<Key, std::uint32_t, KeyHash> rows;
-    void clear() { rows.clear(); }
-  };
-
   /// Reusable per-session workspace. A default-constructed Scratch works
   /// for any session; buffers grow to the largest session seen and are
   /// reused, so the recursions allocate nothing in steady state. Use one
@@ -111,7 +87,16 @@ class Ehmm {
     std::vector<double> log_scale;    ///< forward scaling factors
     std::vector<double> row;          ///< padded-K recursion buffer
     std::vector<std::uint32_t> back;  ///< flat N*stride Viterbi backpointers
-    EmissionMemo emission_memo;       ///< per-session estimator memo
+    /// The (W, S) estimator memo consulted by the emission phase. Owners
+    /// that serve many sessions against one model point this at a shared
+    /// cross-session cache (InferenceEngine and baum_welch_train do it
+    /// automatically); left null, prepare() lazily creates a private one
+    /// that persists across this scratch's sessions — strictly more
+    /// reuse than the per-session EmissionMemo it replaces, with memory
+    /// bounded by the cache's capacity. Entries are keyed by the owning
+    /// model's candidate-table id, so one cache can serve any number of
+    /// models without cross-talk.
+    std::shared_ptr<EstimatorCache> estimator_cache;
   };
 
   /// GTBW window index of wall-clock time t.
@@ -132,14 +117,27 @@ class Ehmm {
                                math::Matrix& out) const;
 
   /// N x K matrix of emission means: (n, i) -> f(candidate_i, W_sn, S_n),
-  /// span-averaged under kMultiWindow. Deduplicated through `memo`
-  /// (cleared on entry). When `plain_means` is non-null it receives the
-  /// un-averaged f(value(i), W, S) matrix — what Baum-Welch's σ
-  /// re-estimate consumes; identical to `means` except under
-  /// kMultiWindow, and filled from the same estimator evaluations.
+  /// span-averaged under kMultiWindow. Each distinct (TCP state, size)
+  /// tuple runs the batched estimator once and is memoized in `cache` —
+  /// within the session (the old EmissionMemo dedup), across sessions,
+  /// and across threads when the cache is shared. When `plain_means` is
+  /// non-null it receives the un-averaged f(value(i), W, S) matrix —
+  /// what Baum-Welch's σ re-estimate consumes; identical to `means`
+  /// except under kMultiWindow, and filled from the same estimator
+  /// evaluations. Results are bit-identical whether a row came from a
+  /// hit or a miss (under quantization both paths evaluate the quantized
+  /// inputs).
   void emission_means_into(std::span<const ChunkObservation> observations,
-                           math::Matrix& means, EmissionMemo& memo,
+                           math::Matrix& means, EstimatorCache& cache,
                            math::Matrix* plain_means = nullptr) const;
+
+  /// Fingerprint of everything an emission-mean row depends on besides
+  /// (W, S): estimator kind, TCP config, candidate values, span table
+  /// and δ. Two models agree on every row iff their ids match, so the
+  /// id scopes EstimatorCache entries (config/epoch invalidation).
+  std::uint64_t emission_table_id() const noexcept {
+    return emission_table_id_;
+  }
 
   /// Emission log-probs from precomputed means:
   /// out(n, i) = log Normal(Y_n; means(n, i), σ). Composing this with
@@ -236,6 +234,8 @@ class Ehmm {
   EmissionModel emission_;
   double delta_s_;
   bool multi_window_ = false;
+  std::vector<double> candidate_values_;  ///< space_.values(), batch input
+  std::uint64_t emission_table_id_ = 0;
   /// Precomputed kMultiWindow candidates: (i, span) -> expected average
   /// of E[C_{sn+m} | C_sn = value(i)] over m = 0..span-1. Columns 0 and 1
   /// hold the plain state value. Empty unless the estimator is

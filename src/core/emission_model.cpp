@@ -53,6 +53,28 @@ double EmissionModel::mean_throughput_mbps(double candidate_mbps,
   VERITAS_UNREACHABLE();
 }
 
+void EmissionModel::mean_throughput_row(const double* candidates_mbps,
+                                        std::size_t k,
+                                        const ChunkObservation& obs,
+                                        double* out) const {
+  switch (estimator_) {
+    case Estimator::kFullTcp:
+    case Estimator::kMultiWindow:
+      net::estimate_throughput_batch({candidates_mbps, k}, obs.tcp,
+                                     obs.size_bytes, tcp_config_, {out, k});
+      return;
+    case Estimator::kNoTcpState:
+      // The ablation estimator is two flops per candidate: nothing to
+      // batch.
+      for (std::size_t i = 0; i < k; ++i) {
+        out[i] = net::estimate_throughput_no_tcp_state_mbps(
+            candidates_mbps[i], obs.tcp, obs.size_bytes, tcp_config_);
+      }
+      return;
+  }
+  VERITAS_UNREACHABLE();
+}
+
 double EmissionModel::log_prob(double candidate_mbps,
                                const ChunkObservation& obs) const {
   return log_prob_given_mean(mean_throughput_mbps(candidate_mbps, obs), obs);

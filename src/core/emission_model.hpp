@@ -35,6 +35,15 @@ class EmissionModel {
   double mean_throughput_mbps(double candidate_mbps,
                               const ChunkObservation& obs) const;
 
+  /// f evaluated for a whole candidate row: out[i] =
+  /// mean_throughput_mbps(candidates[i], obs) for i < k, bit-identical
+  /// to the per-candidate composition. kFullTcp (and kMultiWindow's
+  /// shared f) route through net::estimate_throughput_batch — one
+  /// slow-start-restart application and one vectorized window evolution
+  /// for the whole row instead of k scalar estimator calls.
+  void mean_throughput_row(const double* candidates_mbps, std::size_t k,
+                           const ChunkObservation& obs, double* out) const;
+
   /// log P(Y_n | W_sn, S_n, C = candidate).
   double log_prob(double candidate_mbps, const ChunkObservation& obs) const;
 

@@ -44,11 +44,33 @@ InferenceEngine::InferenceEngine(VeritasConfig config, EngineOptions options)
         VERITAS_EXPECTS(config.num_samples >= 1);
         return config;
       }()),
-      ehmm_(build_ehmm(config_, options)) {}
+      ehmm_(build_ehmm(config_, options)) {
+  if (config_.estimator_cache_bytes > 0) {
+    EstimatorCache::Config cache_config;
+    cache_config.capacity = EstimatorCache::entries_for_bytes(
+        config_.estimator_cache_bytes, ehmm_.space().size(),
+        config_.estimator == EmissionModel::Estimator::kMultiWindow);
+    cache_config.quantize_mantissa_bits = config_.estimator_cache_quant_bits;
+    estimator_cache_ = std::make_shared<EstimatorCache>(cache_config);
+  }
+}
+
+void InferenceEngine::attach_cache(Ehmm::Scratch& scratch) const {
+  // Overwrite unconditionally — including with null: a serving lane's
+  // scratch hops between shards, and each job must consult exactly the
+  // cache of the engine it pinned. Leaving a previous engine's cache
+  // attached when this engine disabled its own would make results
+  // depend on lane history (that cache may quantize), consume another
+  // shard's budget, and pin a removed shard's memory. With null, the
+  // Ehmm falls back to a fresh per-call private memo — the documented
+  // cache-disabled semantics.
+  scratch.estimator_cache = estimator_cache_;
+}
 
 Ehmm::InferencePass InferenceEngine::infer_session(
     std::span<const ChunkObservation> observations,
     Ehmm::Scratch& scratch) const {
+  attach_cache(scratch);
   return ehmm_.infer_fused(observations, scratch);
 }
 
@@ -66,6 +88,7 @@ VeritasResult InferenceEngine::infer(const sim::SessionLog& log,
 VeritasResult InferenceEngine::infer_with_seed(
     const sim::SessionLog& log, Ehmm::Scratch& scratch,
     std::uint64_t sample_seed) const {
+  attach_cache(scratch);
   const std::vector<ChunkObservation> observations =
       observations_from_log(log);
   const Ehmm::InferencePass pass = ehmm_.infer_fused(observations, scratch);

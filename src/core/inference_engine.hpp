@@ -51,6 +51,22 @@ struct VeritasConfig {
   /// Raise it for workloads with long in-session gaps, lower it to trim
   /// engine build time / memory for short sessions.
   std::size_t precomputed_powers = Ehmm::kDefaultPrecomputedPowers;
+  /// Byte budget of the engine-owned cross-session (W, S) estimator
+  /// cache shared by every scratch the engine serves (see
+  /// core/estimator_cache.hpp; converted to an entry count from the
+  /// state-space size, since each entry stores a k-double mean row —
+  /// a fixed entry count would balloon on large grids). 0 disables
+  /// caching for this engine: every infer call runs with a fresh
+  /// per-session memo (the pre-PR 5 behavior). Exact keys by default,
+  /// so the setting never changes results, only how often the TCP
+  /// estimator actually runs.
+  std::size_t estimator_cache_bytes = EstimatorCache::kDefaultByteBudget;
+  /// Mantissa bits kept when quantizing estimator-cache inputs; 0 (the
+  /// default) keys exact bit patterns and is bit-identical to no
+  /// caching. Positive values collapse near-identical TCP snapshots
+  /// onto shared entries (higher hit rate, bounded emission-mean error;
+  /// hits remain bit-identical to the misses that filled them).
+  unsigned estimator_cache_quant_bits = 0;
 };
 
 /// Output of the abduction step.
@@ -77,6 +93,14 @@ class InferenceEngine {
 
   const VeritasConfig& config() const noexcept { return config_; }
   const Ehmm& ehmm() const noexcept { return ehmm_; }
+
+  /// The engine's cross-session (W, S) estimator cache — shared by every
+  /// scratch served through this engine (each infer path points the
+  /// scratch at it); null when config().estimator_cache_bytes is 0.
+  /// Thread-safe; exposed for stats and tests.
+  const std::shared_ptr<EstimatorCache>& estimator_cache() const noexcept {
+    return estimator_cache_;
+  }
 
   /// Raw fused pass over one observation sequence: Viterbi + smoothing
   /// from a single emission/delta computation.
@@ -112,8 +136,13 @@ class InferenceEngine {
       std::size_t num_threads = 0) const;
 
  private:
+  /// Points `scratch` at the engine cache (when enabled) so the emission
+  /// phase reuses rows across sessions, lanes and repeat queries.
+  void attach_cache(Ehmm::Scratch& scratch) const;
+
   VeritasConfig config_;
   Ehmm ehmm_;
+  std::shared_ptr<EstimatorCache> estimator_cache_;
 };
 
 }  // namespace veritas::core

@@ -139,16 +139,29 @@ NextChunkPrediction Veritas::predict_next(const sim::SessionLog& history,
 
 std::vector<NextChunkPrediction> Veritas::predict_sequence(
     const sim::SessionLog& log) const {
+  Ehmm::Scratch scratch;
+  return predict_sequence(log, scratch);
+}
+
+std::vector<NextChunkPrediction> Veritas::predict_sequence(
+    const sim::SessionLog& log, Ehmm::Scratch& scratch) const {
   const std::vector<ChunkObservation> observations =
       observations_from_log(log);
   const Ehmm& ehmm = engine_->ehmm();
   const std::size_t n_obs = observations.size();
   const std::size_t k = ehmm.space().size();
 
+  // The emission phase of the Viterbi pass below goes through the
+  // engine's cross-session (W, S) estimator cache, same as abduction —
+  // assigned unconditionally (null clears any previous engine's cache a
+  // reused lane scratch may still hold; see InferenceEngine::
+  // attach_cache).
+  scratch.estimator_cache = engine_->estimator_cache();
+
   // One full Viterbi pass; the prefix MAP end state at chunk n-1 is the
   // argmax of the scores column, because the Viterbi table of a prefix
   // equals the truncated full-run table.
-  const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations);
+  const Ehmm::ViterbiResult viterbi = ehmm.viterbi(observations, scratch);
   const std::vector<std::size_t> deltas = ehmm.window_deltas(observations);
 
   std::vector<NextChunkPrediction> predictions;

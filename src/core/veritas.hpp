@@ -94,8 +94,13 @@ class Veritas {
   /// chunk n >= 1 of `log`, predicts its download time from the prefix
   /// [0, n) using the chunk's recorded start time, TCP state and size.
   /// Entry 0 is a prior-only prediction. Cost: one Viterbi pass total.
+  /// The scratch overload reuses a caller arena across calls (and
+  /// consults the engine's cross-session estimator cache) — the service
+  /// worker-lane path.
   std::vector<NextChunkPrediction> predict_sequence(
       const sim::SessionLog& log) const;
+  std::vector<NextChunkPrediction> predict_sequence(
+      const sim::SessionLog& log, Ehmm::Scratch& scratch) const;
 
   /// The Baseline reconstruction for the same log (paper §4.1), exposed
   /// here for side-by-side comparisons.

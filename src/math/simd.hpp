@@ -55,6 +55,10 @@ static inline VecD vsub(VecD a, VecD b) { return _mm256_sub_pd(a, b); }
 static inline VecD vmul(VecD a, VecD b) { return _mm256_mul_pd(a, b); }
 static inline VecD vdiv(VecD a, VecD b) { return _mm256_div_pd(a, b); }
 static inline VecD vmax(VecD a, VecD b) { return _mm256_max_pd(a, b); }
+/// min per lane. For equal-valued non-zero operands both choices carry
+/// the same bits; which ±0 is returned is unspecified (no caller feeds
+/// signed zeros).
+static inline VecD vmin(VecD a, VecD b) { return _mm256_min_pd(a, b); }
 /// Ordered quiet compares: NaN operands compare false, matching scalar
 /// `<` / `>`.
 static inline VecD vgt(VecD a, VecD b) {
@@ -65,6 +69,20 @@ static inline VecD vlt(VecD a, VecD b) {
 }
 static inline VecD veq(VecD a, VecD b) {
   return _mm256_cmp_pd(a, b, _CMP_EQ_OQ);
+}
+static inline VecD vge(VecD a, VecD b) {
+  return _mm256_cmp_pd(a, b, _CMP_GE_OQ);
+}
+/// Mask combinators. Defined on compare results (all-ones / all-zero
+/// lanes in the vector backends, 1.0 / 0.0 in the scalar backend); do
+/// not feed arithmetic values.
+static inline VecD vand(VecD a, VecD b) { return _mm256_and_pd(a, b); }
+static inline VecD vor(VecD a, VecD b) { return _mm256_or_pd(a, b); }
+/// (~a) & b — clears b's lanes where mask a is set.
+static inline VecD vandnot(VecD a, VecD b) { return _mm256_andnot_pd(a, b); }
+/// True when any lane of a mask is set.
+static inline bool vany(VecD mask) {
+  return _mm256_movemask_pd(mask) != 0;
 }
 /// True (all-ones) where a is NaN.
 static inline VecD visnan(VecD a) {
@@ -124,10 +142,16 @@ static inline VecD vsub(VecD a, VecD b) { return _mm_sub_pd(a, b); }
 static inline VecD vmul(VecD a, VecD b) { return _mm_mul_pd(a, b); }
 static inline VecD vdiv(VecD a, VecD b) { return _mm_div_pd(a, b); }
 static inline VecD vmax(VecD a, VecD b) { return _mm_max_pd(a, b); }
+static inline VecD vmin(VecD a, VecD b) { return _mm_min_pd(a, b); }
 static inline VecD vgt(VecD a, VecD b) { return _mm_cmpgt_pd(a, b); }
 static inline VecD vlt(VecD a, VecD b) { return _mm_cmplt_pd(a, b); }
 static inline VecD veq(VecD a, VecD b) { return _mm_cmpeq_pd(a, b); }
+static inline VecD vge(VecD a, VecD b) { return _mm_cmpge_pd(a, b); }
 static inline VecD visnan(VecD a) { return _mm_cmpneq_pd(a, a); }
+static inline VecD vand(VecD a, VecD b) { return _mm_and_pd(a, b); }
+static inline VecD vor(VecD a, VecD b) { return _mm_or_pd(a, b); }
+static inline VecD vandnot(VecD a, VecD b) { return _mm_andnot_pd(a, b); }
+static inline bool vany(VecD mask) { return _mm_movemask_pd(mask) != 0; }
 static inline VecD vblend(VecD a, VecD b, VecD mask) {
   // SSE2 has no blendv: masks from cmp are all-ones/all-zero lanes.
   return _mm_or_pd(_mm_and_pd(mask, b), _mm_andnot_pd(mask, a));
@@ -177,6 +201,7 @@ static inline VecD vsub(VecD a, VecD b) { return vsubq_f64(a, b); }
 static inline VecD vmul(VecD a, VecD b) { return vmulq_f64(a, b); }
 static inline VecD vdiv(VecD a, VecD b) { return vdivq_f64(a, b); }
 static inline VecD vmax(VecD a, VecD b) { return vmaxnmq_f64(a, b); }
+static inline VecD vmin(VecD a, VecD b) { return vminnmq_f64(a, b); }
 static inline VecD vgt(VecD a, VecD b) {
   return vreinterpretq_f64_u64(vcgtq_f64(a, b));
 }
@@ -186,9 +211,28 @@ static inline VecD vlt(VecD a, VecD b) {
 static inline VecD veq(VecD a, VecD b) {
   return vreinterpretq_f64_u64(vceqq_f64(a, b));
 }
+static inline VecD vge(VecD a, VecD b) {
+  return vreinterpretq_f64_u64(vcgeq_f64(a, b));
+}
 static inline VecD visnan(VecD a) {
   return vreinterpretq_f64_u64(
       veorq_u64(vceqq_f64(a, a), vdupq_n_u64(~0ull)));
+}
+static inline VecD vand(VecD a, VecD b) {
+  return vreinterpretq_f64_u64(
+      vandq_u64(vreinterpretq_u64_f64(a), vreinterpretq_u64_f64(b)));
+}
+static inline VecD vor(VecD a, VecD b) {
+  return vreinterpretq_f64_u64(
+      vorrq_u64(vreinterpretq_u64_f64(a), vreinterpretq_u64_f64(b)));
+}
+static inline VecD vandnot(VecD a, VecD b) {
+  return vreinterpretq_f64_u64(
+      vbicq_u64(vreinterpretq_u64_f64(b), vreinterpretq_u64_f64(a)));
+}
+static inline bool vany(VecD mask) {
+  const uint64x2_t u = vreinterpretq_u64_f64(mask);
+  return (vgetq_lane_u64(u, 0) | vgetq_lane_u64(u, 1)) != 0;
 }
 static inline VecD vblend(VecD a, VecD b, VecD mask) {
   return vbslq_f64(vreinterpretq_u64_f64(mask), b, a);
@@ -227,11 +271,23 @@ static inline VecD vsub(VecD a, VecD b) { return a - b; }
 static inline VecD vmul(VecD a, VecD b) { return a * b; }
 static inline VecD vdiv(VecD a, VecD b) { return a / b; }
 static inline VecD vmax(VecD a, VecD b) { return a > b ? a : b; }
+static inline VecD vmin(VecD a, VecD b) { return b < a ? b : a; }
 // Masks are 1.0 (true) / 0.0 (false) in the scalar backend.
 static inline VecD vgt(VecD a, VecD b) { return a > b ? 1.0 : 0.0; }
 static inline VecD vlt(VecD a, VecD b) { return a < b ? 1.0 : 0.0; }
 static inline VecD veq(VecD a, VecD b) { return a == b ? 1.0 : 0.0; }
+static inline VecD vge(VecD a, VecD b) { return a >= b ? 1.0 : 0.0; }
 static inline VecD visnan(VecD a) { return a != a ? 1.0 : 0.0; }
+static inline VecD vand(VecD a, VecD b) {
+  return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+}
+static inline VecD vor(VecD a, VecD b) {
+  return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+}
+static inline VecD vandnot(VecD a, VecD b) {
+  return (a == 0.0 && b != 0.0) ? 1.0 : 0.0;
+}
+static inline bool vany(VecD mask) { return mask != 0.0; }
 static inline VecD vblend(VecD a, VecD b, VecD mask) {
   return mask != 0.0 ? b : a;
 }

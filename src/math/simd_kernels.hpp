@@ -47,6 +47,26 @@ struct DeltaTables {
   std::size_t stride = 0;
 };
 
+/// Inputs of one batched TCP-estimator call (paper Algorithm 4, the
+/// emission kernel f): the post-slow-start-restart connection snapshot
+/// plus the TcpConfig fields the window-growth law reads, flattened to
+/// plain doubles so the kernel layer stays free of net types. Filled by
+/// net::estimate_throughput_batch, which owns the SSR application and
+/// the candidate-independent precomputation.
+struct TcpBatchParams {
+  double cwnd0 = 0.0;      ///< post-SSR congestion window (segments)
+  double ssthresh = 0.0;   ///< post-SSR slow-start threshold (segments)
+  double min_rtt_s = 0.0;  ///< path minimum RTT
+  double mss_bytes = 0.0;
+  double rwnd_segments = 0.0;      ///< receive-window clamp on cwnd
+  double init_cwnd = 0.0;          ///< BBR growth-law floor
+  double hystart_bdp_fraction = 0.0;
+  double data_segments = 0.0;      ///< ceil(size_bytes / mss_bytes)
+  double size_bytes = 0.0;
+  bool bbr = false;      ///< kBbrLike growth law (else cubic-like)
+  bool hystart = false;  ///< delay-based slow-start exit enabled
+};
+
 /// One table of kernel entry points. All row pointers refer to padded
 /// rows (stride multiple of math::kRowPadDoubles) unless noted.
 struct KernelOps {
@@ -108,6 +128,23 @@ struct KernelOps {
   double (*pair_total)(const double* alpha_n, const DeltaTables& a,
                        std::size_t k, const double* em_next,
                        const double* beta_next);
+
+  /// Batched TCP throughput estimator f across the candidate dimension:
+  /// out[i] = f(candidates[i], W, S) for i < k, *bit-identical* to k
+  /// scalar net::estimate_throughput_mbps calls on the pre-SSR state —
+  /// the vector table evolves the TCP window in struct-of-arrays form
+  /// across candidate lanes, replaying each lane's scalar operation
+  /// order exactly (IEEE-exact lane arithmetic; the round count is an
+  /// integer, so jumped phases only need the same count, enforced by the
+  /// same rounding-slack guards as net::detail::count_rounds).
+  ///
+  /// Null in the scalar table: the scalar reference for a batch *is* the
+  /// per-candidate composition, and net::estimate_throughput_batch runs
+  /// that loop itself whenever this entry is null — so a forced-scalar
+  /// or VERITAS_SIMD=OFF run takes literally the historical code path.
+  /// `candidates` and `out` need only k valid entries (no padding).
+  void (*estimate_batch)(const double* candidates, std::size_t k,
+                         const TcpBatchParams& p, double* out);
 };
 
 /// The reference table (always available).

@@ -122,6 +122,10 @@ constexpr KernelOps kScalarOps = {
     &forward_step_scalar,
     &backward_step_scalar,
     &pair_total_scalar,
+    // estimate_batch: null — the scalar reference for a batch is the
+    // per-candidate loop over net::estimate_throughput_mbps, run by
+    // net::estimate_throughput_batch itself (see KernelOps doc).
+    nullptr,
 };
 
 // ---------------------------------------------------------------- dispatch

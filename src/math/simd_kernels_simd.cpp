@@ -18,6 +18,8 @@
 
 #ifndef VERITAS_SIMD_DISABLED
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <limits>
 
@@ -96,10 +98,15 @@ void log_rows_simd(const double* in, std::size_t n, double* out) {
 
 // -------------------------------------------------------------- recursions
 
-/// NV lanes-worth of Viterbi outputs starting at column `col`: per output
-/// lane, iterate j ascending and keep the first strictly-greater
-/// candidate — exactly the scalar argmax rule, so scores and backpointers
-/// match the reference bitwise.
+/// NV lanes-worth of Viterbi outputs starting at column `col`. The j
+/// inputs are consumed four at a time through an unrolled compare tree:
+/// the four candidates reduce pairwise (strictly-greater picks the later
+/// j, so ties keep the earlier one) and only the tree winner meets the
+/// running best — the same first-strictly-greater argmax the scalar loop
+/// computes, but the serial blend chain through (best, idx) shrinks from
+/// one link per j to one per four, unclogging the dependency-bound
+/// argmax (ROADMAP: the blend-heavy form was only 1.8x vectorized).
+/// Scores and backpointers match the scalar reference bitwise.
 template <int NV>
 void viterbi_cols(const double* prev, const double* log_p,
                   std::size_t stride, std::size_t k, const double* e_n,
@@ -111,7 +118,37 @@ void viterbi_cols(const double* prev, const double* log_p,
     idx[v] = s::vzero();
   }
   const double* row_j = log_p + col;
-  for (std::size_t j = 0; j < k; ++j, row_j += stride) {
+  std::size_t j = 0;
+  for (const std::size_t j4 = k - k % 4; j < j4;
+       j += 4, row_j += 4 * stride) {
+    const s::VecD p0 = s::vset1(prev[j]);
+    const s::VecD p1 = s::vset1(prev[j + 1]);
+    const s::VecD p2 = s::vset1(prev[j + 2]);
+    const s::VecD p3 = s::vset1(prev[j + 3]);
+    const s::VecD i0 = s::vset1(static_cast<double>(j));
+    const s::VecD i1 = s::vset1(static_cast<double>(j + 1));
+    const s::VecD i2 = s::vset1(static_cast<double>(j + 2));
+    const s::VecD i3 = s::vset1(static_cast<double>(j + 3));
+    for (int v = 0; v < NV; ++v) {
+      const s::VecD c0 = s::vadd(p0, s::vload(row_j + v * kW));
+      const s::VecD c1 = s::vadd(p1, s::vload(row_j + stride + v * kW));
+      const s::VecD c2 = s::vadd(p2, s::vload(row_j + 2 * stride + v * kW));
+      const s::VecD c3 = s::vadd(p3, s::vload(row_j + 3 * stride + v * kW));
+      const s::VecD m01 = s::vgt(c1, c0);
+      const s::VecD v01 = s::vblend(c0, c1, m01);
+      const s::VecD x01 = s::vblend(i0, i1, m01);
+      const s::VecD m23 = s::vgt(c3, c2);
+      const s::VecD v23 = s::vblend(c2, c3, m23);
+      const s::VecD x23 = s::vblend(i2, i3, m23);
+      const s::VecD m = s::vgt(v23, v01);
+      const s::VecD vb = s::vblend(v01, v23, m);
+      const s::VecD xb = s::vblend(x01, x23, m);
+      const s::VecD upd = s::vgt(vb, best[v]);
+      best[v] = s::vblend(best[v], vb, upd);
+      idx[v] = s::vblend(idx[v], xb, upd);
+    }
+  }
+  for (; j < k; ++j, row_j += stride) {
     const s::VecD pj = s::vset1(prev[j]);
     const s::VecD vj = s::vset1(static_cast<double>(j));
     for (int v = 0; v < NV; ++v) {
@@ -341,6 +378,271 @@ double pair_total_simd(const double* alpha_n, const DeltaTables& a,
   return sum;
 }
 
+// ------------------------------------------------ batched TCP estimator
+//
+// net::estimate_throughput_mbps evaluated for a whole candidate row in
+// struct-of-arrays form: each lane holds one candidate GTBW, and the TCP
+// window evolves branch-free across the lane group (slow-start / BBR
+// doublings and clamp transients stay vectorized; masks freeze finished
+// lanes). A lane leaves the vector loop as soon as it reaches a phase
+// the scalar closed form can jump — the constant-send tail or a cubic
+// congestion-avoidance run — and finishes through finish_rounds(), a
+// per-lane continuation of net::detail::count_rounds from the lane's
+// mid-stream state. Lane arithmetic is IEEE-exact and replays the scalar
+// operation order, the jumps carry the same rounding-slack guards as the
+// net closed form, and the round count is an integer — so the batch is
+// bit-identical to k scalar estimator calls for Cubic and BBR states
+// alike (pinned by tests/net/throughput_batch_test.cpp).
+//
+// The window-growth law below is a deliberate double-precision replica
+// of net::grow_window / net::in_slow_start over the flattened
+// TcpBatchParams; the equivalence suite is what keeps the two in sync.
+
+/// Scalar replica of net::grow_window for one lane.
+double grow_window_lane(double cwnd, double bdp, const TcpBatchParams& p) {
+  if (p.bbr) {
+    const double target = 2.0 * bdp;
+    const double grown =
+        cwnd < target ? std::min(2.0 * cwnd, target) : target;
+    return std::min(std::max(grown, p.init_cwnd), p.rwnd_segments);
+  }
+  const bool delay_exit =
+      p.hystart && cwnd >= p.hystart_bdp_fraction * bdp;
+  const bool in_ss = cwnd < p.ssthresh && !delay_exit;
+  const double grown = in_ss ? 2.0 * cwnd : cwnd + 1.0;
+  return std::min(grown, p.rwnd_segments);
+}
+
+/// See net::detail::on_coarse_grid — multiples of 2^-20 below 2^26, the
+/// grid on which the congestion-avoidance series is exact.
+bool on_coarse_grid_lane(double w) {
+  if (!(w >= 0.0) || w >= 67108864.0) return false;
+  const double scaled = w * 1048576.0;
+  return scaled == std::floor(scaled);
+}
+
+double ca_sum_lane(double c, double r) {
+  return r * c + r * (r - 1.0) * 0.5;
+}
+
+/// Continues the round count from a mid-stream lane state (cwnd, sent,
+/// rounds). Returns the same integer the per-round reference loop
+/// (net::detail::count_rounds_iterative) reaches from the original
+/// inputs: the literal steps taken so far replayed its accumulator
+/// bit-exactly, and every jump below is either exact on the coarse
+/// window grid or guarded by the same rounding-slack checks as
+/// net::detail::count_rounds — a tripped guard resumes bit-exact literal
+/// stepping instead of jumping.
+long finish_rounds(double cwnd, double sent, long rounds, double bdp,
+                   const TcpBatchParams& p) {
+  const double data = p.data_segments;
+  const double slack = 1e-9 * (data + 1.0);
+  const bool cubic = !p.bbr;
+  for (int steps = 0; steps < 512; ++steps) {
+    if (sent >= data) return rounds;
+    const double send = std::min(cwnd, bdp);
+    const double next = grow_window_lane(cwnd, bdp, p);
+    const bool fixed_point = next == cwnd;
+    const bool saturated = send == bdp && next >= cwnd;
+    if (fixed_point || saturated) {
+      const double per = fixed_point ? send : bdp;
+      if (!(per > 0.0)) break;
+      const double remaining = data - sent;
+      const double ratio = remaining / per;
+      if (!(ratio < 4e6)) break;
+      long n = static_cast<long>(std::ceil(ratio));
+      if (n < 1) n = 1;
+      while (n > 1 && static_cast<double>(n - 1) * per >= remaining) --n;
+      while (static_cast<double>(n) * per < remaining) ++n;
+      const double lo = remaining - static_cast<double>(n - 1) * per;
+      const double hi = static_cast<double>(n) * per - remaining;
+      if (lo < slack || hi < slack) break;
+      return rounds + n;
+    }
+    if (cubic && next == cwnd + 1.0) {
+      const bool delay_exit =
+          p.hystart && cwnd >= p.hystart_bdp_fraction * bdp;
+      if (!(cwnd < p.ssthresh && !delay_exit)) {
+        if (!on_coarse_grid_lane(cwnd) || !on_coarse_grid_lane(sent) ||
+            data >= 1073741824.0) {
+          break;
+        }
+        const double bound = std::min(bdp, p.rwnd_segments);
+        long t_max = static_cast<long>(std::floor(bound - cwnd));
+        while (cwnd + static_cast<double>(t_max + 1) <= bound) ++t_max;
+        while (t_max > 0 && cwnd + static_cast<double>(t_max) > bound)
+          --t_max;
+        if (t_max < 0) t_max = 0;
+        const long run = t_max + 1;
+        if (cwnd + static_cast<double>(run) >= 67108864.0) break;
+        const double need = data - sent;
+        const double c2 = 2.0 * cwnd - 1.0;
+        long r = static_cast<long>(
+            std::ceil((std::sqrt(c2 * c2 + 8.0 * need) - c2) * 0.5));
+        r = std::clamp(r, 1L, run);
+        while (r > 1 && ca_sum_lane(cwnd, static_cast<double>(r - 1)) >= need)
+          --r;
+        while (r < run && ca_sum_lane(cwnd, static_cast<double>(r)) < need)
+          ++r;
+        if (ca_sum_lane(cwnd, static_cast<double>(r)) >= need) {
+          return rounds + r;
+        }
+        sent += ca_sum_lane(cwnd, static_cast<double>(run));
+        rounds += run;
+        cwnd = std::min(cwnd + static_cast<double>(run), p.rwnd_segments);
+        continue;
+      }
+    }
+    sent += send;
+    cwnd = next;
+    ++rounds;
+  }
+  // A guard tripped: literal reference stepping from the current state —
+  // a bit-exact continuation of the per-round loop.
+  while (sent < data) {
+    sent += std::min(cwnd, bdp);
+    cwnd = grow_window_lane(cwnd, bdp, p);
+    ++rounds;
+  }
+  return rounds;
+}
+
+void estimate_batch_simd(const double* candidates, std::size_t k,
+                         const TcpBatchParams& p, double* out) {
+  // Candidate-independent shared terms, in the scalar path's operation
+  // order (computed once instead of once per candidate).
+  const double one_rtt_mbps = p.size_bytes * 8.0 / 1e6 / p.min_rtt_s;
+  const double s8 = p.size_bytes * 8.0 / 1e6;
+  const s::VecD vcwnd0 = s::vset1(p.cwnd0);
+  const s::VecD vdata = s::vset1(p.data_segments);
+  const s::VecD vtrue = s::veq(s::vzero(), s::vzero());
+
+  for (std::size_t col = 0; col < k; col += kW) {
+    const std::size_t lanes = k - col < kW ? k - col : kW;
+    double cbuf[kW];
+    for (std::size_t l = 0; l < lanes; ++l) cbuf[l] = candidates[col + l];
+    for (std::size_t l = lanes; l < kW; ++l) cbuf[l] = 0.0;  // idle pads
+    const s::VecD c = s::vload(cbuf);
+
+    // Per-lane BDP, replaying net::bdp_segments' operation order.
+    const s::VecD bdp =
+        s::vdiv(s::vmul(s::vdiv(s::vmul(c, s::vset1(1e6)), s::vset1(8.0)),
+                        s::vset1(p.min_rtt_s)),
+                s::vset1(p.mss_bytes));
+
+    // Zero candidates and branch 1 (the window already covers the
+    // pipe: link- or one-RTT-limited), resolved branch-free.
+    const s::VecD zero_mask = s::veq(c, s::vzero());
+    const s::VecD covered = s::vgt(vcwnd0, bdp);
+    const s::VecD b1 =
+        s::vblend(s::vset1(one_rtt_mbps), c, s::vgt(vdata, bdp));
+    s::VecD res = s::vblend(s::vzero(), b1, covered);
+    res = s::vblend(res, s::vzero(), zero_mask);
+    const s::VecD branch2 = s::vandnot(s::vor(zero_mask, covered), vtrue);
+
+    double b2flag[kW];
+    s::vstore(b2flag, branch2);
+    double rounds_arr[kW] = {0.0};
+    bool have_rounds[kW] = {false};
+
+    if (s::vany(branch2)) {
+      s::VecD cwnd = vcwnd0;
+      s::VecD sent = s::vzero();
+      s::VecD rounds = s::vzero();
+      s::VecD active = branch2;
+
+      // Drains `mask` lanes into finish_rounds from their mid-stream
+      // state, recording the final per-lane round counts.
+      const auto drain = [&](s::VecD mask) {
+        double lv[kW], cw[kW], st[kW], rd[kW], bd[kW];
+        s::vstore(lv, mask);
+        s::vstore(cw, cwnd);
+        s::vstore(st, sent);
+        s::vstore(rd, rounds);
+        s::vstore(bd, bdp);
+        for (std::size_t l = 0; l < kW; ++l) {
+          if (lv[l] == 0.0) continue;
+          rounds_arr[l] = static_cast<double>(finish_rounds(
+              cw[l], st[l], static_cast<long>(rd[l]), bd[l], p));
+          have_rounds[l] = true;
+        }
+      };
+
+      // Lockstep literal rounds: only exponential-growth steps stay in
+      // the loop (a lane leaves the moment the closed form can take
+      // over), so it terminates within ~60 iterations for any sane
+      // state; the cap is a belt-and-braces bound.
+      for (int iter = 0; iter < 2048 && s::vany(active); ++iter) {
+        const s::VecD send = s::vmin(cwnd, bdp);
+        s::VecD next;
+        s::VecD ca_mask = s::vzero();  // all-false
+        if (p.bbr) {
+          const s::VecD target = s::vmul(s::vset1(2.0), bdp);
+          const s::VecD grown =
+              s::vblend(target, s::vmin(s::vmul(s::vset1(2.0), cwnd), target),
+                        s::vlt(cwnd, target));
+          next = s::vmin(s::vmax(grown, s::vset1(p.init_cwnd)),
+                         s::vset1(p.rwnd_segments));
+        } else {
+          const s::VecD delay_exit =
+              p.hystart
+                  ? s::vge(cwnd,
+                           s::vmul(s::vset1(p.hystart_bdp_fraction), bdp))
+                  : s::vzero();
+          const s::VecD in_ss =
+              s::vandnot(delay_exit, s::vlt(cwnd, s::vset1(p.ssthresh)));
+          const s::VecD grown =
+              s::vblend(s::vadd(cwnd, s::vset1(1.0)),
+                        s::vmul(s::vset1(2.0), cwnd), in_ss);
+          next = s::vmin(grown, s::vset1(p.rwnd_segments));
+          // A +1 step outside slow start opens a congestion-avoidance
+          // run the closed form jumps as an arithmetic series.
+          ca_mask = s::vandnot(
+              in_ss, s::veq(next, s::vadd(cwnd, s::vset1(1.0))));
+        }
+        const s::VecD fixed = s::veq(next, cwnd);
+        const s::VecD saturated =
+            s::vand(s::veq(send, bdp), s::vge(next, cwnd));
+        const s::VecD leave =
+            s::vand(active, s::vor(s::vor(fixed, saturated), ca_mask));
+        if (s::vany(leave)) {
+          drain(leave);
+          active = s::vandnot(leave, active);
+          if (!s::vany(active)) break;
+        }
+        // One literal round for the lanes still growing — a bit-exact
+        // replay of the reference loop's per-lane accumulator.
+        sent = s::vblend(sent, s::vadd(sent, send), active);
+        cwnd = s::vblend(cwnd, next, active);
+        rounds = s::vblend(rounds, s::vadd(rounds, s::vset1(1.0)), active);
+        active = s::vandnot(s::vge(sent, vdata), active);
+      }
+      if (s::vany(active)) drain(active);  // cap survivors finish scalar
+
+      // Lanes that completed inside the loop carry their count in the
+      // register.
+      double rd[kW];
+      s::vstore(rd, rounds);
+      for (std::size_t l = 0; l < kW; ++l) {
+        if (b2flag[l] != 0.0 && !have_rounds[l]) rounds_arr[l] = rd[l];
+      }
+    }
+
+    // Fold the row: branch-2 lanes through the scalar path's exact final
+    // expression, the rest from the branch-free result.
+    double res_arr[kW];
+    s::vstore(res_arr, res);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (b2flag[l] != 0.0) {
+        const double estimated = s8 / (rounds_arr[l] * p.min_rtt_s);
+        out[col + l] = std::min(estimated, cbuf[l]);
+      } else {
+        out[col + l] = res_arr[l];
+      }
+    }
+  }
+}
+
 constexpr KernelOps kSimdOps = {
     VERITAS_SIMD_BACKEND_NAME,
 #ifdef VERITAS_SIMD_BACKEND_AVX2
@@ -355,6 +657,7 @@ constexpr KernelOps kSimdOps = {
     &forward_step_simd,
     &backward_step_simd,
     &pair_total_simd,
+    &estimate_batch_simd,
 };
 
 }  // namespace

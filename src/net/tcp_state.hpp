@@ -95,6 +95,13 @@ bool in_slow_start(double cwnd_segments, double ssthresh_segments,
 /// the BDP; afterwards congestion avoidance adds one segment per round.
 /// Clamped by the receive window. Shared by the ground-truth simulator
 /// and the estimator f so both model the same deployed TCP stack.
+///
+/// NOTE: the batched estimator's vector kernel carries a deliberate
+/// lane-parallel replica of this law (and of in_slow_start) over
+/// flattened TcpBatchParams in math/simd_kernels_simd.cpp — it cannot
+/// call into net from the ISA-flagged TU. Any semantic change here must
+/// land there too; the bit-identity property suite
+/// (tests/net/throughput_batch_test.cpp) fails loudly if they drift.
 double grow_window(double cwnd_segments, double ssthresh_segments,
                    double bdp_segments, const TcpConfig& config);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "math/simd_kernels.hpp"
 #include "util/expects.hpp"
 
 namespace veritas::net {
@@ -42,6 +43,10 @@ double ca_sum(double c, double r) { return r * c + r * (r - 1.0) * 0.5; }
 
 }  // namespace
 
+// NOTE: the batched estimator's per-lane scalar continuation
+// (finish_rounds in math/simd_kernels_simd.cpp) replicates this
+// function's jumps and guards from a mid-stream state; keep the two in
+// lockstep (pinned by tests/net/throughput_batch_test.cpp).
 int count_rounds(double cwnd0, double ssthresh, double bdp,
                  double data_segments, const TcpConfig& config) {
   // The reference loop's partial sums carry rounding error bounded by
@@ -183,6 +188,47 @@ double estimate_throughput_mbps(double gtbw_mbps, const TcpState& w,
   const double estimated =
       size_bytes * 8.0 / 1e6 / (static_cast<double>(rounds) * state.min_rtt_s);
   return std::min(estimated, gtbw_mbps);
+}
+
+void estimate_throughput_batch(std::span<const double> candidates_mbps,
+                               const TcpState& w, double size_bytes,
+                               const TcpConfig& config,
+                               std::span<double> out) {
+  VERITAS_EXPECTS(size_bytes > 0.0);
+  VERITAS_EXPECTS(out.size() >= candidates_mbps.size());
+  if (candidates_mbps.empty()) return;
+
+  const math::simd_kernels::KernelOps& ops =
+      math::simd_kernels::active_ops();
+  // The vector kernel assumes a well-formed state (the scalar path
+  // re-validates per call and short-circuits zero candidates before its
+  // RTT use); fall back to the reference composition otherwise.
+  if (ops.estimate_batch != nullptr && w.min_rtt_s > 0.0) {
+    for (const double c : candidates_mbps) VERITAS_EXPECTS(c >= 0.0);
+    TcpState state = w;
+    apply_slow_start_restart(state, config);
+    math::simd_kernels::TcpBatchParams p;
+    p.cwnd0 = state.cwnd_segments;
+    p.ssthresh = state.ssthresh_segments;
+    p.min_rtt_s = state.min_rtt_s;
+    p.mss_bytes = config.mss_bytes;
+    p.rwnd_segments = config.rwnd_segments;
+    p.init_cwnd = config.init_cwnd;
+    p.hystart_bdp_fraction = config.hystart_bdp_fraction;
+    p.data_segments = segments_for_bytes(size_bytes, config);
+    p.size_bytes = size_bytes;
+    p.bbr = config.congestion_control == CongestionControl::kBbrLike;
+    p.hystart = config.enable_hystart;
+    ops.estimate_batch(candidates_mbps.data(), candidates_mbps.size(), p,
+                       out.data());
+    return;
+  }
+
+  // Scalar reference: the batch result is *defined* as this composition.
+  for (std::size_t i = 0; i < candidates_mbps.size(); ++i) {
+    out[i] =
+        estimate_throughput_mbps(candidates_mbps[i], w, size_bytes, config);
+  }
 }
 
 double estimate_download_time_s(double gtbw_mbps, const TcpState& w,

@@ -8,6 +8,8 @@
 // EHMM's Gaussian noise term absorbs the residual error (paper Fig. 5).
 #pragma once
 
+#include <span>
+
 #include "net/tcp_state.hpp"
 
 namespace veritas::net {
@@ -19,6 +21,23 @@ namespace veritas::net {
 double estimate_throughput_mbps(double gtbw_mbps, const TcpState& w,
                                 double size_bytes,
                                 const TcpConfig& config = {});
+
+/// f evaluated for a whole candidate row at once:
+/// out[i] = estimate_throughput_mbps(candidates_mbps[i], w, size_bytes) —
+/// *bit-identical* to the per-candidate composition for every candidate
+/// vector, Cubic and BBR states alike. Slow-start restart and the
+/// candidate-independent terms (segment count, one-RTT throughput) are
+/// computed once; the per-candidate window evolution runs through the
+/// vectorized kernel table (math::simd_kernels::KernelOps::
+/// estimate_batch) when the active dispatch mode provides one, and
+/// otherwise through the scalar composition itself — same
+/// VERITAS_SIMD switch / env var / ScopedMode machinery as the EHMM
+/// recursions. Requires size_bytes > 0, candidates >= 0 and
+/// out.size() >= candidates.size(); writes exactly candidates.size()
+/// entries.
+void estimate_throughput_batch(std::span<const double> candidates_mbps,
+                               const TcpState& w, double size_bytes,
+                               const TcpConfig& config, std::span<double> out);
 
 /// Estimated download time (seconds) = size / f(...); +inf when the
 /// estimated throughput is 0.

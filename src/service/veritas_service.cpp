@@ -1,6 +1,7 @@
 #include "service/veritas_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "util/expects.hpp"
@@ -237,6 +238,12 @@ std::vector<ShardStats> VeritasService::shard_stats() const {
           shard.counters->cache_hits.load(std::memory_order_relaxed);
       s.cache_misses =
           shard.counters->cache_misses.load(std::memory_order_relaxed);
+      const util::LatencyHistogram::Snapshot latency =
+          shard.counters->latency.snapshot();
+      s.latency_count = latency.total;
+      s.latency_p50_us = latency.percentile_us(0.50);
+      s.latency_p95_us = latency.percentile_us(0.95);
+      s.latency_p99_us = latency.percentile_us(0.99);
       out.push_back(std::move(s));
     }
   }
@@ -271,6 +278,7 @@ void VeritasService::drain_lane() {
 
 void VeritasService::execute(Job& job, core::Ehmm::Scratch& scratch) {
   try {
+    const auto start = std::chrono::steady_clock::now();
     InferenceResult result;
     result.shard_epoch = job.shard.epoch;
     const core::Veritas& veritas = *job.shard.veritas;
@@ -283,9 +291,13 @@ void VeritasService::execute(Job& job, core::Ehmm::Scratch& scratch) {
       case QueryKind::kPredictSequence:
         result.predictions =
             std::make_shared<const std::vector<core::NextChunkPrediction>>(
-                veritas.predict_sequence(job.query.log));
+                veritas.predict_sequence(job.query.log, scratch));
         break;
     }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    job.shard.counters->latency.record_us(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
     computed_.fetch_add(1, std::memory_order_relaxed);
     job.shard.counters->computed.fetch_add(1, std::memory_order_relaxed);
     if (options_.cache_capacity > 0) {

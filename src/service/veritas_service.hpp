@@ -46,6 +46,7 @@
 #include "core/veritas.hpp"
 #include "sim/session_log.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/latency_histogram.hpp"
 #include "util/lru_cache.hpp"
 #include "util/thread_pool.hpp"
 
@@ -122,6 +123,16 @@ struct ShardStats {
   std::uint64_t computed = 0;       ///< queries that ran inference
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Compute-latency percentiles over this shard's *computed* queries
+  /// (cache hits complete in the submitter and are not timed), read from
+  /// a lock-free power-of-two-bucket histogram — each value is the upper
+  /// bound of its bucket (~2x resolution), 0 until the first computed
+  /// query. Like the counters, they follow the shard name across hot
+  /// swaps and reset on remove + re-add.
+  std::uint64_t latency_count = 0;  ///< samples behind the percentiles
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
 };
 
 class VeritasService {
@@ -209,6 +220,7 @@ class VeritasService {
     std::atomic<std::uint64_t> computed{0};
     std::atomic<std::uint64_t> cache_hits{0};
     std::atomic<std::uint64_t> cache_misses{0};
+    util::LatencyHistogram latency;  ///< computed-query wall time
   };
 
   struct Shard {

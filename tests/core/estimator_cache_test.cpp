@@ -1,0 +1,288 @@
+// The cross-session (W, S) estimator cache (PR 5 tentpole): memo
+// hit-vs-miss bit-identity, candidate-table (config/epoch) invalidation,
+// quantized keying, capacity flushes, and the engine / Baum-Welch
+// plumbing that shares one cache across sessions, lanes and EM
+// iterations.
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baum_welch.hpp"
+#include "core/estimator_cache.hpp"
+#include "core/inference_engine.hpp"
+#include "core/test_helpers.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace {
+
+using namespace veritas;
+using core::ChunkObservation;
+using core::Ehmm;
+using core::EstimatorCache;
+
+std::vector<ChunkObservation> session_obs(std::uint64_t seed,
+                                          std::size_t chunks = 40) {
+  const auto gtbw =
+      trace::make_traces(trace::TraceFamily::kFccLike, 1, seed)[0];
+  return core::observations_from_log(
+      core::testing::deployed_log(gtbw, chunks));
+}
+
+void expect_matrix_eq(const math::Matrix& a, const math::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t n = 0; n < a.rows(); ++n) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      EXPECT_EQ(a(n, i), b(n, i)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(EstimatorCache, HitIsBitIdenticalToMiss) {
+  const Ehmm ehmm = core::testing::small_ehmm();
+  const auto obs = session_obs(7);
+
+  EstimatorCache cache;
+  math::Matrix cold, warm;
+  ehmm.emission_means_into(obs, cold, cache);
+  const EstimatorCache::Stats after_cold = cache.stats();
+  EXPECT_GT(after_cold.insertions, 0u);
+
+  ehmm.emission_means_into(obs, warm, cache);
+  const EstimatorCache::Stats after_warm = cache.stats();
+  // Every tuple of the second pass hits (the session repeats tuples too,
+  // so hits exceed insertions overall).
+  EXPECT_EQ(after_warm.hits - after_cold.hits, obs.size());
+  EXPECT_EQ(after_warm.insertions, after_cold.insertions);
+  expect_matrix_eq(cold, warm);
+}
+
+TEST(EstimatorCache, SharedCacheIsolatesModelsByTableId) {
+  // Three models over one cache: a reference, a different TcpConfig and
+  // a different candidate grid. Each must read only its own rows.
+  const auto obs = session_obs(11);
+  core::StateSpace space(1.0, 3.0);
+  net::TcpConfig bbr_config;
+  bbr_config.congestion_control = net::CongestionControl::kBbrLike;
+  const Ehmm cubic = core::testing::small_ehmm();
+  const Ehmm bbr(core::StateSpace(1.0, 3.0),
+                 core::TransitionModel::tridiagonal(4),
+                 core::EmissionModel(0.5, bbr_config), 5.0);
+  const Ehmm wide(core::StateSpace(2.0, 6.0),
+                  core::TransitionModel::tridiagonal(4),
+                  core::EmissionModel(0.5), 5.0);
+  EXPECT_NE(cubic.emission_table_id(), bbr.emission_table_id());
+  EXPECT_NE(cubic.emission_table_id(), wide.emission_table_id());
+
+  auto shared = std::make_shared<EstimatorCache>();
+  math::Matrix reference, through_shared;
+  for (const Ehmm* model : {&cubic, &bbr, &wide}) {
+    EstimatorCache isolated;
+    model->emission_means_into(obs, reference, isolated);
+    model->emission_means_into(obs, through_shared, *shared);
+    expect_matrix_eq(reference, through_shared);
+  }
+  // And again, now that the shared cache is fully warm with all three
+  // models' rows interleaved.
+  for (const Ehmm* model : {&cubic, &bbr, &wide}) {
+    EstimatorCache isolated;
+    model->emission_means_into(obs, reference, isolated);
+    model->emission_means_into(obs, through_shared, *shared);
+    expect_matrix_eq(reference, through_shared);
+  }
+}
+
+TEST(EstimatorCache, MultiWindowPlainMeansSurviveTheCache) {
+  core::StateSpace space(1.0, 3.0);
+  const Ehmm multi(core::StateSpace(1.0, 3.0),
+                   core::TransitionModel::tridiagonal(4),
+                   core::EmissionModel(0.5, net::TcpConfig{},
+                                       core::EmissionModel::Estimator::
+                                           kMultiWindow),
+                   5.0);
+  // Long chunks (4 MB ≈ 16-32 s at these candidate rates) so the span
+  // estimate exceeds one δ-window and the span-averaged candidate
+  // actually replaces the plain one.
+  std::vector<ChunkObservation> obs;
+  for (int n = 0; n < 6; ++n) {
+    obs.push_back(core::testing::warm_observation(5.0 * n, 2.0, 4e6));
+  }
+
+  EstimatorCache cache;
+  math::Matrix means_cold, plain_cold, means_warm, plain_warm;
+  multi.emission_means_into(obs, means_cold, cache, &plain_cold);
+  multi.emission_means_into(obs, means_warm, cache, &plain_warm);
+  expect_matrix_eq(means_cold, means_warm);
+  expect_matrix_eq(plain_cold, plain_warm);
+
+  // The span-averaged means and the plain means genuinely differ for
+  // long chunks, so the entry really carries two rows.
+  bool any_difference = false;
+  for (std::size_t n = 0; n < means_cold.rows() && !any_difference; ++n) {
+    for (std::size_t i = 0; i < means_cold.cols(); ++i) {
+      if (means_cold(n, i) != plain_cold(n, i)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(EstimatorCache, QuantizationCollapsesNearbyStates) {
+  EstimatorCache::Config config;
+  config.quantize_mantissa_bits = 12;
+  EstimatorCache cache(config);
+  EXPECT_TRUE(cache.quantizes());
+  // Truncation keeps sign and rough magnitude, is idempotent, and
+  // preserves non-finite / zero values.
+  const double q = cache.quantize(123.456789);
+  EXPECT_NEAR(q, 123.456789, 123.456789 * 1e-3);
+  EXPECT_EQ(cache.quantize(q), q);
+  EXPECT_EQ(cache.quantize(0.0), 0.0);
+
+  const Ehmm ehmm = core::testing::small_ehmm();
+  auto obs = session_obs(17, 20);
+  math::Matrix first;
+  ehmm.emission_means_into(obs, first, cache);
+  const EstimatorCache::Stats cold = cache.stats();
+
+  // Perturb every TCP field at a relative 1e-9 — far below the 12-bit
+  // grid: the perturbed session maps onto the same entries (all hits)
+  // and reproduces the identical matrix.
+  auto perturbed = obs;
+  for (ChunkObservation& o : perturbed) {
+    o.tcp.cwnd_segments *= 1.0 + 1e-9;
+    o.tcp.min_rtt_s *= 1.0 - 1e-9;
+    o.size_bytes *= 1.0 + 1e-9;
+  }
+  math::Matrix second;
+  ehmm.emission_means_into(perturbed, second, cache);
+  const EstimatorCache::Stats warm = cache.stats();
+  EXPECT_EQ(warm.insertions, cold.insertions);
+  EXPECT_EQ(warm.hits - cold.hits, perturbed.size());
+  expect_matrix_eq(first, second);
+}
+
+TEST(EstimatorCache, CapacityFlushKeepsResultsCorrect) {
+  EstimatorCache::Config config;
+  config.capacity = 8;
+  config.shards = 2;
+  EstimatorCache tiny(config);
+  const Ehmm ehmm = core::testing::small_ehmm();
+  const auto obs = session_obs(19, 60);
+
+  math::Matrix bounded, reference;
+  ehmm.emission_means_into(obs, bounded, tiny);
+  EstimatorCache big;
+  ehmm.emission_means_into(obs, reference, big);
+  expect_matrix_eq(bounded, reference);
+  const EstimatorCache::Stats stats = tiny.stats();
+  EXPECT_LE(stats.entries, 8u);
+  EXPECT_GT(stats.flushes, 0u);
+}
+
+TEST(EstimatorCache, EngineSharesOneCacheAcrossSessionsAndScratches) {
+  const auto gtbw =
+      trace::make_traces(trace::TraceFamily::kFccLike, 1, 23)[0];
+  const sim::SessionLog log = core::testing::deployed_log(gtbw, 40);
+
+  core::VeritasConfig with_cache;
+  core::VeritasConfig no_cache;
+  no_cache.estimator_cache_bytes = 0;
+  const core::InferenceEngine cached(with_cache);
+  const core::InferenceEngine uncached(no_cache);
+  ASSERT_NE(cached.estimator_cache(), nullptr);
+  EXPECT_EQ(uncached.estimator_cache(), nullptr);
+
+  Ehmm::Scratch a, b;
+  const core::VeritasResult first = cached.infer(log, a);
+  const std::uint64_t hits_after_first =
+      cached.estimator_cache()->stats().hits;
+  // A different scratch still consults the engine cache: the second
+  // inference's emission phase is all hits.
+  const core::VeritasResult second = cached.infer(log, b);
+  EXPECT_GT(cached.estimator_cache()->stats().hits, hits_after_first);
+  EXPECT_EQ(a.estimator_cache.get(), cached.estimator_cache().get());
+  EXPECT_EQ(b.estimator_cache.get(), cached.estimator_cache().get());
+
+  // Cached, cache-disabled and repeat runs all agree bitwise.
+  Ehmm::Scratch c;
+  const core::VeritasResult reference = uncached.infer(log, c);
+  EXPECT_EQ(first.log_likelihood, reference.log_likelihood);
+  EXPECT_EQ(second.log_likelihood, reference.log_likelihood);
+  ASSERT_EQ(first.map_states_mbps.size(), reference.map_states_mbps.size());
+  for (std::size_t i = 0; i < reference.map_states_mbps.size(); ++i) {
+    EXPECT_EQ(first.map_states_mbps[i], reference.map_states_mbps[i]);
+    EXPECT_EQ(second.map_states_mbps[i], reference.map_states_mbps[i]);
+  }
+  expect_matrix_eq(first.posterior_marginals, reference.posterior_marginals);
+}
+
+TEST(EstimatorCache, DisabledEngineDetachesAPreviousEnginesCache) {
+  // A worker-lane scratch hops between shards: after serving an engine
+  // with a cache, a cache-disabled engine must not silently keep
+  // computing through it (lane-history-dependent results, foreign
+  // budget consumption). The attach is unconditional — null detaches.
+  const auto gtbw =
+      trace::make_traces(trace::TraceFamily::kFccLike, 1, 29)[0];
+  const sim::SessionLog log = core::testing::deployed_log(gtbw, 30);
+
+  core::VeritasConfig quantized;
+  quantized.estimator_cache_quant_bits = 4;  // visibly lossy cache
+  core::VeritasConfig off;
+  off.estimator_cache_bytes = 0;
+  const core::InferenceEngine first(quantized);
+  const core::InferenceEngine second(off);
+
+  Ehmm::Scratch lane;
+  (void)first.infer(log, lane);
+  ASSERT_EQ(lane.estimator_cache.get(), first.estimator_cache().get());
+
+  const core::VeritasResult through_lane = second.infer(log, lane);
+  EXPECT_NE(lane.estimator_cache.get(), first.estimator_cache().get());
+
+  Ehmm::Scratch fresh;
+  const core::VeritasResult reference = second.infer(log, fresh);
+  EXPECT_EQ(through_lane.log_likelihood, reference.log_likelihood);
+  expect_matrix_eq(through_lane.posterior_marginals,
+                   reference.posterior_marginals);
+}
+
+TEST(EstimatorCache, BaumWelchSharedCacheMatchesPerLaneTraining) {
+  // Training with the run-wide shared cache (the production path) must
+  // be bit-identical at every thread count — the cache only changes
+  // when f runs, never what it returns.
+  std::vector<std::vector<ChunkObservation>> sessions;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    sessions.push_back(session_obs(100 + s, 24));
+  }
+  const Ehmm initial = core::testing::small_ehmm();
+  core::BaumWelchConfig config;
+  config.max_iterations = 3;
+  config.update_sigma = true;
+
+  config.num_threads = 1;
+  const core::BaumWelchResult serial =
+      core::baum_welch_train(initial, sessions, config);
+  config.num_threads = 4;
+  const core::BaumWelchResult parallel =
+      core::baum_welch_train(initial, sessions, config);
+
+  ASSERT_EQ(serial.log_likelihoods.size(), parallel.log_likelihoods.size());
+  for (std::size_t i = 0; i < serial.log_likelihoods.size(); ++i) {
+    EXPECT_EQ(serial.log_likelihoods[i], parallel.log_likelihoods[i]);
+  }
+  EXPECT_EQ(serial.sigma_mbps, parallel.sigma_mbps);
+  const math::Matrix& a = serial.transition.matrix();
+  const math::Matrix& b = parallel.transition.matrix();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j));
+    }
+  }
+}
+
+}  // namespace

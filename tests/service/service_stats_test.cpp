@@ -1,6 +1,7 @@
 // Per-shard counter export from VeritasService: hit/miss/computed
-// attribution to the right shard, persistence across hot swaps, and the
-// queue-depth gauge.
+// attribution to the right shard, persistence across hot swaps, the
+// queue-depth gauge, and the compute-latency percentiles (p50/p95/p99
+// from the per-shard lock-free histogram).
 #include <future>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "core/test_helpers.hpp"
 #include "service/veritas_service.hpp"
 #include "trace/trace_generator.hpp"
+#include "util/latency_histogram.hpp"
 
 namespace {
 
@@ -111,6 +113,88 @@ TEST(ServiceShardStats, CountersSurviveSwapAndResetOnReAdd) {
   const ShardStats fresh = svc.shard_stats()[0];
   EXPECT_EQ(fresh.submitted, 0u);
   EXPECT_EQ(fresh.computed, 0u);
+}
+
+TEST(ServiceShardStats, LatencyPercentilesCoverComputedQueries) {
+  VeritasService svc(service::ServiceOptions{.num_threads = 2});
+  svc.add_shard("a", core::VeritasConfig{});
+  svc.add_shard("idle", core::VeritasConfig{});
+
+  // 6 computed queries + 2 cache hits on shard "a"; "idle" gets none.
+  std::vector<sim::SessionLog> logs;
+  for (std::uint64_t s = 0; s < 6; ++s) logs.push_back(test_log(40 + s));
+  for (auto& f : svc.submit_batch(logs, "a")) f.get();
+  for (int hit = 0; hit < 2; ++hit) {
+    Query q;
+    q.log = logs[0];
+    q.shard = "a";
+    svc.submit(std::move(q)).get();
+  }
+
+  const std::vector<ShardStats> stats = svc.shard_stats();
+  const ShardStats& a = find_shard(stats, "a");
+  // Only computed queries are timed — hits complete in the submitter.
+  EXPECT_EQ(a.latency_count, a.computed);
+  EXPECT_EQ(a.latency_count, 6u);
+  EXPECT_GT(a.latency_p50_us, 0.0);
+  EXPECT_LE(a.latency_p50_us, a.latency_p95_us);
+  EXPECT_LE(a.latency_p95_us, a.latency_p99_us);
+
+  const ShardStats& idle = find_shard(stats, "idle");
+  EXPECT_EQ(idle.latency_count, 0u);
+  EXPECT_EQ(idle.latency_p99_us, 0.0);
+}
+
+TEST(ServiceShardStats, LatencyHistogramSurvivesSwapAndResetsOnReAdd) {
+  VeritasService svc(service::ServiceOptions{.num_threads = 1});
+  svc.add_shard("a", core::VeritasConfig{});
+  {
+    Query q;
+    q.log = test_log(50);
+    q.shard = "a";
+    svc.submit(std::move(q)).get();
+  }
+  EXPECT_EQ(svc.shard_stats()[0].latency_count, 1u);
+
+  // Hot swap: the histogram follows the shard name.
+  core::VeritasConfig swapped;
+  swapped.sigma_mbps = 0.75;
+  svc.swap_shard("a", swapped);
+  EXPECT_EQ(svc.shard_stats()[0].latency_count, 1u);
+
+  // Remove + re-add: fresh histogram.
+  EXPECT_TRUE(svc.remove_shard("a"));
+  svc.add_shard("a", core::VeritasConfig{});
+  EXPECT_EQ(svc.shard_stats()[0].latency_count, 0u);
+  EXPECT_EQ(svc.shard_stats()[0].latency_p50_us, 0.0);
+}
+
+// The histogram itself: bucketing, nearest-rank percentiles, bounds.
+TEST(LatencyHistogram, BucketsAndPercentiles) {
+  using util::LatencyHistogram;
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1024), 11u);
+  EXPECT_EQ(LatencyHistogram::upper_bound_us(0), 0.0);
+  EXPECT_EQ(LatencyHistogram::upper_bound_us(3), 7.0);
+
+  LatencyHistogram h;
+  EXPECT_EQ(h.snapshot().percentile_us(0.5), 0.0);  // empty
+
+  // 90 fast samples (~100 µs bucket) and 10 slow ones (~100 ms bucket):
+  // p50 reads the fast bucket, p99 the slow one.
+  for (int i = 0; i < 90; ++i) h.record_us(100);
+  for (int i = 0; i < 10; ++i) h.record_us(100000);
+  const LatencyHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.total, 100u);
+  EXPECT_EQ(snap.percentile_us(0.5), LatencyHistogram::upper_bound_us(
+                                         LatencyHistogram::bucket_of(100)));
+  EXPECT_EQ(snap.percentile_us(0.99),
+            LatencyHistogram::upper_bound_us(
+                LatencyHistogram::bucket_of(100000)));
+  EXPECT_LE(snap.percentile_us(0.5), snap.percentile_us(0.99));
 }
 
 TEST(ServiceShardStats, QueueDepthGaugeReflectsPendingJobs) {

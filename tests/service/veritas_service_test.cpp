@@ -262,7 +262,16 @@ TEST(VeritasService, TrySubmitReportsFullQueue) {
   options.queue_capacity = 1;
   options.cache_capacity = 0;
   VeritasService service(options);
-  service.add_shard("main", config_a());
+  // A deliberately heavy model (k = 301 states, so every recursion step
+  // is ~200x the default's work) keeps per-job cost far above the
+  // submit loop's per-query cost: the estimator cache and the SIMD
+  // kernels made default-config jobs fast enough that a 1-lane service
+  // could drain this burst without ever filling the queue.
+  core::VeritasConfig heavy = config_a();
+  heavy.epsilon_mbps = 0.1;
+  heavy.max_mbps = 30.0;
+  heavy.precomputed_powers = 4;  // keep the big-k engine build cheap
+  service.add_shard("main", heavy);
   const auto logs = make_logs(1);
 
   // Saturate: with one lane and capacity 1, some try_submit in a burst

@@ -11,14 +11,18 @@
 # The micro benches run the EHMM kernel benchmarks at both /simd:0
 # (forced scalar reference) and /simd:1 (vectorized table), so the
 # snapshot records the scalar-vs-SIMD trajectory from a single binary —
-# compare e.g. BM_ForwardBackwardRecursion/simd:0 vs /simd:1.
+# compare e.g. BM_ForwardBackwardRecursion/simd:0 vs /simd:1. The PR 5
+# estimator benches additionally split on /warm:0|1 (cross-session
+# (W, S) estimator cache cold vs warm); the headline pair is
+# BM_FbWithEstimatorPr4BaselineK17 vs BM_FbWithEstimatorK17/simd:1/warm:1
+# (forward-backward with the estimator included, k = 17).
 #
-# Usage: tools/run_bench.sh [output.json]   (default: BENCH_4.json)
+# Usage: tools/run_bench.sh [output.json]   (default: BENCH_5.json)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-out_json="${1:-${repo_root}/BENCH_4.json}"
+out_json="${1:-${repo_root}/BENCH_5.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j \
