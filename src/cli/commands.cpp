@@ -204,9 +204,28 @@ int cmd_serve(const CommandLine& cmd, std::ostream& out) {
       static_cast<std::size_t>(cmd.number("--queue", 256.0));
   options.cache_capacity =
       static_cast<std::size_t>(cmd.number("--cache", 1024.0));
+  // Overload controls: bounded admission waits, and optional graceful
+  // degradation (stale hits / reduced samples) instead of queueing.
+  options.admission_timeout = std::chrono::milliseconds(
+      static_cast<long>(cmd.number("--admission-timeout-ms", 0.0)));
+  options.overload.serve_stale_hits = cmd.get("--serve-stale", "0") == "1";
+  options.overload.degraded_num_samples =
+      static_cast<std::size_t>(cmd.number("--degraded-samples", 0.0));
   service::VeritasService service(options);
   const std::string shard = cmd.get("--shard", "default");
   service.add_shard(shard, config_from_flags(cmd));
+
+  // Per-query serving options shared by the whole workload.
+  service::QueryOptions qopts;
+  const std::string priority = cmd.get("--priority", "batch");
+  if (priority == "interactive") {
+    qopts.priority = service::Priority::kInteractive;
+  } else if (priority == "background") {
+    qopts.priority = service::Priority::kBackground;
+  } else {
+    VERITAS_EXPECTS(priority == "batch");
+  }
+  const double deadline_ms = cmd.number("--deadline-ms", 0.0);
 
   const int repeat = std::max(1, static_cast<int>(cmd.number("--repeat", 2.0)));
   out << "serving " << logs.size() << " sessions on shard '" << shard
@@ -214,10 +233,22 @@ int cmd_serve(const CommandLine& cmd, std::ostream& out) {
       << " rounds (kernels: " << math::simd_kernels::backend_name() << ")\n";
   for (int round = 0; round < repeat; ++round) {
     const auto start = std::chrono::steady_clock::now();
-    auto futures = service.submit_batch(logs, shard);
+    if (deadline_ms > 0.0) {
+      qopts.deadline = start + std::chrono::microseconds(static_cast<long>(
+                                   deadline_ms * 1000.0));
+    }
+    auto futures =
+        service.submit_batch(logs, shard, service::QueryKind::kAbduction,
+                             qopts);
     double total_ll = 0.0;
+    std::uint64_t not_served = 0;
     for (auto& future : futures) {
-      total_ll += future.get().abduction->log_likelihood;
+      const Expected<service::InferenceResult> result = future.get();
+      if (result.ok()) {
+        total_ll += result.value().abduction->log_likelihood;
+      } else {
+        ++not_served;  // rejected / shed / deadline — counted, not fatal
+      }
     }
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
@@ -227,16 +258,25 @@ int cmd_serve(const CommandLine& cmd, std::ostream& out) {
     out << "round " << round << ": wall_ms=" << wall_ms
         << " total_log_likelihood=" << total_ll
         << " cache_hits=" << stats.cache_hits
-        << " cache_misses=" << stats.cache_misses << "\n";
+        << " cache_misses=" << stats.cache_misses;
+    if (not_served > 0) out << " not_served=" << not_served;
+    out << "\n";
   }
   const service::ServiceStats stats = service.stats();
   out << "served " << stats.submitted << " queries (" << stats.computed
-      << " computed, " << stats.cache_hits << " from cache), queue_depth="
-      << stats.queue_depth << "\n";
+      << " computed, " << stats.cache_hits << " from cache)"
+      << " rejected=" << stats.rejected << " timed_out=" << stats.timed_out
+      << " shed=" << stats.shed << " failed=" << stats.failed
+      << " degraded=" << stats.degraded << " stale_hits=" << stats.stale_hits
+      << " queue_depth=" << stats.queue_depth
+      << (stats.reconciled() ? "" : " [counters NOT reconciled]") << "\n";
   for (const service::ShardStats& s : service.shard_stats()) {
     out << "shard '" << s.name << "' epoch=" << s.epoch
         << " submitted=" << s.submitted << " computed=" << s.computed
         << " hits=" << s.cache_hits << " misses=" << s.cache_misses
+        << " rejected=" << s.rejected << " timed_out=" << s.timed_out
+        << " shed=" << s.shed << " failed=" << s.failed
+        << " degraded=" << s.degraded << " stale_hits=" << s.stale_hits
         << " latency_us(p50/p95/p99)=" << s.latency_p50_us << "/"
         << s.latency_p95_us << "/" << s.latency_p99_us << " (n="
         << s.latency_count << ")\n";
@@ -334,7 +374,11 @@ std::string usage() {
       "  predict         --log LOG --size BYTES\n"
       "  serve           --logs LOG[,LOG...] [--repeat R] [--threads N]\n"
       "                  [--shard NAME] [--queue N] [--cache N] [--samples K]\n"
-      "                  (async shard service; repeat rounds show the cache)\n";
+      "                  [--priority interactive|batch|background]\n"
+      "                  [--deadline-ms MS] [--admission-timeout-ms MS]\n"
+      "                  [--serve-stale 0|1] [--degraded-samples M]\n"
+      "                  (async shard service; repeat rounds show the cache;\n"
+      "                  overload flags bound waits and degrade gracefully)\n";
 }
 
 int run_cli(std::span<const std::string> args, std::ostream& out,

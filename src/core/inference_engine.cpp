@@ -87,7 +87,8 @@ VeritasResult InferenceEngine::infer(const sim::SessionLog& log,
 
 VeritasResult InferenceEngine::infer_with_seed(
     const sim::SessionLog& log, Ehmm::Scratch& scratch,
-    std::uint64_t sample_seed) const {
+    std::uint64_t sample_seed, std::size_t num_samples) const {
+  if (num_samples == kConfigNumSamples) num_samples = config_.num_samples;
   attach_cache(scratch);
   const std::vector<ChunkObservation> observations =
       observations_from_log(log);
@@ -108,9 +109,12 @@ VeritasResult InferenceEngine::infer_with_seed(
       states_to_trace(ehmm_.space(), viterbi.states, observations,
                       config_.delta_s, total_duration, config_.interpolation);
 
+  // Per-index forked streams: sample k is identical no matter how many
+  // samples this call draws, which is what makes a degraded (truncated)
+  // result a strict prefix of the full one.
   util::Rng rng(sample_seed);
-  result.samples.reserve(config_.num_samples);
-  for (std::size_t k = 0; k < config_.num_samples; ++k) {
+  result.samples.reserve(num_samples);
+  for (std::size_t k = 0; k < num_samples; ++k) {
     util::Rng child = rng.fork(k);
     const std::vector<std::size_t> states =
         ehmm_.sample_posterior(viterbi, fb, scratch, child, config_.sampler);

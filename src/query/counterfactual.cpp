@@ -88,7 +88,10 @@ std::shared_ptr<const core::VeritasResult> CounterfactualEngine::abduct(
     // so a concurrent swap can't mix one config's seed with another's
     // engine.
     query.seed_xor = seed;
-    return service_->submit(std::move(query)).get().abduction;
+    // value() throws ContractViolation with the status text if the
+    // service rejected/shed/failed the query — counterfactual studies
+    // need every abduction, so an error here is not recoverable.
+    return service_->submit(std::move(query)).get().value().abduction;
   }
   core::VeritasConfig cfg = veritas_config_;
   cfg.seed ^= seed;

@@ -108,7 +108,8 @@ InterventionalResult run_interventional_study(
 
   // Submit every eligible session before Fugu training starts: the
   // service lanes fill the prediction futures in the background.
-  std::vector<std::future<service::InferenceResult>> futures(test_logs.size());
+  std::vector<std::future<Expected<service::InferenceResult>>> futures(
+      test_logs.size());
   for (std::size_t s = 0; s < test_logs.size(); ++s) {
     if (test_logs[s].size() <= warmup) continue;
     service::Query query;
@@ -120,7 +121,9 @@ InterventionalResult run_interventional_study(
 
   return run_study_with(train_logs, test_logs, fugu_config, warmup,
                         [&](std::size_t s) {
-                          return futures[s].get().predictions;
+                          // A study needs every session; value() throws
+                          // with the status text on a serving failure.
+                          return futures[s].get().value().predictions;
                         });
 }
 

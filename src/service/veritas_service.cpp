@@ -1,13 +1,19 @@
 #include "service/veritas_service.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <cmath>
+#include <exception>
 #include <utility>
 
 #include "util/expects.hpp"
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
 
 namespace veritas::service {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
 
 std::size_t VeritasService::CacheKeyHash::operator()(
     const CacheKey& key) const noexcept {
@@ -36,8 +42,11 @@ VeritasService::VeritasService(ServiceOptions options)
 
 VeritasService::~VeritasService() {
   // Closing the queue stops new submissions and wakes blocked lanes;
-  // they drain the remaining accepted jobs (completing every handed-out
-  // future) and exit. wait_idle() then lets the pool join cleanly.
+  // they drain the remaining accepted jobs — expired deadlines resolve
+  // as kDeadlineExceeded, everything else computes — so every future
+  // ever handed out resolves before the pool joins. drain_lane never
+  // lets an exception reach the pool, so wait_idle() cannot rethrow
+  // from the destructor.
   queue_.close();
   pool_.wait_idle();
 }
@@ -60,6 +69,12 @@ std::uint64_t VeritasService::add_shard(
   auto veritas = std::make_shared<const core::Veritas>(std::move(engine));
   const std::lock_guard<std::mutex> lock(registry_mutex_);
   Shard& shard = shards_[name];
+  // Replacing an existing shard is a swap: remember the outgoing epoch
+  // so its cache entries stay reachable as stale hits under overload.
+  if (shard.veritas != nullptr) {
+    shard.prev_epoch = shard.epoch;
+    shard.has_prev_epoch = true;
+  }
   shard.veritas = std::move(veritas);
   // Counters follow the name: a replaced shard keeps its history, a
   // fresh name starts at zero.
@@ -79,9 +94,16 @@ std::uint64_t VeritasService::swap_shard(const std::string& name,
   // remove_shard can never interleave and be silently undone.
   auto veritas = std::make_shared<const core::Veritas>(
       std::make_shared<const core::InferenceEngine>(config, engine_options));
+  // Injected between build and publish: a failed swap must leave the
+  // shard serving the old engine at the old epoch.
+  if (VERITAS_FAILPOINT("service.shard.swap")) {
+    throw util::FailpointTriggered("service.shard.swap");
+  }
   const std::lock_guard<std::mutex> lock(registry_mutex_);
   const auto it = shards_.find(name);
   VERITAS_EXPECTS(it != shards_.end());
+  it->second.prev_epoch = it->second.epoch;
+  it->second.has_prev_epoch = true;
   it->second.veritas = std::move(veritas);
   it->second.epoch = next_epoch_++;
   return it->second.epoch;
@@ -128,99 +150,276 @@ VeritasService::Job VeritasService::make_job(Query query) const {
   {
     const std::lock_guard<std::mutex> lock(registry_mutex_);
     const auto it = shards_.find(query.shard);
-    if (it == shards_.end()) {
-      throw ContractViolation("unknown shard: " + query.shard);
+    if (it != shards_.end()) {
+      job.shard = it->second;  // pin engine + epoch for this query
     }
-    job.shard = it->second;  // pin engine + epoch for this query
+    // Unknown shard: job.shard.veritas stays null; the caller resolves
+    // the future with kNotFound instead of throwing — an operator typo
+    // in one query must not unwind a batch submitter.
   }
-  job.key.log_hash = util::hash_session_log(query.log);
-  job.key.epoch = job.shard.epoch;
-  job.key.kind = query.kind;
-  // Seed resolution against the *pinned* shard, so a concurrent swap
-  // cannot pair one shard's seed with another's engine. Prediction
-  // queries are seed-independent: normalize so seed-bearing duplicates
-  // share one cache entry.
-  if (query.kind == QueryKind::kAbduction) {
-    const std::uint64_t base = job.shard.veritas->config().seed;
-    job.key.seed = query.seed.value_or(base) ^ query.seed_xor.value_or(0);
-  } else {
-    job.key.seed = 0;
+  if (job.shard.veritas != nullptr) {
+    job.key.log_hash = util::hash_session_log(query.log);
+    job.key.epoch = job.shard.epoch;
+    job.key.kind = query.kind;
+    // Seed resolution against the *pinned* shard, so a concurrent swap
+    // cannot pair one shard's seed with another's engine. Prediction
+    // queries are seed-independent: normalize so seed-bearing duplicates
+    // share one cache entry.
+    if (query.kind == QueryKind::kAbduction) {
+      const std::uint64_t base = job.shard.veritas->config().seed;
+      job.key.seed = query.seed.value_or(base) ^ query.seed_xor.value_or(0);
+    } else {
+      job.key.seed = 0;
+    }
   }
   job.query = std::move(query);
   return job;
 }
 
-bool VeritasService::serve_from_cache(Job& job) {
+bool VeritasService::serve_from_cache(Job& job, std::uint64_t epoch,
+                                      bool stale) {
   if (options_.cache_capacity == 0) return false;
+  CacheKey key = job.key;
+  key.epoch = epoch;
   // peek: the miss is counted only once the query is really accepted.
-  std::optional<CachedPayload> payload = cache_.peek(job.key);
+  std::optional<CachedPayload> payload = cache_.peek(key);
   if (!payload) return false;
-  cache_hits_.fetch_add(1, std::memory_order_relaxed);
-  job.shard.counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  totals_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  job.shard.counters->outcomes.cache_hits.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  if (stale) {
+    totals_.stale_hits.fetch_add(1, std::memory_order_relaxed);
+    job.shard.counters->outcomes.stale_hits.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   InferenceResult result;
   result.abduction = std::move(payload->abduction);
   result.predictions = std::move(payload->predictions);
   result.cache_hit = true;
-  result.shard_epoch = job.key.epoch;
-  job.promise.set_value(std::move(result));
+  result.stale = stale;
+  result.shard_epoch = epoch;
+  job.done = true;
+  job.promise.set_value(Expected<InferenceResult>(std::move(result)));
   return true;
 }
 
-std::future<InferenceResult> VeritasService::submit(Query query) {
+void VeritasService::finish_with_status(Job& job, Status status) {
+  if (job.done) return;
+  job.done = true;
+  // One terminal bucket per non-ok code — this switch is the
+  // reconciliation invariant's other half.
+  std::atomic<std::uint64_t> OutcomeCounters::* bucket = nullptr;
+  switch (status.code()) {
+    case StatusCode::kRejected:
+      bucket = &OutcomeCounters::rejected;
+      break;
+    case StatusCode::kShed:
+      bucket = &OutcomeCounters::shed;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      bucket = &OutcomeCounters::timed_out;
+      break;
+    case StatusCode::kNotFound:
+    case StatusCode::kInternal:
+    case StatusCode::kOk:  // unreachable: Expected rejects ok statuses
+      bucket = &OutcomeCounters::failed;
+      break;
+  }
+  (totals_.*bucket).fetch_add(1, std::memory_order_relaxed);
+  if (job.shard.counters != nullptr) {
+    (job.shard.counters->outcomes.*bucket)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  job.promise.set_value(Expected<InferenceResult>(std::move(status)));
+}
+
+void VeritasService::count_submitted(const Job& job) {
+  totals_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (job.shard.counters != nullptr) {
+    job.shard.counters->outcomes.submitted.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+bool VeritasService::admit_or_resolve(Job& job) {
+  if (job.shard.veritas == nullptr) {
+    count_submitted(job);
+    finish_with_status(job,
+                       Status::not_found("unknown shard: " + job.query.shard));
+    return true;
+  }
+  const QueryOptions& qopts = job.query.options;
+  if (qopts.deadline && Clock::now() >= *qopts.deadline) {
+    count_submitted(job);
+    finish_with_status(
+        job, Status::deadline_exceeded("deadline expired before admission"));
+    return true;
+  }
+  if (serve_from_cache(job, job.shard.epoch, /*stale=*/false)) {
+    count_submitted(job);
+    return true;
+  }
+  if (overloaded()) {
+    const OverloadPolicy& policy = options_.overload;
+    // Degradation ladder, cheapest first: a stale hit costs nothing, a
+    // shed refusal costs the caller a retry, degraded compute still
+    // burns a lane (but a shorter one).
+    if (policy.serve_stale_hits && qopts.allow_degraded &&
+        job.shard.has_prev_epoch &&
+        serve_from_cache(job, job.shard.prev_epoch, /*stale=*/true)) {
+      count_submitted(job);
+      return true;
+    }
+    if (policy.shed_lowest_priority &&
+        qopts.priority == Priority::kBackground) {
+      count_submitted(job);
+      finish_with_status(
+          job, Status::shed("overloaded: background query shed at admission"));
+      return true;
+    }
+    if (policy.degraded_num_samples > 0 && qopts.allow_degraded &&
+        job.query.kind == QueryKind::kAbduction) {
+      job.degrade_samples = true;
+    }
+  }
+  if (VERITAS_FAILPOINT("service.queue.push")) {
+    count_submitted(job);
+    finish_with_status(job, Status::rejected("failpoint: service.queue.push"));
+    return true;
+  }
+  return false;
+}
+
+std::future<Expected<InferenceResult>> VeritasService::submit(Query query) {
   Job job = make_job(std::move(query));
-  std::future<InferenceResult> future = job.promise.get_future();
-  if (serve_from_cache(job)) {
-    submitted_.fetch_add(1, std::memory_order_relaxed);
-    job.shard.counters->submitted.fetch_add(1, std::memory_order_relaxed);
-    return future;
-  }
+  std::future<Expected<InferenceResult>> future = job.promise.get_future();
+  if (admit_or_resolve(job)) return future;
+
+  // From here the future is handed out no matter what the queue says —
+  // a failed push resolves it with a status instead of throwing.
+  count_submitted(job);
   const std::shared_ptr<ShardCounters> counters = job.shard.counters;
-  if (!queue_.push(std::move(job))) {
-    throw ContractViolation("VeritasService is shutting down");
+  const std::size_t prio =
+      static_cast<std::size_t>(job.query.options.priority);
+  const std::optional<Clock::time_point> deadline = job.query.options.deadline;
+
+  // The admission wait is bounded by the query's own deadline and the
+  // service-wide cap, whichever bites first; with neither set it blocks
+  // indefinitely (the legacy backpressure contract).
+  Clock::time_point bound = Clock::time_point::max();
+  if (deadline) bound = *deadline;
+  if (options_.admission_timeout.count() > 0) {
+    bound = std::min(bound, Clock::now() + options_.admission_timeout);
   }
-  if (options_.cache_capacity > 0) {
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    counters->cache_misses.fetch_add(1, std::memory_order_relaxed);
+
+  util::PushOutcome outcome;
+  if (job.query.options.priority == Priority::kInteractive) {
+    // Urgent work is admitted in O(1): displace queued lower-priority
+    // work rather than waiting behind it.
+    std::optional<Job> displaced;
+    outcome = queue_.push_displacing(std::move(job), prio, displaced);
+    if (displaced) {
+      finish_with_status(*displaced,
+                         Status::shed("displaced by an interactive arrival"));
+    }
+    if (outcome == util::PushOutcome::kFull) {
+      // Full of same-priority work: nothing to displace, wait like
+      // everyone else (job was left untouched by the failed push).
+      outcome = queue_.push_until(std::move(job), prio, bound);
+    }
+  } else {
+    outcome = queue_.push_until(std::move(job), prio, bound);
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  counters->submitted.fetch_add(1, std::memory_order_relaxed);
+
+  switch (outcome) {
+    case util::PushOutcome::kAccepted:
+      if (options_.cache_capacity > 0) {
+        totals_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+        counters->outcomes.cache_misses.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      }
+      break;
+    case util::PushOutcome::kTimedOut:
+      // Which bound bit? The query's own deadline reads as a missed
+      // deadline; the service cap as an admission rejection.
+      if (deadline && bound == *deadline) {
+        finish_with_status(job, Status::deadline_exceeded(
+                                    "deadline expired waiting for admission"));
+      } else {
+        finish_with_status(
+            job, Status::rejected("queue full past the admission timeout"));
+      }
+      break;
+    case util::PushOutcome::kClosed:
+      finish_with_status(job,
+                         Status::rejected("VeritasService is shutting down"));
+      break;
+    case util::PushOutcome::kFull:
+      // push_until never returns kFull; kept for switch exhaustiveness.
+      finish_with_status(job, Status::rejected("queue full"));
+      break;
+  }
   return future;
 }
 
-std::optional<std::future<InferenceResult>> VeritasService::try_submit(
+std::optional<std::future<Expected<InferenceResult>>> VeritasService::try_submit(
     Query query) {
   Job job = make_job(std::move(query));
-  std::future<InferenceResult> future = job.promise.get_future();
-  if (serve_from_cache(job)) {
-    submitted_.fetch_add(1, std::memory_order_relaxed);
-    job.shard.counters->submitted.fetch_add(1, std::memory_order_relaxed);
-    return future;
-  }
-  // try_push moves from `job` on success; keep the counter handle alive.
+  std::future<Expected<InferenceResult>> future = job.promise.get_future();
+  if (admit_or_resolve(job)) return future;
   const std::shared_ptr<ShardCounters> counters = job.shard.counters;
-  if (!queue_.try_push(job)) return std::nullopt;  // full or closing
-  if (options_.cache_capacity > 0) {
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    counters->cache_misses.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t prio =
+      static_cast<std::size_t>(job.query.options.priority);
+  if (queue_.try_push(std::move(job), prio) != util::PushOutcome::kAccepted) {
+    // Full or closing: nothing was counted — a rejected probe leaves no
+    // trace, and the caller still owns retry policy.
+    return std::nullopt;
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  counters->submitted.fetch_add(1, std::memory_order_relaxed);
+  totals_.submitted.fetch_add(1, std::memory_order_relaxed);
+  counters->outcomes.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (options_.cache_capacity > 0) {
+    totals_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    counters->outcomes.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
   return future;
 }
 
-std::vector<std::future<InferenceResult>> VeritasService::submit_batch(
-    std::span<const sim::SessionLog> logs, const std::string& shard,
-    QueryKind kind) {
-  std::vector<std::future<InferenceResult>> futures;
+std::vector<std::future<Expected<InferenceResult>>>
+VeritasService::submit_batch(std::span<const sim::SessionLog> logs,
+                             const std::string& shard, QueryKind kind,
+                             QueryOptions options) {
+  std::vector<std::future<Expected<InferenceResult>>> futures;
   futures.reserve(logs.size());
   for (const sim::SessionLog& log : logs) {
     Query query;
     query.log = log;
     query.shard = shard;
     query.kind = kind;
+    query.options = options;
     futures.push_back(submit(std::move(query)));
   }
   return futures;
+}
+
+bool VeritasService::overloaded() const {
+  const OverloadPolicy& policy = options_.overload;
+  // Depth trigger: watermark is a fraction of capacity, clamped so a
+  // completely full queue always qualifies.
+  const double watermark = std::clamp(policy.queue_high_watermark, 0.0, 1.0);
+  const std::size_t threshold = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(watermark * static_cast<double>(queue_.capacity()))));
+  if (queue_.size() >= threshold) return true;
+  // Latency trigger: compute p99 over budget, once the histogram has
+  // seen enough samples to mean anything.
+  if (policy.p99_budget_us > 0.0) {
+    const util::LatencyHistogram::Snapshot snap = latency_.snapshot();
+    if (snap.total >= policy.p99_min_samples &&
+        snap.percentile_us(0.99) > policy.p99_budget_us) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<ShardStats> VeritasService::shard_stats() const {
@@ -229,15 +428,22 @@ std::vector<ShardStats> VeritasService::shard_stats() const {
     const std::lock_guard<std::mutex> lock(registry_mutex_);
     out.reserve(shards_.size());
     for (const auto& [name, shard] : shards_) {
+      const OutcomeCounters& c = shard.counters->outcomes;
       ShardStats s;
       s.name = name;
       s.epoch = shard.epoch;
-      s.submitted = shard.counters->submitted.load(std::memory_order_relaxed);
-      s.computed = shard.counters->computed.load(std::memory_order_relaxed);
-      s.cache_hits =
-          shard.counters->cache_hits.load(std::memory_order_relaxed);
-      s.cache_misses =
-          shard.counters->cache_misses.load(std::memory_order_relaxed);
+      s.submitted = c.submitted.load(std::memory_order_relaxed);
+      s.computed = c.computed.load(std::memory_order_relaxed);
+      s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
+      s.cache_misses = c.cache_misses.load(std::memory_order_relaxed);
+      s.rejected = c.rejected.load(std::memory_order_relaxed);
+      s.timed_out = c.timed_out.load(std::memory_order_relaxed);
+      s.shed = c.shed.load(std::memory_order_relaxed);
+      s.failed = c.failed.load(std::memory_order_relaxed);
+      s.degraded = c.degraded.load(std::memory_order_relaxed);
+      s.stale_hits = c.stale_hits.load(std::memory_order_relaxed);
+      s.in_flight =
+          shard.counters->in_flight.load(std::memory_order_relaxed);
       const util::LatencyHistogram::Snapshot latency =
           shard.counters->latency.snapshot();
       s.latency_count = latency.total;
@@ -257,13 +463,24 @@ std::vector<ShardStats> VeritasService::shard_stats() const {
 ServiceStats VeritasService::stats() const {
   const auto cache = cache_.stats();
   ServiceStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.computed = computed_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.submitted = totals_.submitted.load(std::memory_order_relaxed);
+  s.computed = totals_.computed.load(std::memory_order_relaxed);
+  s.cache_hits = totals_.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = totals_.cache_misses.load(std::memory_order_relaxed);
+  s.rejected = totals_.rejected.load(std::memory_order_relaxed);
+  s.timed_out = totals_.timed_out.load(std::memory_order_relaxed);
+  s.shed = totals_.shed.load(std::memory_order_relaxed);
+  s.failed = totals_.failed.load(std::memory_order_relaxed);
+  s.degraded = totals_.degraded.load(std::memory_order_relaxed);
+  s.stale_hits = totals_.stale_hits.load(std::memory_order_relaxed);
   s.cache_evictions = cache.evictions;
   s.cache_entries = cache.entries;
-  s.queue_depth = queue_.size();
+  s.queue_depth_by_priority = queue_.depths();
+  s.queue_depth = 0;
+  for (const std::size_t depth : s.queue_depth_by_priority) {
+    s.queue_depth += depth;
+  }
+  s.overloaded = overloaded();
   return s;
 }
 
@@ -271,41 +488,116 @@ ServiceStats VeritasService::stats() const {
 
 void VeritasService::drain_lane() {
   core::Ehmm::Scratch scratch;
-  while (std::optional<Job> job = queue_.pop()) {
-    execute(*job, scratch);
+  const std::size_t quota = options_.max_lanes_per_shard;
+  for (;;) {
+    std::optional<Job> job =
+        quota == 0
+            ? queue_.pop()
+            : queue_.pop_if([quota](const Job& j) {
+                // Skip (don't reorder, don't drop) jobs whose shard
+                // already occupies its lane quota.
+                return j.shard.counters == nullptr ||
+                       j.shard.counters->in_flight.load(
+                           std::memory_order_relaxed) < quota;
+              });
+    if (!job) return;  // closed and drained
+    // Injected dequeue faults (slow consumer, a thrown probe) must
+    // neither kill the lane nor leak the job just popped.
+    try {
+      VERITAS_FAILPOINT("service.queue.pop");
+    } catch (const std::exception&) {
+    }
+    // Expire already-dead deadlines before burning a lane on them.
+    if (job->query.options.deadline &&
+        Clock::now() >= *job->query.options.deadline) {
+      finish_with_status(
+          *job, Status::deadline_exceeded("deadline expired in the queue"));
+      continue;
+    }
+    ShardCounters* counters = job->shard.counters.get();
+    counters->in_flight.fetch_add(1, std::memory_order_relaxed);
+    Expected<InferenceResult> outcome = execute(*job, scratch);
+    counters->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    // Resolve only after the gauge dropped: "my future is ready" must
+    // imply this job is no longer counted as in flight.
+    if (outcome.ok()) {
+      job->done = true;
+      job->promise.set_value(std::move(outcome));
+    } else {
+      finish_with_status(*job, outcome.status());
+    }
+    // A finished job may have freed a quota slot some blocked pop_if is
+    // waiting on.
+    if (quota != 0) queue_.notify_waiters();
   }
 }
 
-void VeritasService::execute(Job& job, core::Ehmm::Scratch& scratch) {
+Expected<InferenceResult> VeritasService::execute(
+    Job& job, core::Ehmm::Scratch& scratch) noexcept {
   try {
-    const auto start = std::chrono::steady_clock::now();
+    if (VERITAS_FAILPOINT("service.lane.execute")) {
+      throw util::FailpointTriggered("service.lane.execute");
+    }
+    const auto start = Clock::now();
     InferenceResult result;
     result.shard_epoch = job.shard.epoch;
+    result.degraded = job.degrade_samples;
     const core::Veritas& veritas = *job.shard.veritas;
     switch (job.query.kind) {
-      case QueryKind::kAbduction:
+      case QueryKind::kAbduction: {
+        // Degraded mode truncates the posterior sample set; per-index
+        // forked RNG streams make the result an exact prefix of the
+        // full answer.
+        const std::size_t num_samples =
+            job.degrade_samples ? options_.overload.degraded_num_samples
+                                : core::InferenceEngine::kConfigNumSamples;
         result.abduction = std::make_shared<const core::VeritasResult>(
             veritas.engine().infer_with_seed(job.query.log, scratch,
-                                             job.key.seed));
+                                             job.key.seed, num_samples));
         break;
+      }
       case QueryKind::kPredictSequence:
         result.predictions =
             std::make_shared<const std::vector<core::NextChunkPrediction>>(
                 veritas.predict_sequence(job.query.log, scratch));
         break;
     }
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    job.shard.counters->latency.record_us(static_cast<std::uint64_t>(
+    const auto elapsed = Clock::now() - start;
+    const auto us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-            .count()));
-    computed_.fetch_add(1, std::memory_order_relaxed);
-    job.shard.counters->computed.fetch_add(1, std::memory_order_relaxed);
-    if (options_.cache_capacity > 0) {
-      cache_.put(job.key, CachedPayload{result.abduction, result.predictions});
+            .count());
+    latency_.record_us(us);
+    job.shard.counters->latency.record_us(us);
+    totals_.computed.fetch_add(1, std::memory_order_relaxed);
+    job.shard.counters->outcomes.computed.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    if (job.degrade_samples) {
+      totals_.degraded.fetch_add(1, std::memory_order_relaxed);
+      job.shard.counters->outcomes.degraded.fetch_add(
+          1, std::memory_order_relaxed);
     }
-    job.promise.set_value(std::move(result));
+    // Degraded results are partial answers — caching one would serve a
+    // truncated posterior to a later full-fidelity query.
+    if (options_.cache_capacity > 0 && !job.degrade_samples) {
+      try {
+        if (!VERITAS_FAILPOINT("service.cache.fill")) {
+          cache_.put(job.key,
+                     CachedPayload{result.abduction, result.predictions});
+        }
+      } catch (...) {
+        // A cache failure loses reuse, never the answer.
+      }
+    }
+    return Expected<InferenceResult>(std::move(result));
+  } catch (const std::exception& e) {
+    // The lane boundary: ANY exception inside a job — inference, a
+    // failpoint, an allocation — becomes a Status on this job's future.
+    // The lane itself survives to serve the next query.
+    return Expected<InferenceResult>(
+        Status::internal(std::string("inference failed: ") + e.what()));
   } catch (...) {
-    job.promise.set_exception(std::current_exception());
+    return Expected<InferenceResult>(
+        Status::internal("inference failed: unknown exception"));
   }
 }
 

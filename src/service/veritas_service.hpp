@@ -13,9 +13,8 @@
 //    in flight: a submitted query pins the engine it resolved, so a
 //    swap never perturbs running work.
 //  * an async submission front-end: submit() returns a
-//    std::future<InferenceResult> and enqueues the job on a *bounded*
-//    MPMC queue — a full queue blocks submitters (backpressure) instead
-//    of buffering without limit. Worker lanes drain the queue through
+//    std::future<Expected<InferenceResult>> and enqueues the job on a
+//    *bounded* priority queue. Worker lanes drain the queue through
 //    util::ThreadPool, each lane reusing one Ehmm::Scratch arena across
 //    jobs, so steady-state serving allocates only results.
 //  * a sharded LRU result cache keyed by (session-log content hash,
@@ -25,14 +24,37 @@
 //    — cache coherence by construction. Hits complete the future
 //    immediately without touching the queue.
 //
-// Determinism: a query's payload is bit-identical to calling the direct
-// single-threaded path (InferenceEngine::infer / Veritas::
-// predict_sequence) on an engine with the same configuration — for any
-// lane count, queue capacity, submission order, and whether the answer
-// came from the cache or a fresh computation.
+// Failure semantics (see docs/ARCHITECTURE.md "Failure semantics &
+// overload behavior"): every future the service hands out resolves with
+// a definite Expected<InferenceResult> — a payload, or a Status naming
+// the terminal outcome (rejected / shed / deadline_exceeded / not_found
+// / internal). Overload is handled, not suffered: queries carry a
+// priority and an optional absolute deadline; admission waits are
+// bounded (timed push, and interactive arrivals displace queued
+// background work instead of waiting); an overload detector
+// (queue-depth watermark + compute-latency p99) drives a shed policy
+// that drops the lowest priority first and can degrade service —
+// slightly-stale cache entries and/or reduced posterior sample counts —
+// before refusing work. Deadlines already missed are expired at
+// dequeue, before they burn a lane. Exceptions inside a job are
+// converted to Status at the lane boundary: a poisoned query can never
+// take down or stall a lane. Deterministic failpoints
+// (util/failpoint.hpp) are wired into the queue, the lanes, the cache
+// fill and shard swap so all of this is testable on demand
+// (tests/service/chaos_test.cpp).
+//
+// Determinism: a non-degraded query's payload is bit-identical to
+// calling the direct single-threaded path (InferenceEngine::infer /
+// Veritas::predict_sequence) on an engine with the same configuration —
+// for any lane count, queue capacity, submission order, and whether the
+// answer came from the cache or a fresh computation. A degraded
+// kAbduction result is the exact prefix of the full one (same MAP trace
+// and marginals, first m posterior samples).
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -45,9 +67,10 @@
 
 #include "core/veritas.hpp"
 #include "sim/session_log.hpp"
-#include "util/bounded_queue.hpp"
 #include "util/latency_histogram.hpp"
 #include "util/lru_cache.hpp"
+#include "util/priority_queue.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace veritas::service {
@@ -56,6 +79,32 @@ namespace veritas::service {
 enum class QueryKind {
   kAbduction,        ///< full posterior: MAP trace + K samples + marginals
   kPredictSequence,  ///< per-chunk interventional next-chunk predictions
+};
+
+/// Strict admission classes, most urgent first. The queue serves
+/// kInteractive before kBatch before kBackground, the shed policy drops
+/// in the opposite order, and an interactive arrival may displace
+/// queued background work when the queue is full.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+  kBackground = 2,
+};
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// Per-query serving knobs (the Query's model-facing fields say *what*
+/// to compute; these say *how urgently* and *how negotiably*).
+struct QueryOptions {
+  Priority priority = Priority::kBatch;
+  /// Absolute deadline. Bounds the admission wait, expires the query at
+  /// dequeue when already missed, and resolves the future with
+  /// StatusCode::kDeadlineExceeded instead of computing late. nullopt =
+  /// no deadline (legacy blocking behavior).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Whether the service may answer this query degraded under overload
+  /// (stale cache entry, reduced sample count) instead of queueing it
+  /// at full fidelity. Results record what happened.
+  bool allow_degraded = true;
 };
 
 /// One unit of work for the service.
@@ -73,6 +122,7 @@ struct Query {
   /// with concurrent shard swaps, unlike reading the config seed
   /// yourself before submitting.
   std::optional<std::uint64_t> seed_xor;
+  QueryOptions options;
 };
 
 /// A completed query. Payloads are immutable and shared with the result
@@ -83,46 +133,119 @@ struct InferenceResult {
   /// Set for QueryKind::kPredictSequence.
   std::shared_ptr<const std::vector<core::NextChunkPrediction>> predictions;
   bool cache_hit = false;
+  /// Computed under overload degradation: fewer posterior samples than
+  /// the shard config asks for (an exact prefix of the full answer).
+  bool degraded = false;
+  /// Served from the shard's previous epoch's cache entry under
+  /// overload (implies cache_hit; the payload is the old model's).
+  bool stale = false;
   std::uint64_t shard_epoch = 0;  ///< epoch of the engine that answered
+};
+
+/// When and how the service trades fidelity for liveness. The detector
+/// arms when the queue is deep (depth >= watermark * capacity) or when
+/// the compute-latency p99 blows its budget; the policy fields say what
+/// an armed detector may do. Defaults keep the happy path byte-for-byte
+/// identical to a service without the overload layer: nothing degrades,
+/// and only kBackground work (which predates nothing — the class is new)
+/// is ever pre-shed.
+struct OverloadPolicy {
+  /// Queue-depth fraction of capacity at which the service counts as
+  /// overloaded. >= 1.0 means only a completely full queue qualifies.
+  double queue_high_watermark = 0.75;
+  /// Compute-latency p99 budget in µs; 0 disables the latency trigger.
+  double p99_budget_us = 0.0;
+  /// Samples before the p99 trigger is trusted (a cold histogram's p99
+  /// is noise).
+  std::uint64_t p99_min_samples = 32;
+  /// Under overload, resolve kBackground submissions immediately with
+  /// kShed instead of queueing them.
+  bool shed_lowest_priority = true;
+  /// Under overload, a miss on the current epoch may be answered from
+  /// the shard's *previous* epoch's cache entry (marked stale in the
+  /// result) — the slightly-old model now, instead of the fresh model
+  /// late. Requires the query's allow_degraded.
+  bool serve_stale_hits = false;
+  /// Under overload, kAbduction queries with allow_degraded compute
+  /// this many posterior samples instead of the config's count (the
+  /// result is an exact prefix of the full answer and is not cached).
+  /// 0 disables sample-count degradation.
+  std::size_t degraded_num_samples = 0;
 };
 
 struct ServiceOptions {
   /// Worker lanes draining the queue (0 = hardware thread count). Each
   /// lane owns one scratch arena reused across jobs.
   std::size_t num_threads = 0;
-  /// Submission queue bound: submit() blocks once this many jobs are
-  /// pending (cache hits bypass the queue).
+  /// Submission queue bound, shared across the three priority classes.
   std::size_t queue_capacity = 256;
   /// Result-cache entries across all cache shards; 0 disables caching.
   std::size_t cache_capacity = 1024;
   /// Independently locked cache shards.
   std::size_t cache_shards = 8;
+  /// Longest a deadline-less submit() may block waiting for queue
+  /// space; zero = wait forever (the legacy backpressure behavior).
+  /// Queries with a deadline always use min(deadline, this bound).
+  std::chrono::milliseconds admission_timeout{0};
+  /// Max lanes concurrently executing one shard's queries (0 = no
+  /// quota). A saturated shard's jobs are skipped at dequeue — not
+  /// reordered, not dropped — so one hot shard cannot occupy every
+  /// lane and starve the rest of the fleet.
+  std::size_t max_lanes_per_shard = 0;
+  OverloadPolicy overload;
 };
 
-/// Point-in-time counters. queue_depth is an instantaneous gauge; the
-/// rest are monotonic over the service's lifetime.
+/// Point-in-time counters. Gauges (queue depths, in-flight, overloaded)
+/// are instantaneous; the rest are monotonic over the service lifetime.
+/// Every future the service ever handed out lands in exactly one
+/// terminal bucket, so at quiescence the breakdown reconciles exactly:
+///   submitted == computed + cache_hits + rejected + timed_out
+///                + shed + failed
 struct ServiceStats {
-  std::uint64_t submitted = 0;      ///< queries accepted (hits included)
-  std::uint64_t computed = 0;       ///< queries that ran inference
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
+  std::uint64_t submitted = 0;   ///< futures handed out (all outcomes)
+  std::uint64_t computed = 0;    ///< ran inference (degraded included)
+  std::uint64_t cache_hits = 0;  ///< answered from cache (stale included)
+  std::uint64_t cache_misses = 0;  ///< accepted into the queue, not a hit
+  std::uint64_t rejected = 0;    ///< admission refused (full past timeout)
+  std::uint64_t timed_out = 0;   ///< deadline missed (at submit or dequeue)
+  std::uint64_t shed = 0;        ///< dropped by the shed policy
+  std::uint64_t failed = 0;      ///< unknown shard or internal error
+  std::uint64_t degraded = 0;    ///< computed with reduced samples
+  std::uint64_t stale_hits = 0;  ///< hits served from a previous epoch
   std::uint64_t cache_evictions = 0;
   std::size_t cache_entries = 0;
-  std::size_t queue_depth = 0;      ///< jobs pending in the bounded queue
+  std::size_t queue_depth = 0;   ///< jobs pending across all priorities
+  /// Pending jobs per priority class (index = Priority).
+  std::array<std::size_t, kNumPriorities> queue_depth_by_priority{};
+  bool overloaded = false;       ///< detector state right now
+
+  /// The outcome-breakdown invariant; holds exactly at quiescence (no
+  /// submission or execution racing the snapshot).
+  bool reconciled() const noexcept {
+    return submitted ==
+           computed + cache_hits + rejected + timed_out + shed + failed;
+  }
 };
 
 /// Per-shard slice of the service counters. Counters follow the shard
 /// *name*: they persist across swap_shard (a hot-swapped model keeps its
 /// traffic history) and reset only when the shard is removed and
 /// re-added. A query that was accepted but not yet executed has been
-/// counted in submitted (and hits/misses) but not yet in computed.
+/// counted in submitted (and misses) but not yet in a terminal bucket.
 struct ShardStats {
   std::string name;
   std::uint64_t epoch = 0;          ///< epoch of the current engine
-  std::uint64_t submitted = 0;      ///< queries accepted for this shard
-  std::uint64_t computed = 0;       ///< queries that ran inference
+  std::uint64_t submitted = 0;
+  std::uint64_t computed = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t stale_hits = 0;
+  std::uint64_t in_flight = 0;      ///< lanes executing this shard now
   /// Compute-latency percentiles over this shard's *computed* queries
   /// (cache hits complete in the submitter and are not timed), read from
   /// a lock-free power-of-two-bucket histogram — each value is the upper
@@ -139,7 +262,10 @@ class VeritasService {
  public:
   explicit VeritasService(ServiceOptions options = {});
 
-  /// Drains and completes every accepted query, then joins the lanes.
+  /// Drains and completes every accepted query (expired deadlines
+  /// resolve as kDeadlineExceeded, the rest compute), then joins the
+  /// lanes. Every future ever handed out resolves with a definite
+  /// Expected<InferenceResult> — never a broken promise.
   ~VeritasService();
 
   VeritasService(const VeritasService&) = delete;
@@ -161,9 +287,10 @@ class VeritasService {
                           std::shared_ptr<const core::InferenceEngine> engine);
 
   /// Atomically replaces `name`'s engine and bumps its epoch, so cached
-  /// results for the old model can no longer be served. In-flight
-  /// queries keep the engine they resolved at submit time. Requires the
-  /// shard to exist.
+  /// results for the old model can no longer be served (except as
+  /// explicitly-marked stale hits under overload). In-flight queries
+  /// keep the engine they resolved at submit time. Requires the shard
+  /// to exist.
   std::uint64_t swap_shard(const std::string& name,
                            const core::VeritasConfig& config,
                            core::EngineOptions engine_options = {});
@@ -185,24 +312,35 @@ class VeritasService {
 
   // ---------------------------------------------------------- submission
 
-  /// Submits one query against a registered shard. Cache hits complete
-  /// the returned future before submit() returns; misses enqueue,
-  /// blocking while the queue is full (backpressure). Throws
-  /// ContractViolation when the shard is unknown or the service is
-  /// shutting down; a failure *inside* inference is delivered through
-  /// the future.
-  std::future<InferenceResult> submit(Query query);
+  /// Submits one query. The returned future ALWAYS resolves with a
+  /// definite Expected<InferenceResult>: a payload, or a Status —
+  /// kNotFound (unknown shard), kRejected (queue full past the
+  /// admission bound, or shutting down), kShed (dropped by the overload
+  /// policy or displaced by a higher priority), kDeadlineExceeded, or
+  /// kInternal (inference raised; converted at the lane boundary).
+  /// Cache hits complete before submit() returns. A deadline-less
+  /// submission with admission_timeout 0 blocks while the queue is full
+  /// (legacy backpressure); otherwise the wait is bounded.
+  std::future<Expected<InferenceResult>> submit(Query query);
 
-  /// Non-blocking submit: nullopt when the queue is full (cache hits
-  /// always succeed).
-  std::optional<std::future<InferenceResult>> try_submit(Query query);
+  /// Non-blocking submit: nullopt when the queue is full (nothing is
+  /// counted — a rejected probe leaves no trace). Cache hits and
+  /// immediately-resolvable outcomes (unknown shard, missed deadline)
+  /// still return a future.
+  std::optional<std::future<Expected<InferenceResult>>> try_submit(
+      Query query);
 
-  /// Submits every log against `shard`; futures are positionally
-  /// aligned with `logs`. Blocks as needed (backpressure), so the batch
-  /// may be arbitrarily larger than the queue bound.
-  std::vector<std::future<InferenceResult>> submit_batch(
+  /// Submits every log against `shard` with the same options; futures
+  /// are positionally aligned with `logs`. May block as the queue
+  /// admits work (bounded per query by deadline/admission_timeout), so
+  /// the batch may be arbitrarily larger than the queue bound.
+  std::vector<std::future<Expected<InferenceResult>>> submit_batch(
       std::span<const sim::SessionLog> logs, const std::string& shard,
-      QueryKind kind = QueryKind::kAbduction);
+      QueryKind kind = QueryKind::kAbduction, QueryOptions options = {});
+
+  /// The overload detector's current verdict (queue-depth watermark
+  /// and/or compute-latency p99 over budget).
+  bool overloaded() const;
 
   ServiceStats stats() const;
 
@@ -212,20 +350,37 @@ class VeritasService {
   std::size_t num_lanes() const noexcept { return lanes_; }
 
  private:
-  /// Lock-free per-shard counters, shared between the registry entry and
-  /// every in-flight job that resolved the shard (so a concurrent
-  /// remove_shard can never invalidate a worker's counter).
-  struct ShardCounters {
+  /// One terminal bucket per future, mirrored at service and shard
+  /// level. All atomics, relaxed: counters only, no ordering.
+  struct OutcomeCounters {
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> computed{0};
     std::atomic<std::uint64_t> cache_hits{0};
     std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> timed_out{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> stale_hits{0};
+  };
+
+  /// Lock-free per-shard counters, shared between the registry entry and
+  /// every in-flight job that resolved the shard (so a concurrent
+  /// remove_shard can never invalidate a worker's counter).
+  struct ShardCounters {
+    OutcomeCounters outcomes;
     util::LatencyHistogram latency;  ///< computed-query wall time
+    std::atomic<std::uint64_t> in_flight{0};  ///< lane-quota gauge
   };
 
   struct Shard {
     std::shared_ptr<const core::Veritas> veritas;  ///< facade over engine
     std::uint64_t epoch = 0;
+    /// Epoch before the last swap/replace — the key under which
+    /// slightly-stale cache entries live (serve_stale_hits).
+    std::uint64_t prev_epoch = 0;
+    bool has_prev_epoch = false;
     std::shared_ptr<ShardCounters> counters;
   };
 
@@ -250,22 +405,49 @@ class VeritasService {
   };
 
   struct Job {
-    Shard shard;  ///< pinned at submit time
+    Shard shard;  ///< pinned at submit time; veritas null = unknown shard
     Query query;
     CacheKey key;
-    std::promise<InferenceResult> promise;
+    /// Set at admission when the overload policy degrades this query's
+    /// sample count.
+    bool degrade_samples = false;
+    /// Exactly-once promise guard: all resolution funnels through the
+    /// finish_/fulfill_ helpers, which flip this.
+    bool done = false;
+    std::promise<Expected<InferenceResult>> promise;
   };
 
-  /// Resolves the query's shard (throws on unknown) and computes its
-  /// cache key; the promise is default-constructed and unfulfilled.
+  /// Resolves the query's shard (null veritas when unknown) and computes
+  /// its cache key; the promise is default-constructed and unfulfilled.
   Job make_job(Query query) const;
 
-  /// Probes the cache for the job's key; on a hit fulfills the promise
-  /// and returns true.
-  bool serve_from_cache(Job& job);
+  /// Probes the cache under `epoch`; on a hit fulfills the promise
+  /// (marking stale/degraded as instructed) and returns true.
+  bool serve_from_cache(Job& job, std::uint64_t epoch, bool stale);
+
+  /// Resolves the job's future with a non-ok status and lands it in the
+  /// matching counter bucket (service + shard). No-op when already done.
+  void finish_with_status(Job& job, Status status);
+
+  /// The shared front half of submit/try_submit: counts the submission
+  /// and resolves everything that never reaches the queue (unknown
+  /// shard, missed deadline, cache hit, overload shed). Returns true
+  /// when the future is already resolved.
+  bool admit_or_resolve(Job& job);
+
+  /// Bumps the submitted counters (service + shard when known). Called
+  /// exactly once per future the service hands out.
+  void count_submitted(const Job& job);
 
   void drain_lane();
-  void execute(Job& job, core::Ehmm::Scratch& scratch);
+
+  /// Runs the job's inference and lands it in the computed/degraded (or,
+  /// via the catch-all boundary, failed-bucket-to-be) books. Returns the
+  /// outcome WITHOUT touching the promise: the lane resolves it after
+  /// dropping the in_flight gauge, so a caller whose future is ready
+  /// never observes its own job still counted as executing.
+  Expected<InferenceResult> execute(Job& job,
+                                    core::Ehmm::Scratch& scratch) noexcept;
 
   ServiceOptions options_;
   std::size_t lanes_ = 0;
@@ -275,14 +457,11 @@ class VeritasService {
   std::uint64_t next_epoch_ = 0;
 
   util::ShardedLruCache<CacheKey, CachedPayload, CacheKeyHash> cache_;
-  util::BoundedQueue<Job> queue_;
+  util::BoundedPriorityQueue<Job, kNumPriorities> queue_;
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> computed_{0};
-  // Hit/miss are counted here, not by the LRU, so a try_submit probe
-  // whose enqueue is then rejected skews nothing.
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> cache_misses_{0};
+  OutcomeCounters totals_;
+  /// Service-wide compute latency — the overload detector's p99 source.
+  util::LatencyHistogram latency_;
 
   util::ThreadPool pool_;  ///< last member: joins before the rest die
 };

@@ -56,8 +56,15 @@ class BoundedQueue {
     return true;
   }
 
-  /// Non-blocking push; false when full or closed.
-  bool try_push(T& value) {
+  /// Non-blocking push; false when full or closed. Failure is
+  /// non-destructive by contract: `value` is moved from only on the
+  /// accept path, so a rejected caller still owns its (untouched) value
+  /// and can retry, fall back, or fail it explicitly. (The old
+  /// `try_push(T&)` signature invited call sites that assumed the value
+  /// survived rejection while the signature permitted a move either
+  /// way; taking an rvalue reference makes the handoff explicit and the
+  /// rollback guarantee part of the interface.)
+  bool try_push(T&& value) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;

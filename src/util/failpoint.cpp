@@ -1,0 +1,219 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace veritas::util {
+
+namespace {
+
+/// SplitMix64: the (seed, evaluation index) -> [0, 1) hash behind
+/// probabilistic triggers. Statistically solid, branch-free, and — the
+/// property that matters here — a pure function of its inputs.
+double uniform01(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + index * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+struct Site {
+  Failpoints::Config config;
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> hits{0};
+};
+
+struct Registry {
+  // How many sites are armed, mirrored into an atomic so evaluate()'s
+  // common case (nothing armed) is one relaxed load, no lock.
+  std::atomic<std::size_t> armed{0};
+  std::shared_mutex mutex;
+  std::unordered_map<std::string, std::shared_ptr<Site>> sites;
+
+  Registry() {
+    if (const char* spec = std::getenv("VERITAS_FAILPOINTS")) {
+      parse_spec(spec);
+    }
+  }
+
+  void parse_spec(const std::string& spec);
+
+  // The enable/arm implementations live on the registry itself (not on
+  // the Failpoints facade) so the constructor's env-spec parse never
+  // re-enters instance() — calling it while the magic static is still
+  // under construction would self-deadlock on the init guard.
+  void enable_site(const std::string& site, Failpoints::Config config);
+
+  static Registry& instance() {
+    static Registry registry;  // leak-free: process-lifetime singleton
+    return registry;
+  }
+};
+
+std::uint64_t parse_u64(const std::string& text, std::uint64_t fallback) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return (ec == std::errc{} && ptr == text.data() + text.size()) ? value
+                                                                 : fallback;
+}
+
+double parse_double(const std::string& text, double fallback) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return (ec == std::errc{} && ptr == text.data() + text.size()) ? value
+                                                                 : fallback;
+}
+
+void Registry::parse_spec(const std::string& spec) {
+  // site=mode[:key=value]... entries separated by ';'. Malformed entries
+  // are skipped: env-driven injection must never crash a healthy binary.
+  for (std::size_t pos = 0; pos <= spec.size();) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    const std::string site = entry.substr(0, eq);
+
+    Failpoints::Config config;
+    bool valid = true;
+    std::string rest = entry.substr(eq + 1);
+    for (std::size_t i = 0, field = 0; i <= rest.size(); ++field) {
+      std::size_t colon = rest.find(':', i);
+      if (colon == std::string::npos) colon = rest.size();
+      const std::string token = rest.substr(i, colon - i);
+      i = colon + 1;
+      if (field == 0) {
+        if (token == "error") config.mode = Failpoints::Config::Mode::kError;
+        else if (token == "throw") config.mode = Failpoints::Config::Mode::kThrow;
+        else if (token == "sleep") config.mode = Failpoints::Config::Mode::kSleep;
+        else valid = false;
+        continue;
+      }
+      const std::size_t keq = token.find('=');
+      if (keq == std::string::npos) continue;
+      const std::string key = token.substr(0, keq);
+      const std::string value = token.substr(keq + 1);
+      if (key == "p") config.probability = parse_double(value, 1.0);
+      else if (key == "skip") config.skip = parse_u64(value, 0);
+      else if (key == "max") config.max_hits = parse_u64(value, config.max_hits);
+      else if (key == "ms") config.sleep_ms = parse_u64(value, config.sleep_ms);
+      else if (key == "seed") config.seed = parse_u64(value, config.seed);
+    }
+    if (valid) enable_site(site, config);
+  }
+}
+
+void Registry::enable_site(const std::string& site,
+                           Failpoints::Config config) {
+  config.probability = std::clamp(config.probability, 0.0, 1.0);
+  const std::unique_lock lock(mutex);
+  auto& slot = sites[site];
+  if (slot == nullptr) {
+    armed.fetch_add(1, std::memory_order_release);
+  }
+  // Fresh Site: re-enabling restarts the evaluation and hit counters.
+  slot = std::make_shared<Site>();
+  slot->config = config;
+}
+
+}  // namespace
+
+void Failpoints::enable(const std::string& site, Config config) {
+  Registry::instance().enable_site(site, config);
+}
+
+void Failpoints::disable(const std::string& site) {
+  Registry& registry = Registry::instance();
+  const std::unique_lock lock(registry.mutex);
+  if (registry.sites.erase(site) > 0) {
+    registry.armed.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void Failpoints::disable_all() {
+  Registry& registry = Registry::instance();
+  const std::unique_lock lock(registry.mutex);
+  registry.armed.fetch_sub(registry.sites.size(), std::memory_order_release);
+  registry.sites.clear();
+}
+
+std::uint64_t Failpoints::hits(const std::string& site) {
+  Registry& registry = Registry::instance();
+  const std::shared_lock lock(registry.mutex);
+  const auto it = registry.sites.find(site);
+  return it == registry.sites.end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> Failpoints::active_sites() {
+  Registry& registry = Registry::instance();
+  std::vector<std::string> names;
+  {
+    const std::shared_lock lock(registry.mutex);
+    names.reserve(registry.sites.size());
+    for (const auto& [name, site] : registry.sites) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void Failpoints::arm_from_spec(const std::string& spec) {
+  Registry::instance().parse_spec(spec);
+}
+
+bool Failpoints::evaluate(const char* site_name) {
+  Registry& registry = Registry::instance();
+  // Hot path: nothing armed anywhere — one relaxed load, no lock.
+  if (registry.armed.load(std::memory_order_acquire) == 0) return false;
+
+  std::shared_ptr<Site> site;
+  {
+    const std::shared_lock lock(registry.mutex);
+    const auto it = registry.sites.find(site_name);
+    if (it == registry.sites.end()) return false;
+    site = it->second;  // pin: a concurrent disable can't free it under us
+  }
+
+  const Config& config = site->config;
+  const std::uint64_t index =
+      site->evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (index < config.skip) return false;
+  if (config.probability < 1.0 &&
+      uniform01(config.seed, index) >= config.probability) {
+    return false;
+  }
+  // Claim a hit slot; once max_hits triggers happened the site is spent
+  // (left armed so hits() still reads, but it never fires again).
+  std::uint64_t hit = site->hits.load(std::memory_order_relaxed);
+  do {
+    if (hit >= config.max_hits) return false;
+  } while (!site->hits.compare_exchange_weak(hit, hit + 1,
+                                             std::memory_order_relaxed));
+
+  switch (config.mode) {
+    case Config::Mode::kError:
+      return true;
+    case Config::Mode::kThrow:
+      throw FailpointTriggered(site_name);
+    case Config::Mode::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(config.sleep_ms));
+      return false;
+  }
+  return false;
+}
+
+}  // namespace veritas::util

@@ -1,0 +1,122 @@
+// Deterministic fault injection for the serving path.
+//
+// A *failpoint* is a named site in production code where a test (or an
+// operator, via the VERITAS_FAILPOINTS environment variable) can inject
+// a failure: throw an exception, sleep to simulate a slow dependency,
+// or signal the site to take its own error path. Sites are free when
+// inactive — one relaxed atomic load — and the whole subsystem compiles
+// to literally nothing when CMake is configured with
+// -DVERITAS_FAILPOINTS=OFF (the macro folds to constant false).
+//
+// Activation is deterministic: `count`-style triggers (skip the first S
+// evaluations, then fire the next N) depend only on the site's
+// evaluation counter, and probabilistic triggers hash (seed, evaluation
+// index) through SplitMix64 — no wall clock, no global RNG — so a chaos
+// run with a fixed workload reproduces the same trigger set.
+//
+// Site catalog (kept in sync with docs/ARCHITECTURE.md):
+//   service.queue.push   — submit()'s enqueue; kError => admission reject
+//   service.queue.pop    — lane dequeue; kSleep => slow consumer
+//   service.lane.execute — before inference runs; kThrow => poisoned job
+//   service.cache.fill   — before the result-cache put; kError => skip fill
+//   service.shard.swap   — swap_shard between build and publish
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace veritas::util {
+
+/// Thrown by a kThrow failpoint; catch-all boundaries convert it to a
+/// Status like any other exception.
+class FailpointTriggered : public std::runtime_error {
+ public:
+  explicit FailpointTriggered(const std::string& site)
+      : std::runtime_error("failpoint triggered: " + site) {}
+};
+
+class Failpoints {
+ public:
+  struct Config {
+    enum class Mode {
+      kError,  ///< evaluate() returns true; the site takes its error path
+      kThrow,  ///< evaluate() throws FailpointTriggered
+      kSleep,  ///< evaluate() sleeps sleep_ms, then returns false
+    };
+    Mode mode = Mode::kError;
+    /// Chance each (non-skipped) evaluation triggers, in [0, 1].
+    /// Deterministic in (seed, evaluation index).
+    double probability = 1.0;
+    /// Let the first `skip` evaluations pass untouched.
+    std::uint64_t skip = 0;
+    /// Deactivate after this many triggers (kMaxHitsUnlimited = never).
+    std::uint64_t max_hits = kMaxHitsUnlimited;
+    std::uint64_t sleep_ms = 10;  ///< kSleep duration
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< probability hash seed
+
+    static constexpr std::uint64_t kMaxHitsUnlimited = ~std::uint64_t{0};
+  };
+
+  /// Arms `site` with `config`, replacing any previous arming (the
+  /// evaluation/hit counters restart). Thread-safe.
+  static void enable(const std::string& site, Config config);
+
+  /// Disarms `site` (idempotent).
+  static void disable(const std::string& site);
+
+  /// Disarms everything — call between chaos tests.
+  static void disable_all();
+
+  /// Triggers recorded for `site` since it was last enabled (0 when
+  /// never enabled).
+  static std::uint64_t hits(const std::string& site);
+
+  /// Currently armed site names, sorted.
+  static std::vector<std::string> active_sites();
+
+  /// The hot-path check behind VERITAS_FAILPOINT(site): false (no
+  /// lookup at all) while nothing is armed anywhere. Returns true when
+  /// an armed kError failpoint fires; throws for kThrow; sleeps then
+  /// returns false for kSleep.
+  static bool evaluate(const char* site);
+
+  /// Parses the VERITAS_FAILPOINTS environment variable and arms the
+  /// sites it names. Called once, lazily, from the first evaluate();
+  /// exposed for tests. Grammar (';'-separated sites):
+  ///   site=mode[:p=P][:skip=N][:max=N][:ms=N][:seed=N]
+  /// e.g. VERITAS_FAILPOINTS="service.lane.execute=throw:p=0.1:max=5;
+  ///                          service.queue.pop=sleep:ms=50"
+  /// Unknown modes or malformed entries are ignored (injection must
+  /// never take down a healthy binary).
+  static void arm_from_spec(const std::string& spec);
+};
+
+/// RAII arming for tests: enables in the constructor, disables in the
+/// destructor, so a failing assertion can't leak an armed site into the
+/// next test.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string site, Failpoints::Config config)
+      : site_(std::move(site)) {
+    Failpoints::enable(site_, config);
+  }
+  ~ScopedFailpoint() { Failpoints::disable(site_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  std::uint64_t hits() const { return Failpoints::hits(site_); }
+
+ private:
+  std::string site_;
+};
+
+}  // namespace veritas::util
+
+#if defined(VERITAS_FAILPOINTS_DISABLED)
+// Compiled out: constant-folds away, including the site-name literal.
+#define VERITAS_FAILPOINT(site) (false)
+#else
+#define VERITAS_FAILPOINT(site) (::veritas::util::Failpoints::evaluate(site))
+#endif

@@ -197,6 +197,41 @@ TEST(LatencyHistogram, BucketsAndPercentiles) {
   EXPECT_LE(snap.percentile_us(0.5), snap.percentile_us(0.99));
 }
 
+TEST(ServiceShardStats, OutcomeBreakdownIsZeroAndReconciledOnHappyPath) {
+  // The overload buckets exist but a healthy workload never touches
+  // them — and the books balance exactly at quiescence.
+  VeritasService svc(service::ServiceOptions{.num_threads = 2});
+  svc.add_shard("a", core::VeritasConfig{});
+  std::vector<sim::SessionLog> logs;
+  for (std::uint64_t s = 0; s < 4; ++s) logs.push_back(test_log(60 + s));
+  for (auto& f : svc.submit_batch(logs, "a")) f.get();
+  for (auto& f : svc.submit_batch(logs, "a")) f.get();  // warm round
+
+  const ServiceStats total = svc.stats();
+  EXPECT_EQ(total.rejected, 0u);
+  EXPECT_EQ(total.timed_out, 0u);
+  EXPECT_EQ(total.shed, 0u);
+  EXPECT_EQ(total.failed, 0u);
+  EXPECT_EQ(total.degraded, 0u);
+  EXPECT_EQ(total.stale_hits, 0u);
+  EXPECT_FALSE(total.overloaded);
+  EXPECT_TRUE(total.reconciled());
+  for (const std::size_t depth : total.queue_depth_by_priority) {
+    EXPECT_EQ(depth, 0u);
+  }
+
+  const std::vector<ShardStats> shard_stats = svc.shard_stats();
+  const ShardStats& a = find_shard(shard_stats, "a");
+  EXPECT_EQ(a.rejected, 0u);
+  EXPECT_EQ(a.timed_out, 0u);
+  EXPECT_EQ(a.shed, 0u);
+  EXPECT_EQ(a.failed, 0u);
+  EXPECT_EQ(a.degraded, 0u);
+  EXPECT_EQ(a.stale_hits, 0u);
+  EXPECT_EQ(a.in_flight, 0u);
+  EXPECT_EQ(a.submitted, a.computed + a.cache_hits);
+}
+
 TEST(ServiceShardStats, QueueDepthGaugeReflectsPendingJobs) {
   // No worker lanes would deadlock the bounded queue; instead use one
   // lane and watch the gauge drain to zero after the batch completes.

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "abr/abr_factory.hpp"
@@ -95,12 +97,31 @@ TEST(VeritasService, RegistryLifecycle) {
   EXPECT_THROW(service.swap_shard("bba", config_a()), ContractViolation);
 }
 
-TEST(VeritasService, UnknownShardThrowsAtSubmit) {
+TEST(VeritasService, UnknownShardResolvesAsNotFoundValue) {
+  // Robustness contract: a typo'd shard name is an environment error,
+  // not a caller bug — it travels as a Status value, never a throw.
   VeritasService service;
   Query query;
   query.log = make_logs(1)[0];
   query.shard = "nope";
-  EXPECT_THROW(service.submit(std::move(query)), ContractViolation);
+  auto future = service.submit(std::move(query));
+  const Expected<InferenceResult> result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("nope"), std::string::npos);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_TRUE(stats.reconciled());
+
+  // try_submit hands back a resolved future too (not a nullopt: the
+  // queue was never involved).
+  Query again;
+  again.log = make_logs(1)[0];
+  again.shard = "nope";
+  auto maybe = service.try_submit(std::move(again));
+  ASSERT_TRUE(maybe.has_value());
+  EXPECT_EQ(maybe->get().status().code(), StatusCode::kNotFound);
 }
 
 TEST(VeritasService, CacheHitAndMissCounters) {
@@ -121,7 +142,7 @@ TEST(VeritasService, CacheHitAndMissCounters) {
   // The same workload again: answered entirely from the cache.
   std::vector<InferenceResult> warm;
   for (auto& future : service.submit_batch(logs, "main")) {
-    warm.push_back(future.get());
+    warm.push_back(future.get().value());
   }
   stats = service.stats();
   EXPECT_EQ(stats.submitted, 6u);
@@ -144,8 +165,8 @@ TEST(VeritasService, CachedResultEqualsFreshComputation) {
   Query query;
   query.log = logs[0];
   query.shard = "main";
-  const InferenceResult cold = service.submit(query).get();
-  const InferenceResult hot = service.submit(query).get();
+  const InferenceResult cold = service.submit(query).get().value();
+  const InferenceResult hot = service.submit(query).get().value();
   EXPECT_FALSE(cold.cache_hit);
   EXPECT_TRUE(hot.cache_hit);
   EXPECT_EQ(cold.abduction.get(), hot.abduction.get());  // shared payload
@@ -161,14 +182,14 @@ TEST(VeritasService, DistinctSeedsAreDistinctCacheEntries) {
   query.log = logs[0];
   query.shard = "main";
   query.seed = 1;
-  const InferenceResult one = service.submit(query).get();
+  const InferenceResult one = service.submit(query).get().value();
   query.seed = 2;
-  const InferenceResult two = service.submit(query).get();
+  const InferenceResult two = service.submit(query).get().value();
   EXPECT_FALSE(two.cache_hit);  // different sampling stream, new entry
   // Posterior samples differ; the seed-independent pieces agree.
   EXPECT_EQ(one.abduction->log_likelihood, two.abduction->log_likelihood);
   query.seed = 1;
-  EXPECT_TRUE(service.submit(query).get().cache_hit);
+  EXPECT_TRUE(service.submit(query).get().value().cache_hit);
 }
 
 TEST(VeritasService, SeedXorResolvesAgainstShardConfig) {
@@ -182,13 +203,13 @@ TEST(VeritasService, SeedXorResolvesAgainstShardConfig) {
   xored.log = logs[0];
   xored.shard = "main";
   xored.seed_xor = 99;
-  const InferenceResult via_xor = service.submit(xored).get();
+  const InferenceResult via_xor = service.submit(xored).get().value();
 
   Query explicit_seed;
   explicit_seed.log = logs[0];
   explicit_seed.shard = "main";
   explicit_seed.seed = config_a().seed ^ 99ULL;
-  const InferenceResult via_seed = service.submit(explicit_seed).get();
+  const InferenceResult via_seed = service.submit(explicit_seed).get().value();
   EXPECT_TRUE(via_seed.cache_hit);
   EXPECT_EQ(via_seed.abduction.get(), via_xor.abduction.get());
 }
@@ -203,9 +224,9 @@ TEST(VeritasService, PredictionQueriesIgnoreSeedInCacheKey) {
   query.shard = "main";
   query.kind = QueryKind::kPredictSequence;
   query.seed = 1;
-  const InferenceResult one = service.submit(query).get();
+  const InferenceResult one = service.submit(query).get().value();
   query.seed = 2;
-  const InferenceResult two = service.submit(query).get();
+  const InferenceResult two = service.submit(query).get().value();
   // Predictions are seed-independent: one computation, one entry.
   EXPECT_TRUE(two.cache_hit);
   EXPECT_EQ(one.predictions.get(), two.predictions.get());
@@ -220,19 +241,19 @@ TEST(VeritasService, SwapShardInvalidatesCacheViaEpoch) {
   Query query;
   query.log = logs[0];
   query.shard = "main";
-  const InferenceResult before = service.submit(query).get();
-  EXPECT_TRUE(service.submit(query).get().cache_hit);
+  const InferenceResult before = service.submit(query).get().value();
+  EXPECT_TRUE(service.submit(query).get().value().cache_hit);
 
   // Retrain/replace: same name, different model, new epoch.
   const std::uint64_t epoch = service.swap_shard("main", config_b());
-  const InferenceResult after = service.submit(query).get();
+  const InferenceResult after = service.submit(query).get().value();
   EXPECT_FALSE(after.cache_hit);  // old entry unreachable by construction
   EXPECT_EQ(after.shard_epoch, epoch);
   EXPECT_NE(before.abduction->log_likelihood,
             after.abduction->log_likelihood);  // genuinely the new model
 
   // The new model's entry caches normally from here on.
-  EXPECT_TRUE(service.submit(query).get().cache_hit);
+  EXPECT_TRUE(service.submit(query).get().value().cache_hit);
 }
 
 TEST(VeritasService, BackpressureTinyQueueStillCompletesEverything) {
@@ -247,7 +268,7 @@ TEST(VeritasService, BackpressureTinyQueueStillCompletesEverything) {
   auto futures = service.submit_batch(logs, "main");
   std::size_t completed = 0;
   for (auto& future : futures) {
-    if (future.get().abduction != nullptr) ++completed;
+    if (future.get().value().abduction != nullptr) ++completed;
   }
   EXPECT_EQ(completed, logs.size());
   const ServiceStats stats = service.stats();
@@ -276,7 +297,7 @@ TEST(VeritasService, TrySubmitReportsFullQueue) {
 
   // Saturate: with one lane and capacity 1, some try_submit in a burst
   // must be rejected; accepted ones must all complete.
-  std::vector<std::future<InferenceResult>> accepted;
+  std::vector<std::future<Expected<InferenceResult>>> accepted;
   std::size_t rejected = 0;
   for (int i = 0; i < 64; ++i) {
     Query query;
@@ -291,7 +312,7 @@ TEST(VeritasService, TrySubmitReportsFullQueue) {
   }
   EXPECT_GT(rejected, 0u);
   ASSERT_FALSE(accepted.empty());
-  for (auto& future : accepted) EXPECT_NE(future.get().abduction, nullptr);
+  for (auto& future : accepted) EXPECT_NE(future.get().value().abduction, nullptr);
 }
 
 TEST(VeritasService, RejectedTrySubmitSkewsNoCounters) {
@@ -302,7 +323,7 @@ TEST(VeritasService, RejectedTrySubmitSkewsNoCounters) {
   service.add_shard("main", config_a());
   const auto logs = make_logs(1);
 
-  std::vector<std::future<InferenceResult>> accepted;
+  std::vector<std::future<Expected<InferenceResult>>> accepted;
   for (int i = 0; i < 32; ++i) {
     Query query;
     query.log = logs[0];
@@ -342,7 +363,7 @@ TEST(VeritasService, MixedShardBatchesBitIdenticalToDirectEngineAnyLanes) {
     service.add_shard("a", config_a());
     service.add_shard("b", config_b());
 
-    std::vector<std::future<InferenceResult>> futures;
+    std::vector<std::future<Expected<InferenceResult>>> futures;
     futures.reserve(logs.size());
     for (std::size_t i = 0; i < logs.size(); ++i) {
       Query query;
@@ -351,7 +372,7 @@ TEST(VeritasService, MixedShardBatchesBitIdenticalToDirectEngineAnyLanes) {
       futures.push_back(service.submit(std::move(query)));
     }
     for (std::size_t i = 0; i < futures.size(); ++i) {
-      const InferenceResult result = futures[i].get();
+      const InferenceResult result = futures[i].get().value();
       ASSERT_NE(result.abduction, nullptr) << "lanes " << lanes;
       expect_identical(*result.abduction, expected[i]);
     }
@@ -361,7 +382,7 @@ TEST(VeritasService, MixedShardBatchesBitIdenticalToDirectEngineAnyLanes) {
       Query query;
       query.log = logs[i];
       query.shard = i % 2 == 0 ? "a" : "b";
-      const InferenceResult result = service.submit(std::move(query)).get();
+      const InferenceResult result = service.submit(std::move(query)).get().value();
       EXPECT_TRUE(result.cache_hit);
       expect_identical(*result.abduction, expected[i]);
     }
@@ -379,7 +400,7 @@ TEST(VeritasService, PredictSequenceMatchesDirectFacade) {
     query.log = log;
     query.shard = "main";
     query.kind = QueryKind::kPredictSequence;
-    const InferenceResult result = service.submit(std::move(query)).get();
+    const InferenceResult result = service.submit(std::move(query)).get().value();
     ASSERT_NE(result.predictions, nullptr);
     const auto expected = veritas.predict_sequence(log);
     ASSERT_EQ(result.predictions->size(), expected.size());
@@ -410,7 +431,7 @@ TEST(VeritasService, HotSwapUnderLoadKeepsInFlightQueriesConsistent) {
   // Interleave submissions with registry churn. Every future must
   // resolve to the model its submission saw: config A before the swap,
   // config B after — never a torn mixture.
-  std::vector<std::future<InferenceResult>> phase_a;
+  std::vector<std::future<Expected<InferenceResult>>> phase_a;
   for (const auto& log : logs) {
     Query query;
     query.log = log;
@@ -418,7 +439,7 @@ TEST(VeritasService, HotSwapUnderLoadKeepsInFlightQueriesConsistent) {
     phase_a.push_back(service.submit(std::move(query)));
   }
   const std::uint64_t new_epoch = service.swap_shard("main", config_b());
-  std::vector<std::future<InferenceResult>> phase_b;
+  std::vector<std::future<Expected<InferenceResult>>> phase_b;
   for (const auto& log : logs) {
     Query query;
     query.log = log;
@@ -427,8 +448,8 @@ TEST(VeritasService, HotSwapUnderLoadKeepsInFlightQueriesConsistent) {
   }
 
   for (std::size_t i = 0; i < logs.size(); ++i) {
-    const InferenceResult a = phase_a[i].get();
-    const InferenceResult b = phase_b[i].get();
+    const InferenceResult a = phase_a[i].get().value();
+    const InferenceResult b = phase_b[i].get().value();
     EXPECT_LT(a.shard_epoch, new_epoch);
     EXPECT_EQ(b.shard_epoch, new_epoch);
     expect_identical(*a.abduction, engine_a.infer(logs[i]));
@@ -438,7 +459,7 @@ TEST(VeritasService, HotSwapUnderLoadKeepsInFlightQueriesConsistent) {
 
 TEST(VeritasService, DestructorCompletesAcceptedWork) {
   const auto logs = make_logs(4);
-  std::vector<std::future<InferenceResult>> futures;
+  std::vector<std::future<Expected<InferenceResult>>> futures;
   {
     ServiceOptions options;
     options.num_threads = 2;
@@ -448,8 +469,78 @@ TEST(VeritasService, DestructorCompletesAcceptedWork) {
     // Service destroyed here, possibly with jobs still queued.
   }
   for (auto& future : futures) {
-    EXPECT_NE(future.get().abduction, nullptr);  // never a broken promise
+    EXPECT_NE(future.get().value().abduction, nullptr);  // never a broken promise
   }
+}
+
+TEST(VeritasService, DestructionUnderLoadResolvesEveryFuture) {
+  // Destroy the service while most of the workload is still queued
+  // behind a single slow lane and a tiny queue: every accepted future
+  // must still resolve with a definite Expected — a payload here, since
+  // the destructor drains accepted work (no deadline to expire).
+  const auto logs = make_logs(10);
+  std::vector<std::future<Expected<InferenceResult>>> futures;
+  {
+    ServiceOptions options;
+    options.num_threads = 1;
+    options.queue_capacity = 2;
+    options.cache_capacity = 0;
+    VeritasService service(options);
+    service.add_shard("main", config_a());
+    futures = service.submit_batch(logs, "main");
+    // Destroyed here: some jobs in flight, some queued.
+  }
+  for (auto& future : futures) {
+    const Expected<InferenceResult> result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_NE(result.value().abduction, nullptr);
+  }
+}
+
+TEST(VeritasService, RemoveShardMidFlightCompletesOnPinnedEngine) {
+  // Queries pin their engine at submit: removing the shard under a
+  // queued + in-flight workload must not fail or reroute anything.
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 0;
+  VeritasService service(options);
+  service.add_shard("main", config_a());
+  const auto logs = make_logs(8);
+  auto futures = service.submit_batch(logs, "main");
+  EXPECT_TRUE(service.remove_shard("main"));
+
+  const core::InferenceEngine engine{config_a()};
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Expected<InferenceResult> result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    expect_identical(*result.value().abduction, engine.infer(logs[i]));
+  }
+  // The shard is gone for *new* submissions.
+  Query query;
+  query.log = logs[0];
+  query.shard = "main";
+  EXPECT_EQ(service.submit(std::move(query)).get().status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(VeritasService, SubmitAfterShutdownViaClosedQueueIsRejectedValue) {
+  // There is no public close(), but a deadline that has already passed
+  // exercises the other immediate-resolution path: a definite value,
+  // never a hang, never a throw.
+  VeritasService service;
+  service.add_shard("main", config_a());
+  Query query;
+  query.log = make_logs(1)[0];
+  query.shard = "main";
+  query.options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const Expected<InferenceResult> result =
+      service.submit(std::move(query)).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_TRUE(stats.reconciled());
 }
 
 TEST(VeritasService, LruEvictionBoundsCacheEntries) {

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace veritas::util {
@@ -28,12 +29,34 @@ TEST(BoundedQueue, FifoSingleThread) {
 TEST(BoundedQueue, TryPushFailsWhenFull) {
   BoundedQueue<int> queue(2);
   int a = 1, b = 2, c = 3;
-  EXPECT_TRUE(queue.try_push(a));
-  EXPECT_TRUE(queue.try_push(b));
-  EXPECT_FALSE(queue.try_push(c));  // full; c not consumed
+  EXPECT_TRUE(queue.try_push(std::move(a)));
+  EXPECT_TRUE(queue.try_push(std::move(b)));
+  EXPECT_FALSE(queue.try_push(std::move(c)));  // full; c not consumed
   EXPECT_EQ(c, 3);
   EXPECT_EQ(queue.pop().value(), 1);
-  EXPECT_TRUE(queue.try_push(c));
+  EXPECT_TRUE(queue.try_push(std::move(c)));
+}
+
+// The regression the rvalue try_push signature exists to prevent: a
+// rejected push must leave the caller's value intact — moved from only
+// on the accept path — so the caller can retry or fail it explicitly.
+TEST(BoundedQueue, TryPushFailureIsNonDestructive) {
+  struct MoveTracker {
+    std::shared_ptr<int> payload;  // null after a real move
+  };
+  BoundedQueue<MoveTracker> queue(1);
+  ASSERT_TRUE(queue.try_push(MoveTracker{std::make_shared<int>(1)}));
+
+  MoveTracker rejected{std::make_shared<int>(2)};
+  EXPECT_FALSE(queue.try_push(std::move(rejected)));
+  ASSERT_NE(rejected.payload, nullptr) << "rejected value was moved from";
+  EXPECT_EQ(*rejected.payload, 2);
+
+  // Also when the failure reason is close, not capacity.
+  queue.close();
+  EXPECT_FALSE(queue.try_push(std::move(rejected)));
+  ASSERT_NE(rejected.payload, nullptr);
+  EXPECT_EQ(*rejected.payload, 2);
 }
 
 TEST(BoundedQueue, TryPopOnEmptyReturnsNullopt) {

@@ -1,0 +1,178 @@
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace veritas::util {
+namespace {
+
+// Every test disarms on exit (ScopedFailpoint or explicit disable_all)
+// so an assertion failure can't leak an armed site into another test.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::disable_all(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(VERITAS_FAILPOINT("test.never.armed"));
+  }
+  EXPECT_EQ(Failpoints::hits("test.never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorModeFiresAndCounts) {
+  ScopedFailpoint fp("test.error", {});
+  EXPECT_TRUE(VERITAS_FAILPOINT("test.error"));
+  EXPECT_TRUE(VERITAS_FAILPOINT("test.error"));
+  EXPECT_EQ(fp.hits(), 2u);
+}
+
+TEST_F(FailpointTest, ThrowModeThrowsFailpointTriggered) {
+  Failpoints::Config config;
+  config.mode = Failpoints::Config::Mode::kThrow;
+  ScopedFailpoint fp("test.throw", config);
+  EXPECT_THROW(VERITAS_FAILPOINT("test.throw"), FailpointTriggered);
+  EXPECT_EQ(fp.hits(), 1u);
+}
+
+TEST_F(FailpointTest, SleepModeDelaysThenPasses) {
+  Failpoints::Config config;
+  config.mode = Failpoints::Config::Mode::kSleep;
+  config.sleep_ms = 30;
+  ScopedFailpoint fp("test.sleep", config);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(VERITAS_FAILPOINT("test.sleep"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+  EXPECT_EQ(fp.hits(), 1u);
+}
+
+TEST_F(FailpointTest, SkipLetsEarlyEvaluationsPass) {
+  Failpoints::Config config;
+  config.skip = 3;
+  ScopedFailpoint fp("test.skip", config);
+  EXPECT_FALSE(VERITAS_FAILPOINT("test.skip"));
+  EXPECT_FALSE(VERITAS_FAILPOINT("test.skip"));
+  EXPECT_FALSE(VERITAS_FAILPOINT("test.skip"));
+  EXPECT_TRUE(VERITAS_FAILPOINT("test.skip"));
+  EXPECT_EQ(fp.hits(), 1u);
+}
+
+TEST_F(FailpointTest, MaxHitsSpendsTheSite) {
+  Failpoints::Config config;
+  config.max_hits = 2;
+  ScopedFailpoint fp("test.max", config);
+  EXPECT_TRUE(VERITAS_FAILPOINT("test.max"));
+  EXPECT_TRUE(VERITAS_FAILPOINT("test.max"));
+  EXPECT_FALSE(VERITAS_FAILPOINT("test.max"));  // spent
+  EXPECT_FALSE(VERITAS_FAILPOINT("test.max"));
+  EXPECT_EQ(fp.hits(), 2u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicInSeedAndIndex) {
+  // Two identical runs over a fresh site must produce the identical
+  // trigger pattern: the hash depends only on (seed, evaluation index).
+  const auto run = [] {
+    Failpoints::Config config;
+    config.probability = 0.3;
+    config.seed = 42;
+    Failpoints::enable("test.prob", config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(VERITAS_FAILPOINT("test.prob"));
+    }
+    Failpoints::disable("test.prob");
+    return fired;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // And ~30% of 200 should have fired — loose sanity bounds.
+  const auto count =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(count, 30u);
+  EXPECT_LT(count, 100u);
+}
+
+TEST_F(FailpointTest, ReenableRestartsCounters) {
+  ScopedFailpoint fp("test.reenable", {});
+  EXPECT_TRUE(VERITAS_FAILPOINT("test.reenable"));
+  EXPECT_EQ(Failpoints::hits("test.reenable"), 1u);
+  Failpoints::enable("test.reenable", {});
+  EXPECT_EQ(Failpoints::hits("test.reenable"), 0u);
+}
+
+TEST_F(FailpointTest, ActiveSitesAreSorted) {
+  ScopedFailpoint b("test.list.b", {});
+  ScopedFailpoint a("test.list.a", {});
+  const std::vector<std::string> sites = Failpoints::active_sites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], "test.list.a");
+  EXPECT_EQ(sites[1], "test.list.b");
+}
+
+TEST_F(FailpointTest, ArmFromSpecParsesTheGrammar) {
+  Failpoints::arm_from_spec(
+      "test.spec.a=error:p=1:max=3;test.spec.b=sleep:ms=1;garbage;=bad;"
+      "test.spec.c=unknownmode");
+  const std::vector<std::string> sites = Failpoints::active_sites();
+  // Malformed entries and unknown modes are skipped, never fatal.
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], "test.spec.a");
+  EXPECT_EQ(sites[1], "test.spec.b");
+  EXPECT_TRUE(VERITAS_FAILPOINT("test.spec.a"));
+  EXPECT_TRUE(VERITAS_FAILPOINT("test.spec.a"));
+  EXPECT_TRUE(VERITAS_FAILPOINT("test.spec.a"));
+  EXPECT_FALSE(VERITAS_FAILPOINT("test.spec.a"));  // max=3 spent
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluateAndDisableIsSafe) {
+  // Hammer one site from several threads while the main thread arms and
+  // disarms it; the shared_ptr pin means no use-after-free and no lost
+  // counters (TSan covers the rest).
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)VERITAS_FAILPOINT("test.race");
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    Failpoints::enable("test.race", {});
+    Failpoints::disable("test.race");
+  }
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+}
+
+TEST_F(FailpointTest, MaxHitsIsExactUnderContention) {
+  Failpoints::Config config;
+  config.max_hits = 100;
+  ScopedFailpoint fp("test.contended", config);
+  std::atomic<std::uint64_t> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fired] {
+      for (int i = 0; i < 1000; ++i) {
+        if (VERITAS_FAILPOINT("test.contended")) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // The CAS hit-claim loop makes the cap exact, not approximate.
+  EXPECT_EQ(fired.load(), 100u);
+  EXPECT_EQ(fp.hits(), 100u);
+}
+
+}  // namespace
+}  // namespace veritas::util

@@ -1,0 +1,221 @@
+#include "util/priority_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace veritas::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedPriorityQueue, StrictPriorityThenFifo) {
+  BoundedPriorityQueue<int> queue(8);
+  EXPECT_EQ(queue.push(10, 1), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.push(20, 2), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.push(0, 0), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.push(11, 1), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.push(1, 0), PushOutcome::kAccepted);
+  // Urgent class drains first; FIFO within each class.
+  EXPECT_EQ(queue.pop().value(), 0);
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 10);
+  EXPECT_EQ(queue.pop().value(), 11);
+  EXPECT_EQ(queue.pop().value(), 20);
+}
+
+TEST(BoundedPriorityQueue, CapacityIsSharedAcrossClasses) {
+  BoundedPriorityQueue<int> queue(2);
+  EXPECT_EQ(queue.try_push(1, 0), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.try_push(2, 2), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.try_push(3, 1), PushOutcome::kFull);
+  EXPECT_EQ(queue.size(), 2u);
+  const auto depths = queue.depths();
+  EXPECT_EQ(depths[0], 1u);
+  EXPECT_EQ(depths[1], 0u);
+  EXPECT_EQ(depths[2], 1u);
+}
+
+TEST(BoundedPriorityQueue, PushUntilTimesOutNonDestructively) {
+  BoundedPriorityQueue<std::shared_ptr<int>> queue(1);
+  ASSERT_EQ(queue.push(std::make_shared<int>(1), 0), PushOutcome::kAccepted);
+  std::shared_ptr<int> value = std::make_shared<int>(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.push_until(std::move(value), 0, start + 30ms),
+            PushOutcome::kTimedOut);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+  // The timed-out value is untouched: the caller still owns it.
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 2);
+}
+
+TEST(BoundedPriorityQueue, PushUntilAdmitsWhenRoomAppears) {
+  BoundedPriorityQueue<int> queue(1);
+  ASSERT_EQ(queue.push(1, 0), PushOutcome::kAccepted);
+  std::thread popper([&queue] {
+    std::this_thread::sleep_for(20ms);
+    EXPECT_EQ(queue.pop().value(), 1);
+  });
+  EXPECT_EQ(queue.push_until(2, 0, std::chrono::steady_clock::now() + 5s),
+            PushOutcome::kAccepted);
+  popper.join();
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(BoundedPriorityQueue, DisplacingEvictsOldestOfLowestClass) {
+  BoundedPriorityQueue<int> queue(3);
+  ASSERT_EQ(queue.push(20, 2), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(21, 2), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(10, 1), PushOutcome::kAccepted);
+  std::optional<int> displaced;
+  EXPECT_EQ(queue.push_displacing(0, 0, displaced), PushOutcome::kAccepted);
+  // The *oldest* item of the *lowest* class below the arrival went.
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(*displaced, 20);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pop().value(), 0);
+  EXPECT_EQ(queue.pop().value(), 10);
+  EXPECT_EQ(queue.pop().value(), 21);
+}
+
+TEST(BoundedPriorityQueue, DisplacingNeedsAStrictlyLowerVictim) {
+  BoundedPriorityQueue<int> queue(2);
+  ASSERT_EQ(queue.push(1, 0), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(2, 0), PushOutcome::kAccepted);
+  std::optional<int> displaced;
+  // Full of same-priority work: nothing to displace, value untouched.
+  EXPECT_EQ(queue.push_displacing(3, 0, displaced), PushOutcome::kFull);
+  EXPECT_FALSE(displaced.has_value());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedPriorityQueue, DisplacingDoesNotWaitWithRoom) {
+  BoundedPriorityQueue<int> queue(2);
+  std::optional<int> displaced;
+  EXPECT_EQ(queue.push_displacing(1, 0, displaced), PushOutcome::kAccepted);
+  EXPECT_FALSE(displaced.has_value());
+}
+
+TEST(BoundedPriorityQueue, PopIfSkipsIneligibleWithoutReordering) {
+  BoundedPriorityQueue<int> queue(8);
+  ASSERT_EQ(queue.push(1, 1), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(2, 1), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(3, 1), PushOutcome::kAccepted);
+  // Skip even values: 1 then 3, leaving 2 at the front of its class.
+  const auto odd = [](const int& v) { return v % 2 == 1; };
+  EXPECT_EQ(queue.pop_if(odd).value(), 1);
+  EXPECT_EQ(queue.pop_if(odd).value(), 3);
+  EXPECT_EQ(queue.try_pop_if(odd), std::nullopt);
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(BoundedPriorityQueue, PopIfWakesOnNotifyWaiters) {
+  BoundedPriorityQueue<int> queue(4);
+  ASSERT_EQ(queue.push(2, 0), PushOutcome::kAccepted);
+  std::atomic<bool> eligible{false};
+  std::atomic<int> got{0};
+  std::thread popper([&] {
+    got.store(queue
+                  .pop_if([&eligible](const int&) {
+                    return eligible.load(std::memory_order_relaxed);
+                  })
+                  .value());
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(got.load(), 0);  // parked: nothing eligible
+  eligible.store(true);
+  queue.notify_waiters();
+  popper.join();
+  EXPECT_EQ(got.load(), 2);
+}
+
+TEST(BoundedPriorityQueue, CloseDrainsIgnoringPredicate) {
+  // The shutdown guarantee: once closed, a quota predicate cannot strand
+  // accepted items (or deadlock the popper).
+  BoundedPriorityQueue<int> queue(4);
+  ASSERT_EQ(queue.push(1, 1), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(2, 0), PushOutcome::kAccepted);
+  queue.close();
+  const auto nothing = [](const int&) { return false; };
+  EXPECT_EQ(queue.pop_if(nothing).value(), 2);  // priority order kept
+  EXPECT_EQ(queue.pop_if(nothing).value(), 1);
+  EXPECT_EQ(queue.pop_if(nothing), std::nullopt);
+}
+
+TEST(BoundedPriorityQueue, CloseFailsPushesAndWakesWaiters) {
+  BoundedPriorityQueue<int> full(1);
+  ASSERT_EQ(full.push(1, 0), PushOutcome::kAccepted);
+  BoundedPriorityQueue<int> empty(1);
+  std::thread producer([&full] {
+    EXPECT_EQ(full.push(2, 0), PushOutcome::kClosed);
+  });
+  std::thread consumer([&empty] {
+    EXPECT_EQ(empty.pop(), std::nullopt);
+  });
+  std::this_thread::sleep_for(20ms);
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(full.pop().value(), 1);  // accepted before close: drained
+  EXPECT_EQ(full.try_push(3, 0), PushOutcome::kClosed);
+}
+
+TEST(BoundedPriorityQueue, ManyProducersManyConsumersDeliverEachOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 400;
+  BoundedPriorityQueue<int> queue(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        ASSERT_EQ(queue.push(int{value}, static_cast<std::size_t>(value % 3)),
+                  PushOutcome::kAccepted);
+      }
+    });
+  }
+
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (const auto value = queue.pop()) {
+        const std::lock_guard<std::mutex> lock(seen_mutex);
+        EXPECT_TRUE(seen.insert(*value).second) << "duplicate " << *value;
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(seen.size(), std::size_t{kProducers} * kPerProducer);
+}
+
+TEST(BoundedPriorityQueue, MoveOnlyPayload) {
+  BoundedPriorityQueue<std::unique_ptr<int>> queue(2);
+  EXPECT_EQ(queue.push(std::make_unique<int>(42), 0), PushOutcome::kAccepted);
+  const auto value = queue.pop();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(**value, 42);
+}
+
+TEST(BoundedPriorityQueue, RejectsZeroCapacityAndBadPriority) {
+  EXPECT_THROW(BoundedPriorityQueue<int>(0), ContractViolation);
+  BoundedPriorityQueue<int> queue(1);
+  EXPECT_THROW(queue.push(1, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace veritas::util

@@ -17,12 +17,19 @@
 # BM_FbWithEstimatorPr4BaselineK17 vs BM_FbWithEstimatorK17/simd:1/warm:1
 # (forward-backward with the estimator included, k = 17).
 #
-# Usage: tools/run_bench.sh [output.json]   (default: BENCH_5.json)
+# The PR 6 service bench additionally runs an overload scenario (2x the
+# measured cold capacity, mixed priorities, deadlines, shed + degraded
+# policies armed) and records the `overload` block: offered vs goodput
+# rates, per-status breakdown, interactive p99, max submit stall, and
+# the counter-reconciliation bit. The bench exits non-zero if a
+# submitter ever blocked >= 1 s or the books don't balance.
+#
+# Usage: tools/run_bench.sh [output.json]   (default: BENCH_6.json)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-out_json="${1:-${repo_root}/BENCH_5.json}"
+out_json="${1:-${repo_root}/BENCH_6.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j \
