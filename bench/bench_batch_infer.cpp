@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "abr/abr_factory.hpp"
+#include "math/simd_kernels.hpp"
 #include "core/inference_engine.hpp"
 #include "net/network_path.hpp"
 #include "sim/session.hpp"
@@ -220,6 +221,8 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path);
     out << "{\n"
         << "  \"bench\": \"bench_batch_infer\",\n"
+        << "  \"kernels\": \""
+        << veritas::math::simd_kernels::backend_name() << "\",\n"
         << "  \"sessions\": " << sessions << ",\n"
         << "  \"total_chunks\": " << total_chunks << ",\n"
         << "  \"hardware_threads\": " << hw << ",\n"

@@ -3,10 +3,12 @@
 // TCP simulator and the estimator f, plus a full end-to-end infer().
 //
 // Benchmarks that exercise the EHMM kernels take a `simd` argument:
-// /simd:0 forces the scalar reference table, /simd:1 the vectorized one
-// (skipped when the binary or CPU has no SIMD table), so one run records
-// the scalar-vs-SIMD trajectory side by side (tools/run_bench.sh →
-// BENCH_4.json).
+// /simd:0 forces the scalar reference table, /simd:1 the default
+// bit-exact vector table, /simd:2 the opt-in AVX-512/FMA tier (each
+// skipped when the binary or CPU lacks that table), so one run records
+// the full kernel-tier trajectory side by side (tools/run_bench.sh →
+// BENCH_7.json). Every guarded benchmark labels itself with the
+// *resolved* tier name so the JSON never reports a stale dispatch mode.
 #include <benchmark/benchmark.h>
 
 #include "abr/abr_factory.hpp"
@@ -36,18 +38,30 @@ const sim::SessionLog& shared_log() {
   return log;
 }
 
-/// Applies the benchmark's simd argument to the kernel dispatcher.
-/// Returns false (after flagging a skip) when the SIMD table is absent.
+/// Applies the benchmark's simd argument to the kernel dispatcher:
+/// 0 = scalar reference, 1 = default bit-exact vector table, 2 = opt-in
+/// AVX-512/FMA tier. Returns false (after flagging a skip) when the
+/// requested table is absent, and labels the benchmark with the
+/// *resolved* tier name (sk::backend_name()) so recorded runs identify
+/// the kernels that actually executed.
 class KernelModeGuard {
  public:
   explicit KernelModeGuard(benchmark::State& state) {
-    const bool want_simd = state.range(0) == 1;
-    if (want_simd && sk::simd_ops() == nullptr) {
+    const int tier = static_cast<int>(state.range(0));
+    if (tier == 1 && sk::simd_ops() == nullptr) {
       state.SkipWithError("SIMD kernel table unavailable");
       ok_ = false;
       return;
     }
-    sk::set_mode(want_simd ? sk::Mode::kForceSimd : sk::Mode::kForceScalar);
+    if (tier == 2 && sk::avx512_ops() == nullptr) {
+      state.SkipWithError("AVX-512 kernel table unavailable");
+      ok_ = false;
+      return;
+    }
+    sk::set_mode(tier == 2   ? sk::Mode::kForceAvx512
+                 : tier == 1 ? sk::Mode::kForceSimd
+                             : sk::Mode::kForceScalar);
+    state.SetLabel(sk::backend_name());
   }
   ~KernelModeGuard() { sk::set_mode(sk::Mode::kAuto); }
   explicit operator bool() const { return ok_; }
@@ -67,7 +81,7 @@ void BM_Viterbi(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
 }
-BENCHMARK(BM_Viterbi)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_Viterbi)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ForwardBackward(benchmark::State& state) {
   KernelModeGuard guard(state);
@@ -80,7 +94,7 @@ void BM_ForwardBackward(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
 }
-BENCHMARK(BM_ForwardBackward)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_ForwardBackward)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 // The forward-backward *recursion* phase: emission means precomputed
 // once (the TCP estimator f is scalar and identical in both modes), so
@@ -102,7 +116,7 @@ void BM_ForwardBackwardRecursion(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
 }
-BENCHMARK(BM_ForwardBackwardRecursion)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_ForwardBackwardRecursion)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 void BM_PosteriorSample(benchmark::State& state) {
   const core::Veritas veritas;
@@ -126,7 +140,7 @@ void BM_FullInfer(benchmark::State& state) {
     benchmark::DoNotOptimize(veritas.infer(shared_log()));
   }
 }
-BENCHMARK(BM_FullInfer)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_FullInfer)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 core::VeritasConfig multi_window_config() {
   core::VeritasConfig cfg;
@@ -156,7 +170,7 @@ void BM_FusedSessionPass(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(obs.size()));
 }
-BENCHMARK(BM_FusedSessionPass)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_FusedSessionPass)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 void BM_FusedSessionPassMultiWindow(benchmark::State& state) {
   const core::InferenceEngine engine{multi_window_config()};
@@ -192,12 +206,16 @@ struct KernelFixture {
   std::vector<core::ChunkObservation> obs =
       core::observations_from_log(shared_log());
   core::Ehmm::Scratch scratch;
+  math::Matrix means;  ///< dense emission means (the Scratch path is
+                       ///< zero-copy since PR 7, so build our own)
   sk::DeltaTables tables;
   std::size_t k = 0;
   std::size_t stride = 0;
 
   KernelFixture() {
     (void)ehmm.forward_backward(obs, scratch);
+    core::EstimatorCache means_cache;
+    ehmm.emission_means_into(obs, means, means_cache);
     const core::TransitionModel::PowerView view =
         ehmm.transition().power_view(1);
     tables.p = view.p->row_data(0);
@@ -216,6 +234,7 @@ const KernelFixture& kernel_fixture() {
 }
 
 const sk::KernelOps& bench_ops(const benchmark::State& state) {
+  if (state.range(0) == 2) return *sk::avx512_ops();
   return state.range(0) == 1 ? *sk::simd_ops() : sk::scalar_ops();
 }
 
@@ -224,6 +243,11 @@ bool skip_if_no_simd(benchmark::State& state) {
     state.SkipWithError("SIMD kernel table unavailable");
     return true;
   }
+  if (state.range(0) == 2 && sk::avx512_ops() == nullptr) {
+    state.SkipWithError("AVX-512 kernel table unavailable");
+    return true;
+  }
+  state.SetLabel(bench_ops(state).name);
   return false;
 }
 
@@ -233,7 +257,7 @@ void BM_KernelEmissionRow(benchmark::State& state) {
   const KernelFixture& f = kernel_fixture();
   const sk::KernelOps& ops = bench_ops(state);
   std::vector<double> out(f.stride, 0.0);
-  const double* means = f.scratch.emission_mean.row_data(0);
+  const double* means = f.means.row_data(0);
   for (auto _ : state) {
     ops.emission_log_pdf_row(4.2, means, f.k, f.stride, 0.5,
                              -0.6931471805599453, 0.9189385332046727,
@@ -242,7 +266,7 @@ void BM_KernelEmissionRow(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(f.k));
 }
-BENCHMARK(BM_KernelEmissionRow)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_KernelEmissionRow)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 // One row of exp(log_e - max): the forward-backward emission rescale.
 void BM_KernelExpRow(benchmark::State& state) {
@@ -257,7 +281,7 @@ void BM_KernelExpRow(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(f.stride));
 }
-BENCHMARK(BM_KernelExpRow)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_KernelExpRow)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 // One k² max-plus Viterbi step over the dense Δ=1 tables.
 void BM_KernelViterbiStep(benchmark::State& state) {
@@ -275,7 +299,7 @@ void BM_KernelViterbiStep(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) *
                           int64_t(f.k * f.k));
 }
-BENCHMARK(BM_KernelViterbiStep)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_KernelViterbiStep)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 // One k² sum-product forward step.
 void BM_KernelForwardStep(benchmark::State& state) {
@@ -292,7 +316,7 @@ void BM_KernelForwardStep(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) *
                           int64_t(f.k * f.k));
 }
-BENCHMARK(BM_KernelForwardStep)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_KernelForwardStep)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 // One k² backward step with the fused pair-posterior normalizer.
 void BM_KernelBackwardPairStep(benchmark::State& state) {
@@ -312,7 +336,7 @@ void BM_KernelBackwardPairStep(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) *
                           int64_t(f.k * f.k));
 }
-BENCHMARK(BM_KernelBackwardPairStep)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_KernelBackwardPairStep)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
 
 // --------------------------------------------------------- transition
 
@@ -387,7 +411,40 @@ void BM_EstimatorBatchK17(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) *
                           int64_t(candidates.size()));
 }
-BENCHMARK(BM_EstimatorBatchK17)->ArgName("simd")->Arg(0)->Arg(1);
+BENCHMARK(BM_EstimatorBatchK17)->ArgName("simd")->Arg(0)->Arg(1)->Arg(2);
+
+/// CA-dominated batch: every candidate's pipe is wider than the opening
+/// window (bdp > cwnd0 at min_rtt 80 ms needs gtbw > 1.8 Mbps, so no
+/// lane short-circuits to the covered-pipe branch) and the window starts
+/// above ssthresh (no slow start, no idle gap → no SSR) with a large
+/// transfer, so every lane opens with a long congestion-avoidance run.
+/// PR 6 drained each lane to the scalar per-candidate CA loop here;
+/// PR 7 keeps the candidates in SoA lanes through the arithmetic-series
+/// CA jump, which is where this bench's /simd:1-vs-/simd:0 gap comes
+/// from.
+void BM_EstimatorBatchCaHeavyK17(benchmark::State& state) {
+  KernelModeGuard guard(state);
+  if (!guard) return;
+  std::vector<double> candidates;
+  for (int i = 0; i < 17; ++i) candidates.push_back(4.0 + 4.0 * i);
+  net::TcpState w;
+  w.cwnd_segments = 12.0;
+  w.ssthresh_segments = 6.0;
+  w.last_send_gap_s = 0.0;
+  std::vector<double> out(candidates.size(), 0.0);
+  for (auto _ : state) {
+    net::estimate_throughput_batch(candidates, w, 16000000.0,
+                                   net::TcpConfig{}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(candidates.size()));
+}
+BENCHMARK(BM_EstimatorBatchCaHeavyK17)
+    ->ArgName("simd")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
 
 /// The emission-means phase of one session (the estimator-bound part of
 /// prepare()): /warm:0 clears the (W, S) cache every iteration (every
@@ -418,7 +475,9 @@ BENCHMARK(BM_EmissionMeansK17)
     ->Args({0, 0})
     ->Args({0, 1})
     ->Args({1, 0})
-    ->Args({1, 1});
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
 
 /// The PR 5 headline: one full forward-backward call *including* the
 /// estimator-driven emission phase, k = 17.
@@ -476,7 +535,9 @@ BENCHMARK(BM_FbWithEstimatorK17)
     ->Args({0, 0})
     ->Args({0, 1})
     ->Args({1, 0})
-    ->Args({1, 1});
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
 
 void BM_TcpDownload(benchmark::State& state) {
   const auto bw = trace::BandwidthTrace::constant(5.0, 100000.0, 5.0);
@@ -500,4 +561,18 @@ BENCHMARK(BM_FullSession);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the run context records the
+// *resolved* kernel tiers (what active_ops() dispatches to by default,
+// and whether the opt-in AVX-512 table resolved on this host), so a
+// recorded BENCH_*.json identifies the kernels that actually ran.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("kernels_default", sk::backend_name());
+  benchmark::AddCustomContext(
+      "kernels_avx512",
+      sk::avx512_ops() != nullptr ? sk::avx512_ops()->name : "unavailable");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -37,6 +37,7 @@
 #include "trace/trace_generator.hpp"
 #include "util/thread_pool.hpp"
 #include "video/ladder_presets.hpp"
+#include "math/simd_kernels.hpp"
 
 namespace {
 
@@ -384,6 +385,8 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path);
     out << "{\n"
         << "  \"bench\": \"bench_service\",\n"
+        << "  \"kernels\": \""
+        << veritas::math::simd_kernels::backend_name() << "\",\n"
         << "  \"sessions\": " << sessions << ",\n"
         << "  \"shards\": 2,\n"
         << "  \"hardware_threads\": " << hw << ",\n"

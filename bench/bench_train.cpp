@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "abr/abr_factory.hpp"
+#include "math/simd_kernels.hpp"
 #include "core/baum_welch.hpp"
 #include "core/inference_engine.hpp"
 #include "net/network_path.hpp"
@@ -150,6 +151,8 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path);
     out << "{\n"
         << "  \"bench\": \"bench_train\",\n"
+        << "  \"kernels\": \""
+        << veritas::math::simd_kernels::backend_name() << "\",\n"
         << "  \"sessions\": " << n_sessions << ",\n"
         << "  \"total_chunks\": " << total_chunks << ",\n"
         << "  \"em_iterations\": " << iterations << ",\n"

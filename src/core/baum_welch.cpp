@@ -157,8 +157,13 @@ BaumWelchResult baum_welch_train(
       const std::vector<ChunkObservation>& obs = sessions[idx];
       Ehmm::Scratch& lane = scratch[worker];
       if (iter == 0 || !reuse_means) {
+        // The lane's L1 front-cache rides along: repeat tuples inside a
+        // lane skip the shared memo's shard locks entirely. Rows are
+        // bit-identical either way, so the thread-count determinism
+        // argument is untouched.
         model.emission_means_into(obs, means[idx], *lane.estimator_cache,
-                                  needs_plain ? &plain[idx] : nullptr);
+                                  needs_plain ? &plain[idx] : nullptr,
+                                  &lane.estimator_l1);
       }
       const Ehmm::ForwardBackwardResult fb =
           model.forward_backward_from_means(obs, means[idx], lane);

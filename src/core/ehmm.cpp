@@ -139,9 +139,82 @@ std::vector<std::size_t> Ehmm::window_deltas(
   return deltas;
 }
 
+namespace {
+
+/// Quantizes the estimator inputs of observations[n] when the cache is
+/// lossy (both the key and the evaluation use the quantized values, so a
+/// hit stays bit-identical to the miss that filled it); pass-through
+/// otherwise. `storage` backs the quantized copy across loop iterations.
+const ChunkObservation& quantized_view(const EstimatorCache& cache,
+                                       bool quantized,
+                                       const ChunkObservation& raw,
+                                       ChunkObservation& storage) {
+  if (!quantized) return raw;
+  storage = raw;
+  storage.tcp.cwnd_segments = cache.quantize(storage.tcp.cwnd_segments);
+  storage.tcp.ssthresh_segments =
+      cache.quantize(storage.tcp.ssthresh_segments);
+  storage.tcp.rto_s = cache.quantize(storage.tcp.rto_s);
+  storage.tcp.min_rtt_s = cache.quantize(storage.tcp.min_rtt_s);
+  storage.tcp.rtt_s = cache.quantize(storage.tcp.rtt_s);
+  storage.tcp.last_send_gap_s = cache.quantize(storage.tcp.last_send_gap_s);
+  storage.size_bytes = cache.quantize(storage.size_bytes);
+  return storage;
+}
+
+}  // namespace
+
+void Ehmm::compute_cache_entry(const ChunkObservation& obs,
+                               EstimatorCache::Entry& entry,
+                               std::vector<double>& y0_row,
+                               std::vector<double>& span_cands,
+                               std::vector<std::uint8_t>& span_gt1) const {
+  const std::size_t k = space_.size();
+  entry.mean.resize(k);
+  if (!multi_window_) {
+    // One batched estimator call for the whole candidate row.
+    emission_.mean_throughput_row(candidate_values_.data(), k, obs,
+                                  entry.mean.data());
+    return;
+  }
+  // Replace each candidate with its expected average over the download
+  // span: estimate the span from f at the start value (first batched
+  // call), then re-evaluate f at the precomputed span-averaged candidate
+  // for the spans that exceed one window (second batched call;
+  // single-window lanes keep y0 and are fed a zero candidate, which
+  // short-circuits inside f).
+  emission_.mean_throughput_row(candidate_values_.data(), k, obs,
+                                y0_row.data());
+  bool any_span = false;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t span_windows = 1;
+    if (y0_row[i] > 1e-9) {
+      const double est_duration = obs.size_bytes * 8.0 / 1e6 / y0_row[i];
+      span_windows = std::min<std::size_t>(
+          static_cast<std::size_t>(est_duration / delta_s_) + 1,
+          kMaxSpanWindows);
+    }
+    span_gt1[i] = span_windows > 1 ? 1 : 0;
+    span_cands[i] =
+        span_windows > 1 ? span_candidates_(i, span_windows) : 0.0;
+    any_span |= span_windows > 1;
+  }
+  if (any_span) {
+    emission_.mean_throughput_row(span_cands.data(), k, obs,
+                                  entry.mean.data());
+    for (std::size_t i = 0; i < k; ++i) {
+      if (span_gt1[i] == 0) entry.mean[i] = y0_row[i];
+    }
+  } else {
+    std::memcpy(entry.mean.data(), y0_row.data(), k * sizeof(double));
+  }
+  entry.plain.assign(y0_row.begin(), y0_row.end());
+}
+
 void Ehmm::emission_means_into(std::span<const ChunkObservation> observations,
                                math::Matrix& means, EstimatorCache& cache,
-                               math::Matrix* plain_means) const {
+                               math::Matrix* plain_means,
+                               EstimatorCache::L1* l1) const {
   VERITAS_EXPECTS(!observations.empty());
   const std::size_t n_obs = observations.size();
   const std::size_t k = space_.size();
@@ -149,6 +222,7 @@ void Ehmm::emission_means_into(std::span<const ChunkObservation> observations,
   means.resize_padded(n_obs, k, 0.0);
   if (plain_means != nullptr) plain_means->resize_padded(n_obs, k, 0.0);
   const bool quantized = cache.quantizes();
+  if (l1 != nullptr) l1->sync(cache);
   // kMultiWindow span-estimation buffers, reused across rows.
   std::vector<double> y0_row;
   std::vector<double> span_cands;
@@ -160,87 +234,104 @@ void Ehmm::emission_means_into(std::span<const ChunkObservation> observations,
   }
   ChunkObservation quantized_obs;
   for (std::size_t n = 0; n < n_obs; ++n) {
-    const ChunkObservation& obs = [&]() -> const ChunkObservation& {
-      if (!quantized) return observations[n];
-      // Lossy mode: both the key and the evaluation use the quantized
-      // inputs, so a hit stays bit-identical to the miss that filled it.
-      quantized_obs = observations[n];
-      quantized_obs.tcp.cwnd_segments =
-          cache.quantize(quantized_obs.tcp.cwnd_segments);
-      quantized_obs.tcp.ssthresh_segments =
-          cache.quantize(quantized_obs.tcp.ssthresh_segments);
-      quantized_obs.tcp.rto_s = cache.quantize(quantized_obs.tcp.rto_s);
-      quantized_obs.tcp.min_rtt_s =
-          cache.quantize(quantized_obs.tcp.min_rtt_s);
-      quantized_obs.tcp.rtt_s = cache.quantize(quantized_obs.tcp.rtt_s);
-      quantized_obs.tcp.last_send_gap_s =
-          cache.quantize(quantized_obs.tcp.last_send_gap_s);
-      quantized_obs.size_bytes = cache.quantize(quantized_obs.size_bytes);
-      return quantized_obs;
-    }();
+    const ChunkObservation& obs =
+        quantized_view(cache, quantized, observations[n], quantized_obs);
     double* mean_row = means.row_data(n);
     double* plain_row =
         plain_means != nullptr ? plain_means->row_data(n) : nullptr;
     const EstimatorCache::Key key =
         EstimatorCache::key_of(obs.tcp, obs.size_bytes, emission_table_id_);
-    if (const std::shared_ptr<const EstimatorCache::Entry> entry =
-            cache.find(key)) {
+    const EstimatorCache::Entry* hit = nullptr;
+    if (l1 != nullptr) {
+      // L1 first: a repeat tuple inside this lane costs a handful of
+      // probes instead of a shard lock + hash-map lookup. No put happens
+      // between find and the memcpy below, so the raw pointer is safe.
+      if (const std::shared_ptr<const EstimatorCache::Entry>* pinned =
+              l1->find(key)) {
+        hit = pinned->get();
+      }
+    }
+    std::shared_ptr<const EstimatorCache::Entry> shared_hit;
+    if (hit == nullptr) {
+      shared_hit = cache.find(key);
+      if (shared_hit != nullptr) {
+        hit = shared_hit.get();
+        if (l1 != nullptr) l1->put(key, std::move(shared_hit));
+      }
+    }
+    if (hit != nullptr) {
       // This (TCP state, size) tuple already ran the estimator — in this
       // session, an earlier one, or on another thread: the row is
       // identical by construction.
-      std::memcpy(mean_row, entry->mean.data(), k * sizeof(double));
+      std::memcpy(mean_row, hit->mean.data(), k * sizeof(double));
       if (plain_row != nullptr) {
         const std::vector<double>& plain =
-            entry->plain.empty() ? entry->mean : entry->plain;
+            hit->plain.empty() ? hit->mean : hit->plain;
         std::memcpy(plain_row, plain.data(), k * sizeof(double));
       }
       continue;
     }
     auto entry = std::make_shared<EstimatorCache::Entry>();
-    if (!multi_window_) {
-      // One batched estimator call for the whole candidate row.
-      emission_.mean_throughput_row(candidate_values_.data(), k, obs,
-                                    mean_row);
-      if (plain_row != nullptr) {
-        std::memcpy(plain_row, mean_row, k * sizeof(double));
-      }
-    } else {
-      // Replace each candidate with its expected average over the
-      // download span: estimate the span from f at the start value
-      // (first batched call), then re-evaluate f at the precomputed
-      // span-averaged candidate for the spans that exceed one window
-      // (second batched call; single-window lanes keep y0 and are fed a
-      // zero candidate, which short-circuits inside f).
-      emission_.mean_throughput_row(candidate_values_.data(), k, obs,
-                                    y0_row.data());
-      bool any_span = false;
-      for (std::size_t i = 0; i < k; ++i) {
-        std::size_t span_windows = 1;
-        if (y0_row[i] > 1e-9) {
-          const double est_duration = obs.size_bytes * 8.0 / 1e6 / y0_row[i];
-          span_windows = std::min<std::size_t>(
-              static_cast<std::size_t>(est_duration / delta_s_) + 1,
-              kMaxSpanWindows);
-        }
-        span_gt1[i] = span_windows > 1 ? 1 : 0;
-        span_cands[i] =
-            span_windows > 1 ? span_candidates_(i, span_windows) : 0.0;
-        any_span |= span_windows > 1;
-      }
-      if (any_span) {
-        emission_.mean_throughput_row(span_cands.data(), k, obs, mean_row);
-        for (std::size_t i = 0; i < k; ++i) {
-          if (span_gt1[i] == 0) mean_row[i] = y0_row[i];
-        }
-      } else {
-        std::memcpy(mean_row, y0_row.data(), k * sizeof(double));
-      }
-      if (plain_row != nullptr) {
-        std::memcpy(plain_row, y0_row.data(), k * sizeof(double));
-      }
-      entry->plain.assign(y0_row.begin(), y0_row.end());
+    compute_cache_entry(obs, *entry, y0_row, span_cands, span_gt1);
+    std::memcpy(mean_row, entry->mean.data(), k * sizeof(double));
+    if (plain_row != nullptr) {
+      const std::vector<double>& plain =
+          entry->plain.empty() ? entry->mean : entry->plain;
+      std::memcpy(plain_row, plain.data(), k * sizeof(double));
     }
-    entry->mean.assign(mean_row, mean_row + k);
+    if (l1 != nullptr) l1->put(key, entry);
+    cache.insert(key, std::move(entry));
+  }
+}
+
+void Ehmm::emission_mean_rows_into(
+    std::span<const ChunkObservation> observations, EstimatorCache& cache,
+    EstimatorCache::L1& l1, std::vector<const double*>& rows,
+    std::vector<std::shared_ptr<const EstimatorCache::Entry>>& refs) const {
+  VERITAS_EXPECTS(!observations.empty());
+  const std::size_t n_obs = observations.size();
+  const std::size_t k = space_.size();
+  rows.resize(n_obs);
+  refs.clear();
+  refs.reserve(n_obs);
+  const bool quantized = cache.quantizes();
+  l1.sync(cache);
+  std::vector<double> y0_row;
+  std::vector<double> span_cands;
+  std::vector<std::uint8_t> span_gt1;
+  if (multi_window_) {
+    y0_row.resize(k);
+    span_cands.resize(k);
+    span_gt1.resize(k);
+  }
+  ChunkObservation quantized_obs;
+  for (std::size_t n = 0; n < n_obs; ++n) {
+    const ChunkObservation& obs =
+        quantized_view(cache, quantized, observations[n], quantized_obs);
+    const EstimatorCache::Key key =
+        EstimatorCache::key_of(obs.tcp, obs.size_bytes, emission_table_id_);
+    // Every served row is pinned in `refs` — a later put() may displace
+    // the L1 slot whose shared_ptr kept the entry alive, and the shared
+    // memo may capacity-flush the owning shard, so the per-session pin
+    // is what makes the row pointers stable for the recursions.
+    if (const std::shared_ptr<const EstimatorCache::Entry>* pinned =
+            l1.find(key)) {
+      refs.push_back(*pinned);
+      rows[n] = refs.back()->mean.data();
+      continue;
+    }
+    if (std::shared_ptr<const EstimatorCache::Entry> entry =
+            cache.find(key)) {
+      rows[n] = entry->mean.data();
+      refs.push_back(entry);
+      l1.put(key, std::move(entry));
+      continue;
+    }
+    auto entry = std::make_shared<EstimatorCache::Entry>();
+    compute_cache_entry(obs, *entry, y0_row, span_cands, span_gt1);
+    rows[n] = entry->mean.data();
+    refs.push_back(entry);
+    l1.put(key, entry);
     cache.insert(key, std::move(entry));
   }
 }
@@ -266,6 +357,29 @@ void Ehmm::emission_log_probs_from_means_into(
     ops.emission_log_pdf_row(observations[n].throughput_mbps,
                              means.row_data(n), k, stride, sigma, log_sigma,
                              half_log_2pi, out.row_data(n));
+  }
+}
+
+void Ehmm::emission_log_probs_from_rows_into(
+    std::span<const ChunkObservation> observations,
+    std::span<const double* const> rows, math::Matrix& out) const {
+  VERITAS_EXPECTS(!observations.empty());
+  const std::size_t n_obs = observations.size();
+  const std::size_t k = space_.size();
+  VERITAS_EXPECTS(rows.size() == n_obs);
+  out.resize_padded(n_obs, k, kNegInf);
+  // Same batched kernel as the matrix overload; the kernel contract only
+  // requires k readable doubles per mean row, so the unpadded in-entry
+  // rows are fed directly — no densification copy.
+  const KernelOps& ops = math::simd_kernels::active_ops();
+  const double sigma = emission_.sigma_mbps();
+  const double log_sigma = std::log(sigma);
+  const double half_log_2pi = 0.5 * std::log(2.0 * std::numbers::pi);
+  const std::size_t stride = out.col_stride();
+  for (std::size_t n = 0; n < n_obs; ++n) {
+    ops.emission_log_pdf_row(observations[n].throughput_mbps, rows[n], k,
+                             stride, sigma, log_sigma, half_log_2pi,
+                             out.row_data(n));
   }
 }
 
@@ -298,10 +412,15 @@ void Ehmm::prepare(std::span<const ChunkObservation> observations,
         EstimatorCache::kDefaultByteBudget, space_.size(), multi_window_);
     scratch.estimator_cache = std::make_shared<EstimatorCache>(config);
   }
-  emission_means_into(observations, scratch.emission_mean,
-                      *scratch.estimator_cache);
-  emission_log_probs_from_means_into(observations, scratch.emission_mean,
-                                     scratch.log_emission);
+  // Zero-copy emission phase (PR 7): the L1 front-cache serves repeat
+  // tuples without shard locks, and rows are consumed straight out of
+  // cache-entry storage — a fully warm session does no row memcpy at
+  // all. Bit-identical to the dense emission_means_into pipeline.
+  emission_mean_rows_into(observations, *scratch.estimator_cache,
+                          scratch.estimator_l1, scratch.emission_rows,
+                          scratch.emission_refs);
+  emission_log_probs_from_rows_into(observations, scratch.emission_rows,
+                                    scratch.log_emission);
   window_deltas_into(observations, scratch.deltas);
 }
 

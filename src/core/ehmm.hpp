@@ -78,7 +78,6 @@ class Ehmm {
   /// iterate cols() or use row_data() + col_stride().
   struct Scratch {
     math::Matrix log_emission;        ///< N x K emission log-probs
-    math::Matrix emission_mean;       ///< N x K emission means f(...)
     math::Matrix em;                  ///< row-scaled emissions exp(logE - max)
     math::Matrix alpha;               ///< scaled forward table
     math::Matrix beta;                ///< scaled backward table
@@ -97,6 +96,20 @@ class Ehmm {
     /// model's candidate-table id, so one cache can serve any number of
     /// models without cross-talk.
     std::shared_ptr<EstimatorCache> estimator_cache;
+    /// Lock-free L1 front-cache over `estimator_cache` (PR 7 tentpole):
+    /// repeat (W, S) tuples inside this scratch's sessions resolve to
+    /// their memoized rows without touching the shared memo's sharded
+    /// locks. Re-keyed automatically (owner pointer + epoch) when the
+    /// scratch hops engines or the shared cache is clear()ed.
+    EstimatorCache::L1 estimator_l1;
+    /// Zero-copy emission means of the current session: row n of the
+    /// N x K mean matrix as a pointer straight into the owning cache
+    /// entry's storage (only k readable doubles — not padded). Filled by
+    /// prepare() via emission_mean_rows_into; `emission_refs` pins every
+    /// row's entry for the session so L1 displacement or shard flushes
+    /// cannot free a row mid-recursion.
+    std::vector<const double*> emission_rows;
+    std::vector<std::shared_ptr<const EstimatorCache::Entry>> emission_refs;
   };
 
   /// GTBW window index of wall-clock time t.
@@ -126,10 +139,26 @@ class Ehmm {
   /// except under kMultiWindow, and filled from the same estimator
   /// evaluations. Results are bit-identical whether a row came from a
   /// hit or a miss (under quantization both paths evaluate the quantized
-  /// inputs).
+  /// inputs). When `l1` is non-null it is sync()ed to `cache` and
+  /// consulted before the shared memo — pure acceleration, same bits.
   void emission_means_into(std::span<const ChunkObservation> observations,
                            math::Matrix& means, EstimatorCache& cache,
-                           math::Matrix* plain_means = nullptr) const;
+                           math::Matrix* plain_means = nullptr,
+                           EstimatorCache::L1* l1 = nullptr) const;
+
+  /// Zero-copy variant of emission_means_into: instead of memcpying each
+  /// memoized row into a dense matrix, fills `rows[n]` with a pointer
+  /// into the cache entry's own storage (k readable doubles, unpadded)
+  /// and pins each entry in `refs` so the pointers outlive L1
+  /// displacement and shard capacity flushes for the whole session.
+  /// An L1 hit here costs a probe and one shared_ptr copy — no shard
+  /// lock, no hash-map lookup, no row copy. Row values are bit-identical
+  /// to the matrix API's. Plain (un-averaged) means are not exposed —
+  /// Baum-Welch's σ path keeps the matrix API.
+  void emission_mean_rows_into(
+      std::span<const ChunkObservation> observations, EstimatorCache& cache,
+      EstimatorCache::L1& l1, std::vector<const double*>& rows,
+      std::vector<std::shared_ptr<const EstimatorCache::Entry>>& refs) const;
 
   /// Fingerprint of everything an emission-mean row depends on besides
   /// (W, S): estimator kind, TCP config, candidate values, span table
@@ -145,6 +174,13 @@ class Ehmm {
   void emission_log_probs_from_means_into(
       std::span<const ChunkObservation> observations,
       const math::Matrix& means, math::Matrix& out) const;
+
+  /// emission_log_probs_from_means_into over row pointers (as produced
+  /// by emission_mean_rows_into) instead of a dense matrix —
+  /// bit-identical to the matrix overload for equal row values.
+  void emission_log_probs_from_rows_into(
+      std::span<const ChunkObservation> observations,
+      std::span<const double* const> rows, math::Matrix& out) const;
 
   struct ViterbiResult {
     std::vector<std::size_t> states;  ///< MAP state index per chunk (I*)
@@ -219,6 +255,17 @@ class Ehmm {
                             Scratch& scratch) const;
 
  private:
+  /// Runs the batched estimator for one (already-quantized) observation
+  /// and fills `entry`: `mean` always (k doubles), `plain` only under
+  /// kMultiWindow. The three buffers are span-estimation scratch reused
+  /// across rows. Shared by the matrix and row-span emission paths so
+  /// both produce bit-identical entries.
+  void compute_cache_entry(const ChunkObservation& obs,
+                           EstimatorCache::Entry& entry,
+                           std::vector<double>& y0_row,
+                           std::vector<double>& span_cands,
+                           std::vector<std::uint8_t>& span_gt1) const;
+
   /// Fills scratch.log_emission and scratch.deltas for `observations`.
   void prepare(std::span<const ChunkObservation> observations,
                Scratch& scratch) const;

@@ -120,6 +120,9 @@ void EstimatorCache::clear() {
     std::unique_lock lock(shards_[i].mutex);
     shards_[i].map.clear();
   }
+  // Published after the shards are empty so an L1 that syncs against the
+  // new epoch can never re-pin a row the clear was meant to drop.
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace veritas::core

@@ -130,6 +130,15 @@ class EstimatorCache {
   Stats stats() const;
   void clear();
 
+  /// Monotone invalidation counter: bumped by clear() only. Capacity
+  /// flushes deliberately do NOT bump it — entries are pure functions of
+  /// their key (candidate-table id included), so a row pinned elsewhere
+  /// stays correct when its shard re-warms; only an explicit clear()
+  /// demands that downstream front-caches drop their pins too.
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct KeyHash {
     std::size_t operator()(const Key& key) const noexcept;
@@ -148,6 +157,95 @@ class EstimatorCache {
   mutable std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+
+ public:
+  /// Per-lane L1 front-cache over one shared EstimatorCache (PR 7
+  /// tentpole). A Scratch is single-threaded by contract, so the L1 is a
+  /// plain open-addressed table with no locks and no atomics: a repeat
+  /// (W, S) tuple inside a lane resolves to its memoized row without
+  /// touching the sharded shared_mutex memo at all — no lock traffic, no
+  /// hash-map probe, and (for callers of the row-span API) no memcpy.
+  ///
+  /// Slots pin their entries via shared_ptr, so a row served from the L1
+  /// stays valid even if the owning shard was capacity-flushed since —
+  /// by the purity argument behind epoch(), a pinned row can go
+  /// unreachable but never stale. sync() keys the table to
+  /// (owner address, owner epoch): hopping the lane to a different cache
+  /// or clear()-ing the owner drops every slot. A freed cache whose
+  /// address is later reused (ABA) is indistinguishable from the
+  /// original owner until the epochs diverge, and benign: whatever entry
+  /// a slot pins is still the unique correct row for its key.
+  class L1 {
+   public:
+    static constexpr std::size_t kSlots = 128;      ///< power of two
+    static constexpr std::size_t kProbeLimit = 4;   ///< linear probes
+
+    /// Re-keys the table to `owner`; drops all slots when the owner or
+    /// its epoch changed since the last sync. Callers invoke this once
+    /// per session before the find/put loop.
+    void sync(const EstimatorCache& owner) {
+      const std::uint64_t epoch = owner.epoch();
+      if (owner_ == &owner && epoch_ == epoch) return;
+      reset();
+      owner_ = &owner;
+      epoch_ = epoch;
+    }
+
+    /// The pinning shared_ptr of `key`'s slot, or nullptr. The returned
+    /// pointer aliases the slot — copy the shared_ptr out before the
+    /// next put()/reset() if the row must outlive table churn.
+    const std::shared_ptr<const Entry>* find(const Key& key) noexcept {
+      const std::size_t h = KeyHash{}(key);
+      for (std::size_t p = 0; p < kProbeLimit; ++p) {
+        const Slot& slot = slots_[(h + p) & (kSlots - 1)];
+        if (slot.entry != nullptr && slot.key == key) {
+          ++hits_;
+          return &slot.entry;
+        }
+      }
+      ++misses_;
+      return nullptr;
+    }
+
+    void put(const Key& key, std::shared_ptr<const Entry> entry) {
+      const std::size_t h = KeyHash{}(key);
+      for (std::size_t p = 0; p < kProbeLimit; ++p) {
+        Slot& slot = slots_[(h + p) & (kSlots - 1)];
+        if (slot.entry == nullptr || slot.key == key) {
+          slot.key = key;
+          slot.entry = std::move(entry);
+          return;
+        }
+      }
+      // Every probed slot holds a different live key: displace the home
+      // slot (recency wins; the displaced row is still in the shared
+      // memo, so losing it costs one L2 lookup, not a recompute).
+      Slot& home = slots_[h & (kSlots - 1)];
+      home.key = key;
+      home.entry = std::move(entry);
+    }
+
+    void reset() noexcept {
+      for (Slot& slot : slots_) slot.entry.reset();
+      owner_ = nullptr;
+      epoch_ = 0;
+    }
+
+    std::uint64_t hits() const noexcept { return hits_; }
+    std::uint64_t misses() const noexcept { return misses_; }
+
+   private:
+    struct Slot {
+      Key key{};
+      std::shared_ptr<const Entry> entry;
+    };
+    std::array<Slot, kSlots> slots_{};
+    const EstimatorCache* owner_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+  };
 };
 
 }  // namespace veritas::core

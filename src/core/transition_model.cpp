@@ -1,6 +1,8 @@
 #include "core/transition_model.hpp"
 
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "math/distributions.hpp"
@@ -23,7 +25,7 @@ TransitionModel::TransitionModel(math::Matrix a, std::vector<double> initial)
 
 TransitionModel::TransitionModel(const TransitionModel& other)
     : a_(other.a_), initial_(other.initial_), dense_(other.dense_) {
-  const std::lock_guard<std::mutex> lock(other.overflow_mutex_);
+  const std::shared_lock lock(other.overflow_mutex_);
   overflow_ = other.overflow_;
 }
 
@@ -132,7 +134,19 @@ void TransitionModel::precompute_powers(std::size_t max_delta) {
 
 const math::Matrix& TransitionModel::power(std::size_t delta) const {
   if (delta < dense_.size()) return dense_[delta].p;
-  const std::lock_guard<std::mutex> lock(overflow_mutex_);
+  // Read-mostly fast path: after a gap length is memoized once, every
+  // later lookup shares the lock, so concurrent lanes replaying long-gap
+  // sessions don't serialize. std::map node stability keeps the returned
+  // reference valid across later insertions by other threads.
+  {
+    const std::shared_lock lock(overflow_mutex_);
+    const auto it = overflow_.find(delta);
+    if (it != overflow_.end()) return it->second;
+  }
+  const std::unique_lock lock(overflow_mutex_);
+  // Re-check: another thread may have computed this delta between the
+  // two locks; emplace would discard its (identical) matrix anyway, but
+  // skipping the O(k³ log Δ) matrix_power is the point.
   const auto it = overflow_.find(delta);
   if (it != overflow_.end()) return it->second;
   const auto [inserted, ok] =

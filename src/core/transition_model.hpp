@@ -15,14 +15,15 @@
 // transposed layouts with contiguous inner loops; the SIMD recursions
 // stream the untransposed (or, backward, transposed) rows in
 // column blocks. Lookups in the table are lock-free and safe to share
-// across threads; deltas beyond the table fall back to a mutex-guarded
-// memo so arbitrarily long session gaps stay correct. The table size is
+// across threads; deltas beyond the table fall back to a read-mostly
+// shared_mutex memo (shared-lock hits, exclusive-lock first-compute) so
+// arbitrarily long session gaps stay correct. The table size is
 // configurable per engine (VeritasConfig::precomputed_powers).
 #pragma once
 
 #include <cstddef>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -74,8 +75,8 @@ class TransitionModel {
   std::size_t precomputed_powers() const noexcept { return dense_.size(); }
 
   /// A^delta (delta = 0 yields the identity). Lock-free for deltas in the
-  /// precomputed table (rows padded, see above), mutex-guarded
-  /// memoization beyond it (rows unpadded).
+  /// precomputed table (rows padded, see above); beyond it, a shared-lock
+  /// memo find with exclusive-lock first-compute (rows unpadded).
   const math::Matrix& power(std::size_t delta) const;
 
   /// A^delta together with the precomputed transposed / log layouts. The
@@ -100,7 +101,12 @@ class TransitionModel {
   math::Matrix a_;
   std::vector<double> initial_;
   std::vector<DenseEntry> dense_;  ///< index = Δ; immutable once built
-  mutable std::mutex overflow_mutex_;
+  /// Read-mostly memo guard: after a gap length is memoized once, every
+  /// later lookup of it is a shared-lock map find, so concurrent serving
+  /// lanes replaying long-gap sessions no longer serialize on each
+  /// other. Writers (first sighting of a delta) take the exclusive lock
+  /// and re-check under it.
+  mutable std::shared_mutex overflow_mutex_;
   /// Memo for Δ beyond the dense table. std::map: node stability keeps
   /// returned references valid across later insertions.
   mutable std::map<std::size_t, math::Matrix> overflow_;

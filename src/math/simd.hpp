@@ -2,6 +2,7 @@
 //
 // One backend is selected *per translation unit* at compile time:
 //
+//   AVX-512 (8 x double) when the TU is compiled with -mavx512f -mavx512dq
 //   AVX2 (4 x double)  when the TU is compiled with -mavx2 (__AVX2__)
 //   SSE2 (2 x double)  on x86-64 baseline (__SSE2__)
 //   NEON (2 x double)  on AArch64 (__ARM_NEON with 64-bit FP lanes)
@@ -15,11 +16,16 @@
 //
 // Arithmetic lane ops (vadd/vsub/vmul/vdiv/vmax) are IEEE-754 exact per
 // lane — a vectorized loop that preserves the scalar per-element
-// operation order is bit-identical to the scalar loop. The transcendental
-// approximations vexp/vlog are Cephes-style rational polynomials accurate
-// to a couple of ulp; they are property-tested against libm in
-// tests/math/simd_test.cpp and their consumers are covered by the
-// SIMD/scalar equivalence suites.
+// operation order is bit-identical to the scalar loop. The one deliberate
+// exception is vmuladd(a, b, c) = a*b + c: on every backend except
+// AVX-512 it is the exact two-rounding mul-then-add (so AVX2/SSE2/NEON
+// kernels stay bit-identical to scalar), while the AVX-512 backend emits
+// a fused multiply-add with a single rounding — which is why the AVX-512
+// kernel tier is opt-in and tolerance-gated rather than bit-exact (see
+// math/simd_kernels.hpp). The transcendental approximations vexp/vlog
+// are Cephes-style rational polynomials accurate to a couple of ulp;
+// they are property-tested against libm in tests/math/simd_test.cpp and
+// their consumers are covered by the SIMD/scalar equivalence suites.
 #pragma once
 
 #include <cmath>
@@ -38,8 +44,114 @@
 
 namespace veritas::math::simd {
 
+// -------------------------------------------------------------- AVX-512
+// Gated on F+DQ: DQ supplies the mask<->vector moves (movm_epi64 /
+// movepi64_mask) and the 64-bit integer converts (cvtpd_epi64 /
+// cvtepu64_pd) the mask-as-vector interface and vpow2i/vfrexp lean on.
+// Every AVX-512 server core since Skylake-SP ships both.
+#if !defined(VERITAS_SIMD_FORCE_SCALAR) && defined(__AVX512F__) && \
+    defined(__AVX512DQ__)
+#define VERITAS_SIMD_BACKEND_NAME "avx512"
+#define VERITAS_SIMD_BACKEND_AVX512 1
+
+using VecD = __m512d;
+constexpr std::size_t kLanes = 8;
+
+namespace detail {
+/// Compare results travel as all-ones / all-zero vector lanes here like
+/// on every other backend (the kernels blend and combine them freely);
+/// these two hops convert to/from the native __mmask8 at the use sites.
+static inline VecD mask_to_vec(__mmask8 m) {
+  return _mm512_castsi512_pd(_mm512_movm_epi64(m));
+}
+static inline __mmask8 vec_to_mask(VecD v) {
+  return _mm512_movepi64_mask(_mm512_castpd_si512(v));
+}
+}  // namespace detail
+
+static inline VecD vload(const double* p) { return _mm512_loadu_pd(p); }
+static inline void vstore(double* p, VecD v) { _mm512_storeu_pd(p, v); }
+static inline VecD vset1(double x) { return _mm512_set1_pd(x); }
+static inline VecD vzero() { return _mm512_setzero_pd(); }
+static inline VecD vadd(VecD a, VecD b) { return _mm512_add_pd(a, b); }
+static inline VecD vsub(VecD a, VecD b) { return _mm512_sub_pd(a, b); }
+static inline VecD vmul(VecD a, VecD b) { return _mm512_mul_pd(a, b); }
+static inline VecD vdiv(VecD a, VecD b) { return _mm512_div_pd(a, b); }
+static inline VecD vmax(VecD a, VecD b) { return _mm512_max_pd(a, b); }
+static inline VecD vmin(VecD a, VecD b) { return _mm512_min_pd(a, b); }
+static inline VecD vgt(VecD a, VecD b) {
+  return detail::mask_to_vec(_mm512_cmp_pd_mask(a, b, _CMP_GT_OQ));
+}
+static inline VecD vlt(VecD a, VecD b) {
+  return detail::mask_to_vec(_mm512_cmp_pd_mask(a, b, _CMP_LT_OQ));
+}
+static inline VecD veq(VecD a, VecD b) {
+  return detail::mask_to_vec(_mm512_cmp_pd_mask(a, b, _CMP_EQ_OQ));
+}
+static inline VecD vge(VecD a, VecD b) {
+  return detail::mask_to_vec(_mm512_cmp_pd_mask(a, b, _CMP_GE_OQ));
+}
+static inline VecD visnan(VecD a) {
+  return detail::mask_to_vec(_mm512_cmp_pd_mask(a, a, _CMP_NEQ_UQ));
+}
+static inline VecD vand(VecD a, VecD b) { return _mm512_and_pd(a, b); }
+static inline VecD vor(VecD a, VecD b) { return _mm512_or_pd(a, b); }
+static inline VecD vandnot(VecD a, VecD b) {
+  return _mm512_andnot_pd(a, b);
+}
+static inline bool vany(VecD mask) {
+  return detail::vec_to_mask(mask) != 0;
+}
+static inline VecD vblend(VecD a, VecD b, VecD mask) {
+  return _mm512_mask_blend_pd(detail::vec_to_mask(mask), a, b);
+}
+static inline VecD vnearbyint(VecD x) {
+  return _mm512_roundscale_pd(x,
+                              _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+}
+static inline VecD vpow2i(VecD n) {
+  const __m512i n64 = _mm512_cvtpd_epi64(n);
+  const __m512i bits = _mm512_slli_epi64(
+      _mm512_add_epi64(n64, _mm512_set1_epi64(1023)), 52);
+  return _mm512_castsi512_pd(bits);
+}
+static inline VecD vfrexp(VecD x, VecD* e) {
+  const __m512i u = _mm512_castpd_si512(x);
+  const __m512i biased =
+      _mm512_and_si512(_mm512_srli_epi64(u, 52), _mm512_set1_epi64(0x7ff));
+  *e = _mm512_sub_pd(_mm512_cvtepu64_pd(biased), _mm512_set1_pd(1022.0));
+  const __m512i mant = _mm512_or_si512(
+      _mm512_and_si512(u, _mm512_set1_epi64(0x000FFFFFFFFFFFFFll)),
+      _mm512_castpd_si512(_mm512_set1_pd(0.5)));
+  return _mm512_castsi512_pd(mant);
+}
+/// a*b + c with a single rounding — the only lane op that is not
+/// bit-identical to the scalar two-rounding expression (see the header
+/// comment; every other backend computes the exact mul-then-add).
+static inline VecD vmuladd(VecD a, VecD b, VecD c) {
+  return _mm512_fmadd_pd(a, b, c);
+}
+static inline VecD vfloor(VecD x) {
+  return _mm512_roundscale_pd(x, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+}
+static inline VecD vceil(VecD x) {
+  return _mm512_roundscale_pd(x, _MM_FROUND_TO_POS_INF | _MM_FROUND_NO_EXC);
+}
+static inline VecD vsqrt(VecD x) { return _mm512_sqrt_pd(x); }
+/// Masked load of the first n lanes (n in [1, kLanes]); the rest read 0.
+/// Never touches memory past p[n-1].
+static inline VecD vloadn(const double* p, std::size_t n) {
+  const __mmask8 m = static_cast<__mmask8>((1u << n) - 1u);
+  return _mm512_maskz_loadu_pd(m, p);
+}
+/// Masked store of the first n lanes; memory past p[n-1] is untouched.
+static inline void vstoren(double* p, VecD v, std::size_t n) {
+  const __mmask8 m = static_cast<__mmask8>((1u << n) - 1u);
+  _mm512_mask_storeu_pd(p, m, v);
+}
+
 // ----------------------------------------------------------------- AVX2
-#if !defined(VERITAS_SIMD_FORCE_SCALAR) && defined(__AVX2__)
+#elif !defined(VERITAS_SIMD_FORCE_SCALAR) && defined(__AVX2__)
 #define VERITAS_SIMD_BACKEND_NAME "avx2"
 #define VERITAS_SIMD_BACKEND_AVX2 1
 
@@ -124,6 +236,9 @@ static inline VecD vfrexp(VecD x, VecD* e) {
       _mm256_castpd_si256(_mm256_set1_pd(0.5)));
   return _mm256_castsi256_pd(mant);
 }
+static inline VecD vfloor(VecD x) { return _mm256_floor_pd(x); }
+static inline VecD vceil(VecD x) { return _mm256_ceil_pd(x); }
+static inline VecD vsqrt(VecD x) { return _mm256_sqrt_pd(x); }
 
 // ----------------------------------------------------------------- SSE2
 #elif !defined(VERITAS_SIMD_FORCE_SCALAR) && \
@@ -183,6 +298,20 @@ static inline VecD vfrexp(VecD x, VecD* e) {
       _mm_castpd_si128(_mm_set1_pd(0.5)));
   return _mm_castsi128_pd(mant);
 }
+/// floor/ceil via the round-to-nearest convert plus a ±1 correction
+/// (SSE2 has no roundpd). Valid for |x| < 2^31 — every caller is either
+/// exponent-sized (vexp) or pre-guarded below 2^26 by the estimator's
+/// coarse-grid checks; out-of-domain lanes yield unspecified values that
+/// callers blend away.
+static inline VecD vfloor(VecD x) {
+  const VecD r = _mm_cvtepi32_pd(_mm_cvtpd_epi32(x));
+  return _mm_sub_pd(r, _mm_and_pd(_mm_cmpgt_pd(r, x), _mm_set1_pd(1.0)));
+}
+static inline VecD vceil(VecD x) {
+  const VecD r = _mm_cvtepi32_pd(_mm_cvtpd_epi32(x));
+  return _mm_add_pd(r, _mm_and_pd(_mm_cmplt_pd(r, x), _mm_set1_pd(1.0)));
+}
+static inline VecD vsqrt(VecD x) { return _mm_sqrt_pd(x); }
 
 // ----------------------------------------------------------------- NEON
 #elif !defined(VERITAS_SIMD_FORCE_SCALAR) && defined(__aarch64__) && \
@@ -254,6 +383,9 @@ static inline VecD vfrexp(VecD x, VecD* e) {
                 vreinterpretq_u64_f64(vdupq_n_f64(0.5)));
   return vreinterpretq_f64_u64(mant);
 }
+static inline VecD vfloor(VecD x) { return vrndmq_f64(x); }
+static inline VecD vceil(VecD x) { return vrndpq_f64(x); }
+static inline VecD vsqrt(VecD x) { return vsqrtq_f64(x); }
 
 // --------------------------------------------------------------- scalar
 #else
@@ -301,6 +433,37 @@ static inline VecD vfrexp(VecD x, VecD* e) {
   *e = static_cast<double>(exp);
   return m;
 }
+static inline VecD vfloor(VecD x) { return std::floor(x); }
+static inline VecD vceil(VecD x) { return std::ceil(x); }
+static inline VecD vsqrt(VecD x) { return std::sqrt(x); }
+#endif
+
+// ----------------------------------------------- backend-generic pieces
+
+#ifndef VERITAS_SIMD_BACKEND_AVX512
+/// a*b + c as the exact two-rounding mul-then-add: on every backend but
+/// AVX-512 this is literally vadd(vmul(a, b), c) — intrinsic mul/add
+/// pairs are never contracted by the compiler, and the kernel TUs pin
+/// -ffp-contract=off for their scalar tails — so kernels written with
+/// vmuladd stay bit-identical to the scalar reference here. The AVX-512
+/// backend (above) overrides this with a true fused multiply-add.
+static inline VecD vmuladd(VecD a, VecD b, VecD c) {
+  return vadd(vmul(a, b), c);
+}
+/// Partial-lane load/store for row tails that are not a multiple of the
+/// lane width (only reachable when kLanes exceeds math::kRowPadDoubles,
+/// i.e. on AVX-512, which uses native masked moves instead). Lanes past
+/// n read 0 / are not written; memory past p[n-1] is never touched.
+static inline VecD vloadn(const double* p, std::size_t n) {
+  double buf[kLanes];
+  for (std::size_t i = 0; i < kLanes; ++i) buf[i] = i < n ? p[i] : 0.0;
+  return vload(buf);
+}
+static inline void vstoren(double* p, VecD v, std::size_t n) {
+  double buf[kLanes];
+  vstore(buf, v);
+  for (std::size_t i = 0; i < n; ++i) p[i] = buf[i];
+}
 #endif
 
 // ------------------------------------------------------- transcendentals
@@ -320,16 +483,19 @@ static inline VecD vexp(VecD x) {
   r = vsub(r, vmul(n, c2));
   const VecD rr = vmul(r, r);
 
-  // polevl(rr, P) and polevl(rr, Q) from Cephes exp.c.
+  // polevl(rr, P) and polevl(rr, Q) from Cephes exp.c. (vmuladd keeps
+  // the two-rounding order everywhere except AVX-512, where the fused
+  // form shifts the approximation by sub-ulp amounts — still inside the
+  // suite's exp tolerance.)
   VecD p = vset1(1.26177193074810590878e-4);
-  p = vadd(vmul(p, rr), vset1(3.02994407707441961300e-2));
-  p = vadd(vmul(p, rr), vset1(9.99999999999999999910e-1));
+  p = vmuladd(p, rr, vset1(3.02994407707441961300e-2));
+  p = vmuladd(p, rr, vset1(9.99999999999999999910e-1));
   p = vmul(r, p);
 
   VecD q = vset1(3.00198505138664455042e-6);
-  q = vadd(vmul(q, rr), vset1(2.52448340349684104192e-3));
-  q = vadd(vmul(q, rr), vset1(2.27265548208155028766e-1));
-  q = vadd(vmul(q, rr), vset1(2.00000000000000000005e0));
+  q = vmuladd(q, rr, vset1(2.52448340349684104192e-3));
+  q = vmuladd(q, rr, vset1(2.27265548208155028766e-1));
+  q = vmuladd(q, rr, vset1(2.00000000000000000005e0));
 
   VecD y = vdiv(p, vsub(q, p));
   y = vadd(vset1(1.0), vadd(y, y));
@@ -365,17 +531,17 @@ static inline VecD vlog(VecD x) {
 
   // polevl(z, P) / p1evl(z, Q) from Cephes log.c.
   VecD p = vset1(1.01875663804580931796e-4);
-  p = vadd(vmul(p, z), vset1(4.97494994976747001425e-1));
-  p = vadd(vmul(p, z), vset1(4.70579119878881725854e0));
-  p = vadd(vmul(p, z), vset1(1.44989225341610930846e1));
-  p = vadd(vmul(p, z), vset1(1.79368678507819816313e1));
-  p = vadd(vmul(p, z), vset1(7.70838733755885391666e0));
+  p = vmuladd(p, z, vset1(4.97494994976747001425e-1));
+  p = vmuladd(p, z, vset1(4.70579119878881725854e0));
+  p = vmuladd(p, z, vset1(1.44989225341610930846e1));
+  p = vmuladd(p, z, vset1(1.79368678507819816313e1));
+  p = vmuladd(p, z, vset1(7.70838733755885391666e0));
 
   VecD q = vadd(z, vset1(1.12873587189167450590e1));
-  q = vadd(vmul(q, z), vset1(4.52279145837532221105e1));
-  q = vadd(vmul(q, z), vset1(8.29875266912776603211e1));
-  q = vadd(vmul(q, z), vset1(7.11544750618563894466e1));
-  q = vadd(vmul(q, z), vset1(2.31251620126765340583e1));
+  q = vmuladd(q, z, vset1(4.52279145837532221105e1));
+  q = vmuladd(q, z, vset1(8.29875266912776603211e1));
+  q = vmuladd(q, z, vset1(7.11544750618563894466e1));
+  q = vmuladd(q, z, vset1(2.31251620126765340583e1));
 
   VecD y = vmul(z, vdiv(vmul(zz, p), q));
   y = vsub(y, vmul(e, vset1(2.121944400546905827679e-4)));

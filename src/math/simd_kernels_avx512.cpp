@@ -1,0 +1,52 @@
+// Opt-in AVX-512/FMA kernel tier: the same shared kernel body as the
+// default vector TU (math/simd_kernels_body.inc), compiled with
+// -mavx512f -mavx512dq so math/simd.hpp picks the 8-lane AVX-512
+// backend, whose vmuladd is a true fused multiply-add. Consequences:
+//
+//   * forward/backward/pair accumulations and the vexp/vlog polynomials
+//     fuse their mul+add pairs — results differ from the scalar
+//     reference by ulps, which is why this tier is opt-in
+//     (VERITAS_SIMD=avx512 / Mode::kForceAvx512) and tolerance-gated by
+//     tests/core/kernel_equivalence_test.cpp instead of bit-exact.
+//   * the viterbi recursion (max-plus, nothing to fuse), the emission
+//     log-pdf row, and the batched TCP estimator are written without
+//     vmuladd and stay bit-identical to the scalar reference even here.
+//
+// When the toolchain lacks the flags (or the build disabled SIMD) the
+// table collapses to nullptr and the dispatcher never offers the tier;
+// a host without the ISA is rejected at run time via cpu_features. Like
+// the default vector TU, this one exposes only constant-initialized
+// data, so linking it is always safe.
+#include "math/simd_kernels.hpp"
+
+#if !defined(VERITAS_SIMD_DISABLED) && defined(__AVX512F__) && \
+    defined(__AVX512DQ__)
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "math/simd.hpp"
+
+static_assert(veritas::math::simd::kLanes == 8,
+              "the AVX-512 TU must select the 8-lane backend");
+
+namespace veritas::math::simd_kernels {
+namespace {
+#include "math/simd_kernels_body.inc"
+}  // namespace
+
+namespace detail {
+const KernelOps* const compiled_avx512_table = &kVectorOps;
+}  // namespace detail
+
+}  // namespace veritas::math::simd_kernels
+
+#else  // !AVX-512 toolchain or VERITAS_SIMD_DISABLED
+
+namespace veritas::math::simd_kernels::detail {
+const KernelOps* const compiled_avx512_table = nullptr;
+}  // namespace veritas::math::simd_kernels::detail
+
+#endif

@@ -133,7 +133,17 @@ constexpr KernelOps kScalarOps = {
 bool cpu_supports(unsigned features) {
   if (features & kCpuAvx2) {
 #if defined(__x86_64__) || defined(__i386__)
-    return __builtin_cpu_supports("avx2") != 0;
+    if (__builtin_cpu_supports("avx2") == 0) return false;
+#else
+    return false;
+#endif
+  }
+  if (features & kCpuAvx512) {
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx512f") == 0 ||
+        __builtin_cpu_supports("avx512dq") == 0) {
+      return false;
+    }
 #else
     return false;
 #endif
@@ -148,8 +158,17 @@ bool env_forces_scalar() {
          std::strcmp(value, "OFF") == 0 || std::strcmp(value, "scalar") == 0;
 }
 
-const KernelOps* resolve_simd() {
-  const KernelOps* table = detail::compiled_simd_table;
+// The AVX-512/FMA tier is strictly opt-in: plain kAuto never selects it
+// (its fused multiply-adds break the default dispatch's bit-identity
+// contract), but VERITAS_SIMD=avx512 requests it for the whole process.
+bool env_requests_avx512() {
+  const char* value = std::getenv("VERITAS_SIMD");
+  if (value == nullptr) return false;
+  return std::strcmp(value, "avx512") == 0 ||
+         std::strcmp(value, "AVX512") == 0;
+}
+
+const KernelOps* resolve_table(const KernelOps* table) {
   if (table == nullptr || !cpu_supports(table->cpu_features)) return nullptr;
   return table;
 }
@@ -161,7 +180,14 @@ std::atomic<Mode> g_mode{Mode::kAuto};
 const KernelOps& scalar_ops() { return kScalarOps; }
 
 const KernelOps* simd_ops() {
-  static const KernelOps* const table = resolve_simd();
+  static const KernelOps* const table =
+      resolve_table(detail::compiled_simd_table);
+  return table;
+}
+
+const KernelOps* avx512_ops() {
+  static const KernelOps* const table =
+      resolve_table(detail::compiled_avx512_table);
   return table;
 }
 
@@ -178,11 +204,22 @@ const KernelOps& active_ops() {
       const KernelOps* simd = simd_ops();
       return simd != nullptr ? *simd : kScalarOps;
     }
+    case Mode::kForceAvx512: {
+      const KernelOps* avx512 = avx512_ops();
+      if (avx512 != nullptr) return *avx512;
+      const KernelOps* simd = simd_ops();
+      return simd != nullptr ? *simd : kScalarOps;
+    }
     case Mode::kAuto:
       break;
   }
   static const bool env_scalar = env_forces_scalar();
   if (env_scalar) return kScalarOps;
+  static const bool env_avx512 = env_requests_avx512();
+  if (env_avx512) {
+    const KernelOps* avx512 = avx512_ops();
+    if (avx512 != nullptr) return *avx512;
+  }
   const KernelOps* simd = simd_ops();
   return simd != nullptr ? *simd : kScalarOps;
 }

@@ -1,19 +1,15 @@
-// Vectorized kernel table. This TU is compiled with the strongest SIMD
-// flags the toolchain offers (CMake adds -mavx2 -ffp-contract=off on x86
-// when available; AArch64 gets NEON by default), so math/simd.hpp picks
-// the widest backend here. The dispatcher (simd_kernels_scalar.cpp) only
-// routes calls into this TU after checking the table's cpu_features
-// against the running CPU, and this TU exposes nothing but
-// constant-initialized data, so merely linking it is safe on older CPUs.
-//
-// Vectorization strategy: the recursions vectorize across the *output*
-// state dimension i in blocks of whole lanes, broadcasting the
-// sequential j input. Each output's accumulation order therefore matches
-// the scalar reference exactly, making viterbi/forward/backward steps
-// bit-identical to scalar_ops(); only exp/log (polynomial approximation)
-// and pair_total (lane-reassociated reduction) differ by ulps. Rows are
-// padded to math::kRowPadDoubles with neutral elements (0 / -inf), so
-// the lane loops never need tail masks.
+// Default-tier vectorized kernel table. This TU is compiled with the
+// strongest *bit-exact* SIMD flags the toolchain offers (CMake adds
+// -mavx2 -ffp-contract=off on x86 when available; AArch64 gets NEON by
+// default), so math/simd.hpp picks the widest non-FMA backend here and
+// the shared kernel body (math/simd_kernels_body.inc) stays
+// bit-identical to the scalar reference for the recursions. The opt-in
+// AVX-512/FMA tier compiles the same body in
+// math/simd_kernels_avx512.cpp. The dispatcher
+// (simd_kernels_scalar.cpp) only routes calls into this TU after
+// checking the table's cpu_features against the running CPU, and this
+// TU exposes nothing but constant-initialized data, so merely linking
+// it is safe on older CPUs.
 #include "math/simd_kernels.hpp"
 
 #ifndef VERITAS_SIMD_DISABLED
@@ -27,643 +23,11 @@
 
 namespace veritas::math::simd_kernels {
 namespace {
-
-namespace s = veritas::math::simd;
-
-constexpr std::size_t kW = s::kLanes;
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-
-// --------------------------------------------------------------- emission
-
-void emission_log_pdf_row_simd(double y, const double* means, std::size_t k,
-                               std::size_t stride, double sigma,
-                               double log_sigma, double half_log_2pi,
-                               double* out) {
-  const s::VecD vy = s::vset1(y);
-  const s::VecD vsigma = s::vset1(sigma);
-  const s::VecD vneg_half = s::vset1(-0.5);
-  const s::VecD vlog_sigma = s::vset1(log_sigma);
-  const s::VecD vhalf_log_2pi = s::vset1(half_log_2pi);
-  // `means` may be an unpadded caller row: only read k entries.
-  const std::size_t full = k - k % kW;
-  for (std::size_t i = 0; i < full; i += kW) {
-    const s::VecD z = s::vdiv(s::vsub(vy, s::vload(means + i)), vsigma);
-    const s::VecD v = s::vsub(
-        s::vsub(s::vmul(s::vmul(vneg_half, z), z), vlog_sigma),
-        vhalf_log_2pi);
-    s::vstore(out + i, v);
-  }
-  for (std::size_t i = full; i < k; ++i) {
-    const double z = (y - means[i]) / sigma;
-    out[i] = -0.5 * z * z - log_sigma - half_log_2pi;
-  }
-  for (std::size_t i = k; i < stride; ++i) out[i] = kNegInf;
-}
-
-// ---------------------------------------------------------------- exp/log
-
-void exp_rows_simd(const double* in, double shift, std::size_t n,
-                   double* out) {
-  const s::VecD vshift = s::vset1(shift);
-  const std::size_t full = n - n % kW;
-  for (std::size_t i = 0; i < full; i += kW) {
-    s::vstore(out + i, s::vexp(s::vsub(s::vload(in + i), vshift)));
-  }
-  if (full < n) {
-    // Tail through a lane-wide buffer so every element goes through the
-    // same approximation as the vector body.
-    double buf[kW];
-    for (std::size_t i = full; i < n; ++i) buf[i - full] = in[i] - shift;
-    for (std::size_t i = n - full; i < kW; ++i) buf[i] = 0.0;
-    s::VecD v = s::vexp(s::vload(buf));
-    s::vstore(buf, v);
-    for (std::size_t i = full; i < n; ++i) out[i] = buf[i - full];
-  }
-}
-
-void log_rows_simd(const double* in, std::size_t n, double* out) {
-  const std::size_t full = n - n % kW;
-  for (std::size_t i = 0; i < full; i += kW) {
-    s::vstore(out + i, s::vlog(s::vload(in + i)));
-  }
-  if (full < n) {
-    double buf[kW];
-    for (std::size_t i = full; i < n; ++i) buf[i - full] = in[i];
-    for (std::size_t i = n - full; i < kW; ++i) buf[i] = 1.0;
-    s::VecD v = s::vlog(s::vload(buf));
-    s::vstore(buf, v);
-    for (std::size_t i = full; i < n; ++i) out[i] = buf[i - full];
-  }
-}
-
-// -------------------------------------------------------------- recursions
-
-/// NV lanes-worth of Viterbi outputs starting at column `col`. The j
-/// inputs are consumed four at a time through an unrolled compare tree:
-/// the four candidates reduce pairwise (strictly-greater picks the later
-/// j, so ties keep the earlier one) and only the tree winner meets the
-/// running best — the same first-strictly-greater argmax the scalar loop
-/// computes, but the serial blend chain through (best, idx) shrinks from
-/// one link per j to one per four, unclogging the dependency-bound
-/// argmax (ROADMAP: the blend-heavy form was only 1.8x vectorized).
-/// Scores and backpointers match the scalar reference bitwise.
-template <int NV>
-void viterbi_cols(const double* prev, const double* log_p,
-                  std::size_t stride, std::size_t k, const double* e_n,
-                  double* curr, std::uint32_t* back, std::size_t col) {
-  s::VecD best[NV];
-  s::VecD idx[NV];
-  for (int v = 0; v < NV; ++v) {
-    best[v] = s::vset1(kNegInf);
-    idx[v] = s::vzero();
-  }
-  const double* row_j = log_p + col;
-  std::size_t j = 0;
-  for (const std::size_t j4 = k - k % 4; j < j4;
-       j += 4, row_j += 4 * stride) {
-    const s::VecD p0 = s::vset1(prev[j]);
-    const s::VecD p1 = s::vset1(prev[j + 1]);
-    const s::VecD p2 = s::vset1(prev[j + 2]);
-    const s::VecD p3 = s::vset1(prev[j + 3]);
-    const s::VecD i0 = s::vset1(static_cast<double>(j));
-    const s::VecD i1 = s::vset1(static_cast<double>(j + 1));
-    const s::VecD i2 = s::vset1(static_cast<double>(j + 2));
-    const s::VecD i3 = s::vset1(static_cast<double>(j + 3));
-    for (int v = 0; v < NV; ++v) {
-      const s::VecD c0 = s::vadd(p0, s::vload(row_j + v * kW));
-      const s::VecD c1 = s::vadd(p1, s::vload(row_j + stride + v * kW));
-      const s::VecD c2 = s::vadd(p2, s::vload(row_j + 2 * stride + v * kW));
-      const s::VecD c3 = s::vadd(p3, s::vload(row_j + 3 * stride + v * kW));
-      const s::VecD m01 = s::vgt(c1, c0);
-      const s::VecD v01 = s::vblend(c0, c1, m01);
-      const s::VecD x01 = s::vblend(i0, i1, m01);
-      const s::VecD m23 = s::vgt(c3, c2);
-      const s::VecD v23 = s::vblend(c2, c3, m23);
-      const s::VecD x23 = s::vblend(i2, i3, m23);
-      const s::VecD m = s::vgt(v23, v01);
-      const s::VecD vb = s::vblend(v01, v23, m);
-      const s::VecD xb = s::vblend(x01, x23, m);
-      const s::VecD upd = s::vgt(vb, best[v]);
-      best[v] = s::vblend(best[v], vb, upd);
-      idx[v] = s::vblend(idx[v], xb, upd);
-    }
-  }
-  for (; j < k; ++j, row_j += stride) {
-    const s::VecD pj = s::vset1(prev[j]);
-    const s::VecD vj = s::vset1(static_cast<double>(j));
-    for (int v = 0; v < NV; ++v) {
-      const s::VecD cand = s::vadd(pj, s::vload(row_j + v * kW));
-      const s::VecD mask = s::vgt(cand, best[v]);
-      best[v] = s::vblend(best[v], cand, mask);
-      idx[v] = s::vblend(idx[v], vj, mask);
-    }
-  }
-  for (int v = 0; v < NV; ++v) {
-    s::vstore(curr + col + v * kW,
-              s::vadd(best[v], s::vload(e_n + col + v * kW)));
-    double lanes[kW];
-    s::vstore(lanes, idx[v]);
-    for (std::size_t l = 0; l < kW; ++l) {
-      back[col + v * kW + l] = static_cast<std::uint32_t>(lanes[l]);
-    }
-  }
-}
-
-void viterbi_step_simd(const double* prev, const DeltaTables& a,
-                       std::size_t k, const double* e_n, double* curr,
-                       std::uint32_t* back) {
-  const std::size_t stride = a.stride;
-  std::size_t col = 0;
-  while (col < stride) {
-    const std::size_t nv = (stride - col) / kW < 4 ? (stride - col) / kW : 4;
-    switch (nv) {
-      case 1:
-        viterbi_cols<1>(prev, a.log_p, stride, k, e_n, curr, back, col);
-        break;
-      case 2:
-        viterbi_cols<2>(prev, a.log_p, stride, k, e_n, curr, back, col);
-        break;
-      case 3:
-        viterbi_cols<3>(prev, a.log_p, stride, k, e_n, curr, back, col);
-        break;
-      default:
-        viterbi_cols<4>(prev, a.log_p, stride, k, e_n, curr, back, col);
-        break;
-    }
-    col += nv * kW;
-  }
-}
-
-/// NV lanes-worth of forward outputs: acc[i] accumulates prev[j] ·
-/// A^Δ(j, i) in ascending j — scalar order per output — then scales by
-/// the emission row.
-template <int NV>
-void forward_cols(const double* prev, const double* p, std::size_t stride,
-                  std::size_t k, const double* em_n, double* row,
-                  std::size_t col) {
-  s::VecD acc[NV];
-  for (int v = 0; v < NV; ++v) acc[v] = s::vzero();
-  const double* row_j = p + col;
-  for (std::size_t j = 0; j < k; ++j, row_j += stride) {
-    const s::VecD pj = s::vset1(prev[j]);
-    for (int v = 0; v < NV; ++v) {
-      acc[v] = s::vadd(acc[v], s::vmul(pj, s::vload(row_j + v * kW)));
-    }
-  }
-  for (int v = 0; v < NV; ++v) {
-    s::vstore(row + col + v * kW,
-              s::vmul(acc[v], s::vload(em_n + col + v * kW)));
-  }
-}
-
-void forward_step_simd(const double* prev, const DeltaTables& a,
-                       std::size_t k, const double* em_n, double* row) {
-  const std::size_t stride = a.stride;
-  std::size_t col = 0;
-  while (col < stride) {
-    const std::size_t nv = (stride - col) / kW < 8 ? (stride - col) / kW : 8;
-    switch (nv) {
-      case 1:
-        forward_cols<1>(prev, a.p, stride, k, em_n, row, col);
-        break;
-      case 2:
-        forward_cols<2>(prev, a.p, stride, k, em_n, row, col);
-        break;
-      case 3:
-        forward_cols<3>(prev, a.p, stride, k, em_n, row, col);
-        break;
-      case 4:
-        forward_cols<4>(prev, a.p, stride, k, em_n, row, col);
-        break;
-      case 5:
-        forward_cols<5>(prev, a.p, stride, k, em_n, row, col);
-        break;
-      case 6:
-        forward_cols<6>(prev, a.p, stride, k, em_n, row, col);
-        break;
-      case 7:
-        forward_cols<7>(prev, a.p, stride, k, em_n, row, col);
-        break;
-      default:
-        forward_cols<8>(prev, a.p, stride, k, em_n, row, col);
-        break;
-    }
-    col += nv * kW;
-  }
-}
-
-/// NV lanes-worth of backward outputs over the transposed table: the
-/// per-term order ((a · em) · beta) and ascending-j accumulation match
-/// the scalar loop, so beta results are bit-identical. When WithPair,
-/// the unscaled dots are additionally folded into *pair_acc against the
-/// alpha row (pad lanes contribute exactly 0: alpha pads and
-/// transposed-table pads are 0) — the pair normalizer reuses the sweep
-/// instead of re-streaming A^Δ.
-template <int NV, bool WithPair>
-void backward_cols(const double* t, std::size_t stride, std::size_t k,
-                   const double* em_next, const double* beta_next,
-                   double scale, double* beta_n, const double* alpha_n,
-                   s::VecD* pair_acc, std::size_t col) {
-  s::VecD acc[NV];
-  for (int v = 0; v < NV; ++v) acc[v] = s::vzero();
-  const double* row_j = t + col;
-  for (std::size_t j = 0; j < k; ++j, row_j += stride) {
-    const s::VecD em_j = s::vset1(em_next[j]);
-    const s::VecD beta_j = s::vset1(beta_next[j]);
-    for (int v = 0; v < NV; ++v) {
-      acc[v] = s::vadd(
-          acc[v],
-          s::vmul(s::vmul(s::vload(row_j + v * kW), em_j), beta_j));
-    }
-  }
-  const s::VecD vscale = s::vset1(scale);
-  for (int v = 0; v < NV; ++v) {
-    if (WithPair) {
-      *pair_acc = s::vadd(
-          *pair_acc, s::vmul(s::vload(alpha_n + col + v * kW), acc[v]));
-    }
-    s::vstore(beta_n + col + v * kW, s::vdiv(acc[v], vscale));
-  }
-}
-
-template <bool WithPair>
-void backward_sweep(const DeltaTables& a, std::size_t k,
-                    const double* em_next, const double* beta_next,
-                    double scale, double* beta_n, const double* alpha_n,
-                    double* pair_total) {
-  const std::size_t stride = a.stride;
-  s::VecD pair_acc = s::vzero();
-  std::size_t col = 0;
-  while (col < stride) {
-    const std::size_t nv = (stride - col) / kW < 8 ? (stride - col) / kW : 8;
-    switch (nv) {
-      case 1:
-        backward_cols<1, WithPair>(a.t, stride, k, em_next, beta_next, scale,
-                                   beta_n, alpha_n, &pair_acc, col);
-        break;
-      case 2:
-        backward_cols<2, WithPair>(a.t, stride, k, em_next, beta_next, scale,
-                                   beta_n, alpha_n, &pair_acc, col);
-        break;
-      case 3:
-        backward_cols<3, WithPair>(a.t, stride, k, em_next, beta_next, scale,
-                                   beta_n, alpha_n, &pair_acc, col);
-        break;
-      case 4:
-        backward_cols<4, WithPair>(a.t, stride, k, em_next, beta_next, scale,
-                                   beta_n, alpha_n, &pair_acc, col);
-        break;
-      case 5:
-        backward_cols<5, WithPair>(a.t, stride, k, em_next, beta_next, scale,
-                                   beta_n, alpha_n, &pair_acc, col);
-        break;
-      case 6:
-        backward_cols<6, WithPair>(a.t, stride, k, em_next, beta_next, scale,
-                                   beta_n, alpha_n, &pair_acc, col);
-        break;
-      case 7:
-        backward_cols<7, WithPair>(a.t, stride, k, em_next, beta_next, scale,
-                                   beta_n, alpha_n, &pair_acc, col);
-        break;
-      default:
-        backward_cols<8, WithPair>(a.t, stride, k, em_next, beta_next, scale,
-                                   beta_n, alpha_n, &pair_acc, col);
-        break;
-    }
-    col += nv * kW;
-  }
-  if (WithPair) {
-    double lanes[kW];
-    s::vstore(lanes, pair_acc);
-    double sum = 0.0;
-    for (std::size_t l = 0; l < kW; ++l) sum += lanes[l];
-    *pair_total = sum;
-  }
-}
-
-void backward_step_simd(const DeltaTables& a, std::size_t k,
-                        const double* em_next, const double* beta_next,
-                        double scale, double* beta_n, const double* alpha_n,
-                        double* pair_total) {
-  if (alpha_n != nullptr && pair_total != nullptr) {
-    backward_sweep<true>(a, k, em_next, beta_next, scale, beta_n, alpha_n,
-                         pair_total);
-  } else {
-    backward_sweep<false>(a, k, em_next, beta_next, scale, beta_n, nullptr,
-                          nullptr);
-  }
-}
-
-double pair_total_simd(const double* alpha_n, const DeltaTables& a,
-                       std::size_t k, const double* em_next,
-                       const double* beta_next) {
-  // Standalone pair normalizer (used when the backward sweep could not
-  // fuse it): per i-lane dot over j, multiplied by alpha and reduced in
-  // fixed lane order.
-  const std::size_t stride = a.stride;
-  s::VecD total = s::vzero();
-  for (std::size_t col = 0; col < stride; col += kW) {
-    s::VecD acc = s::vzero();
-    const double* row_j = a.t + col;
-    for (std::size_t j = 0; j < k; ++j, row_j += stride) {
-      acc = s::vadd(acc, s::vmul(s::vmul(s::vload(row_j), s::vset1(em_next[j])),
-                                 s::vset1(beta_next[j])));
-    }
-    total = s::vadd(total, s::vmul(s::vload(alpha_n + col), acc));
-  }
-  double lanes[kW];
-  s::vstore(lanes, total);
-  double sum = 0.0;
-  for (std::size_t l = 0; l < kW; ++l) sum += lanes[l];
-  return sum;
-}
-
-// ------------------------------------------------ batched TCP estimator
-//
-// net::estimate_throughput_mbps evaluated for a whole candidate row in
-// struct-of-arrays form: each lane holds one candidate GTBW, and the TCP
-// window evolves branch-free across the lane group (slow-start / BBR
-// doublings and clamp transients stay vectorized; masks freeze finished
-// lanes). A lane leaves the vector loop as soon as it reaches a phase
-// the scalar closed form can jump — the constant-send tail or a cubic
-// congestion-avoidance run — and finishes through finish_rounds(), a
-// per-lane continuation of net::detail::count_rounds from the lane's
-// mid-stream state. Lane arithmetic is IEEE-exact and replays the scalar
-// operation order, the jumps carry the same rounding-slack guards as the
-// net closed form, and the round count is an integer — so the batch is
-// bit-identical to k scalar estimator calls for Cubic and BBR states
-// alike (pinned by tests/net/throughput_batch_test.cpp).
-//
-// The window-growth law below is a deliberate double-precision replica
-// of net::grow_window / net::in_slow_start over the flattened
-// TcpBatchParams; the equivalence suite is what keeps the two in sync.
-
-/// Scalar replica of net::grow_window for one lane.
-double grow_window_lane(double cwnd, double bdp, const TcpBatchParams& p) {
-  if (p.bbr) {
-    const double target = 2.0 * bdp;
-    const double grown =
-        cwnd < target ? std::min(2.0 * cwnd, target) : target;
-    return std::min(std::max(grown, p.init_cwnd), p.rwnd_segments);
-  }
-  const bool delay_exit =
-      p.hystart && cwnd >= p.hystart_bdp_fraction * bdp;
-  const bool in_ss = cwnd < p.ssthresh && !delay_exit;
-  const double grown = in_ss ? 2.0 * cwnd : cwnd + 1.0;
-  return std::min(grown, p.rwnd_segments);
-}
-
-/// See net::detail::on_coarse_grid — multiples of 2^-20 below 2^26, the
-/// grid on which the congestion-avoidance series is exact.
-bool on_coarse_grid_lane(double w) {
-  if (!(w >= 0.0) || w >= 67108864.0) return false;
-  const double scaled = w * 1048576.0;
-  return scaled == std::floor(scaled);
-}
-
-double ca_sum_lane(double c, double r) {
-  return r * c + r * (r - 1.0) * 0.5;
-}
-
-/// Continues the round count from a mid-stream lane state (cwnd, sent,
-/// rounds). Returns the same integer the per-round reference loop
-/// (net::detail::count_rounds_iterative) reaches from the original
-/// inputs: the literal steps taken so far replayed its accumulator
-/// bit-exactly, and every jump below is either exact on the coarse
-/// window grid or guarded by the same rounding-slack checks as
-/// net::detail::count_rounds — a tripped guard resumes bit-exact literal
-/// stepping instead of jumping.
-long finish_rounds(double cwnd, double sent, long rounds, double bdp,
-                   const TcpBatchParams& p) {
-  const double data = p.data_segments;
-  const double slack = 1e-9 * (data + 1.0);
-  const bool cubic = !p.bbr;
-  for (int steps = 0; steps < 512; ++steps) {
-    if (sent >= data) return rounds;
-    const double send = std::min(cwnd, bdp);
-    const double next = grow_window_lane(cwnd, bdp, p);
-    const bool fixed_point = next == cwnd;
-    const bool saturated = send == bdp && next >= cwnd;
-    if (fixed_point || saturated) {
-      const double per = fixed_point ? send : bdp;
-      if (!(per > 0.0)) break;
-      const double remaining = data - sent;
-      const double ratio = remaining / per;
-      if (!(ratio < 4e6)) break;
-      long n = static_cast<long>(std::ceil(ratio));
-      if (n < 1) n = 1;
-      while (n > 1 && static_cast<double>(n - 1) * per >= remaining) --n;
-      while (static_cast<double>(n) * per < remaining) ++n;
-      const double lo = remaining - static_cast<double>(n - 1) * per;
-      const double hi = static_cast<double>(n) * per - remaining;
-      if (lo < slack || hi < slack) break;
-      return rounds + n;
-    }
-    if (cubic && next == cwnd + 1.0) {
-      const bool delay_exit =
-          p.hystart && cwnd >= p.hystart_bdp_fraction * bdp;
-      if (!(cwnd < p.ssthresh && !delay_exit)) {
-        if (!on_coarse_grid_lane(cwnd) || !on_coarse_grid_lane(sent) ||
-            data >= 1073741824.0) {
-          break;
-        }
-        const double bound = std::min(bdp, p.rwnd_segments);
-        long t_max = static_cast<long>(std::floor(bound - cwnd));
-        while (cwnd + static_cast<double>(t_max + 1) <= bound) ++t_max;
-        while (t_max > 0 && cwnd + static_cast<double>(t_max) > bound)
-          --t_max;
-        if (t_max < 0) t_max = 0;
-        const long run = t_max + 1;
-        if (cwnd + static_cast<double>(run) >= 67108864.0) break;
-        const double need = data - sent;
-        const double c2 = 2.0 * cwnd - 1.0;
-        long r = static_cast<long>(
-            std::ceil((std::sqrt(c2 * c2 + 8.0 * need) - c2) * 0.5));
-        r = std::clamp(r, 1L, run);
-        while (r > 1 && ca_sum_lane(cwnd, static_cast<double>(r - 1)) >= need)
-          --r;
-        while (r < run && ca_sum_lane(cwnd, static_cast<double>(r)) < need)
-          ++r;
-        if (ca_sum_lane(cwnd, static_cast<double>(r)) >= need) {
-          return rounds + r;
-        }
-        sent += ca_sum_lane(cwnd, static_cast<double>(run));
-        rounds += run;
-        cwnd = std::min(cwnd + static_cast<double>(run), p.rwnd_segments);
-        continue;
-      }
-    }
-    sent += send;
-    cwnd = next;
-    ++rounds;
-  }
-  // A guard tripped: literal reference stepping from the current state —
-  // a bit-exact continuation of the per-round loop.
-  while (sent < data) {
-    sent += std::min(cwnd, bdp);
-    cwnd = grow_window_lane(cwnd, bdp, p);
-    ++rounds;
-  }
-  return rounds;
-}
-
-void estimate_batch_simd(const double* candidates, std::size_t k,
-                         const TcpBatchParams& p, double* out) {
-  // Candidate-independent shared terms, in the scalar path's operation
-  // order (computed once instead of once per candidate).
-  const double one_rtt_mbps = p.size_bytes * 8.0 / 1e6 / p.min_rtt_s;
-  const double s8 = p.size_bytes * 8.0 / 1e6;
-  const s::VecD vcwnd0 = s::vset1(p.cwnd0);
-  const s::VecD vdata = s::vset1(p.data_segments);
-  const s::VecD vtrue = s::veq(s::vzero(), s::vzero());
-
-  for (std::size_t col = 0; col < k; col += kW) {
-    const std::size_t lanes = k - col < kW ? k - col : kW;
-    double cbuf[kW];
-    for (std::size_t l = 0; l < lanes; ++l) cbuf[l] = candidates[col + l];
-    for (std::size_t l = lanes; l < kW; ++l) cbuf[l] = 0.0;  // idle pads
-    const s::VecD c = s::vload(cbuf);
-
-    // Per-lane BDP, replaying net::bdp_segments' operation order.
-    const s::VecD bdp =
-        s::vdiv(s::vmul(s::vdiv(s::vmul(c, s::vset1(1e6)), s::vset1(8.0)),
-                        s::vset1(p.min_rtt_s)),
-                s::vset1(p.mss_bytes));
-
-    // Zero candidates and branch 1 (the window already covers the
-    // pipe: link- or one-RTT-limited), resolved branch-free.
-    const s::VecD zero_mask = s::veq(c, s::vzero());
-    const s::VecD covered = s::vgt(vcwnd0, bdp);
-    const s::VecD b1 =
-        s::vblend(s::vset1(one_rtt_mbps), c, s::vgt(vdata, bdp));
-    s::VecD res = s::vblend(s::vzero(), b1, covered);
-    res = s::vblend(res, s::vzero(), zero_mask);
-    const s::VecD branch2 = s::vandnot(s::vor(zero_mask, covered), vtrue);
-
-    double b2flag[kW];
-    s::vstore(b2flag, branch2);
-    double rounds_arr[kW] = {0.0};
-    bool have_rounds[kW] = {false};
-
-    if (s::vany(branch2)) {
-      s::VecD cwnd = vcwnd0;
-      s::VecD sent = s::vzero();
-      s::VecD rounds = s::vzero();
-      s::VecD active = branch2;
-
-      // Drains `mask` lanes into finish_rounds from their mid-stream
-      // state, recording the final per-lane round counts.
-      const auto drain = [&](s::VecD mask) {
-        double lv[kW], cw[kW], st[kW], rd[kW], bd[kW];
-        s::vstore(lv, mask);
-        s::vstore(cw, cwnd);
-        s::vstore(st, sent);
-        s::vstore(rd, rounds);
-        s::vstore(bd, bdp);
-        for (std::size_t l = 0; l < kW; ++l) {
-          if (lv[l] == 0.0) continue;
-          rounds_arr[l] = static_cast<double>(finish_rounds(
-              cw[l], st[l], static_cast<long>(rd[l]), bd[l], p));
-          have_rounds[l] = true;
-        }
-      };
-
-      // Lockstep literal rounds: only exponential-growth steps stay in
-      // the loop (a lane leaves the moment the closed form can take
-      // over), so it terminates within ~60 iterations for any sane
-      // state; the cap is a belt-and-braces bound.
-      for (int iter = 0; iter < 2048 && s::vany(active); ++iter) {
-        const s::VecD send = s::vmin(cwnd, bdp);
-        s::VecD next;
-        s::VecD ca_mask = s::vzero();  // all-false
-        if (p.bbr) {
-          const s::VecD target = s::vmul(s::vset1(2.0), bdp);
-          const s::VecD grown =
-              s::vblend(target, s::vmin(s::vmul(s::vset1(2.0), cwnd), target),
-                        s::vlt(cwnd, target));
-          next = s::vmin(s::vmax(grown, s::vset1(p.init_cwnd)),
-                         s::vset1(p.rwnd_segments));
-        } else {
-          const s::VecD delay_exit =
-              p.hystart
-                  ? s::vge(cwnd,
-                           s::vmul(s::vset1(p.hystart_bdp_fraction), bdp))
-                  : s::vzero();
-          const s::VecD in_ss =
-              s::vandnot(delay_exit, s::vlt(cwnd, s::vset1(p.ssthresh)));
-          const s::VecD grown =
-              s::vblend(s::vadd(cwnd, s::vset1(1.0)),
-                        s::vmul(s::vset1(2.0), cwnd), in_ss);
-          next = s::vmin(grown, s::vset1(p.rwnd_segments));
-          // A +1 step outside slow start opens a congestion-avoidance
-          // run the closed form jumps as an arithmetic series.
-          ca_mask = s::vandnot(
-              in_ss, s::veq(next, s::vadd(cwnd, s::vset1(1.0))));
-        }
-        const s::VecD fixed = s::veq(next, cwnd);
-        const s::VecD saturated =
-            s::vand(s::veq(send, bdp), s::vge(next, cwnd));
-        const s::VecD leave =
-            s::vand(active, s::vor(s::vor(fixed, saturated), ca_mask));
-        if (s::vany(leave)) {
-          drain(leave);
-          active = s::vandnot(leave, active);
-          if (!s::vany(active)) break;
-        }
-        // One literal round for the lanes still growing — a bit-exact
-        // replay of the reference loop's per-lane accumulator.
-        sent = s::vblend(sent, s::vadd(sent, send), active);
-        cwnd = s::vblend(cwnd, next, active);
-        rounds = s::vblend(rounds, s::vadd(rounds, s::vset1(1.0)), active);
-        active = s::vandnot(s::vge(sent, vdata), active);
-      }
-      if (s::vany(active)) drain(active);  // cap survivors finish scalar
-
-      // Lanes that completed inside the loop carry their count in the
-      // register.
-      double rd[kW];
-      s::vstore(rd, rounds);
-      for (std::size_t l = 0; l < kW; ++l) {
-        if (b2flag[l] != 0.0 && !have_rounds[l]) rounds_arr[l] = rd[l];
-      }
-    }
-
-    // Fold the row: branch-2 lanes through the scalar path's exact final
-    // expression, the rest from the branch-free result.
-    double res_arr[kW];
-    s::vstore(res_arr, res);
-    for (std::size_t l = 0; l < lanes; ++l) {
-      if (b2flag[l] != 0.0) {
-        const double estimated = s8 / (rounds_arr[l] * p.min_rtt_s);
-        out[col + l] = std::min(estimated, cbuf[l]);
-      } else {
-        out[col + l] = res_arr[l];
-      }
-    }
-  }
-}
-
-constexpr KernelOps kSimdOps = {
-    VERITAS_SIMD_BACKEND_NAME,
-#ifdef VERITAS_SIMD_BACKEND_AVX2
-    kCpuAvx2,
-#else
-    kCpuBaseline,
-#endif
-    &emission_log_pdf_row_simd,
-    &exp_rows_simd,
-    &log_rows_simd,
-    &viterbi_step_simd,
-    &forward_step_simd,
-    &backward_step_simd,
-    &pair_total_simd,
-    &estimate_batch_simd,
-};
-
+#include "math/simd_kernels_body.inc"
 }  // namespace
 
 namespace detail {
-const KernelOps* const compiled_simd_table = &kSimdOps;
+const KernelOps* const compiled_simd_table = &kVectorOps;
 }  // namespace detail
 
 }  // namespace veritas::math::simd_kernels

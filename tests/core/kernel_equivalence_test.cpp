@@ -13,7 +13,13 @@
 //  * the configurable A^Δ precompute window: a tiny dense table plus
 //    the mutex-guarded fallback must reproduce the full-table results
 //    bit-for-bit.
+//  * the opt-in AVX-512/FMA tier (PR 7): FMA-free kernels (viterbi,
+//    emission rows, estimate_batch) bit-identical to scalar; fused
+//    recursions and posteriors within the 1e-12 gate; dispatch
+//    resolution (kAuto never picks it, kForceAvx512 falls back when
+//    absent) reported truthfully by backend_name().
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <random>
@@ -36,6 +42,7 @@ using core::ChunkObservation;
 using core::Ehmm;
 
 bool simd_available() { return sk::simd_ops() != nullptr; }
+bool avx512_available() { return sk::avx512_ops() != nullptr; }
 
 /// Random row-stochastic transition over k states (k = 1 allowed).
 core::TransitionModel random_transition(std::size_t k, std::uint64_t seed) {
@@ -162,6 +169,107 @@ TEST_P(KernelEquivalence, RawKernelsMatchScalar) {
 INSTANTIATE_TEST_SUITE_P(StateCounts, KernelEquivalence,
                          ::testing::Values(1, 3, 8, 17, 32));
 
+// The opt-in AVX-512 tier: the FMA-free kernels (viterbi, emission
+// log-pdf row) stay *bit-identical* to the scalar reference; the fused
+// sum-product recursions (forward / backward / pair total) and the
+// transcendental rows agree within the advertised 1e-12 relative gate.
+TEST_P(KernelEquivalence, Avx512RawKernelsWithinGate) {
+  if (!avx512_available()) {
+    GTEST_SKIP() << "no AVX-512 table in this build/CPU";
+  }
+  const std::size_t k = GetParam();
+  const std::size_t stride = math::padded_cols(k);
+  core::TransitionModel model = random_transition(k, 500 + k);
+  model.precompute_powers(4);
+  const sk::DeltaTables tables = tables_of(model, 2);
+
+  const sk::KernelOps& scalar = sk::scalar_ops();
+  const sk::KernelOps& avx = *sk::avx512_ops();
+  std::mt19937_64 rng(1300 + k);
+
+  const double sigma = 0.75;
+  const double log_sigma = std::log(sigma);
+  const double half_log_2pi = 0.5 * std::log(8.0 * std::atan(1.0));
+
+  for (int round = 0; round < 25; ++round) {
+    const std::vector<double> prev_log =
+        padded_row(k, -std::numeric_limits<double>::infinity(), rng, -40.0,
+                   0.0);
+    const std::vector<double> e_n =
+        padded_row(k, -std::numeric_limits<double>::infinity(), rng, -40.0,
+                   0.0);
+    const std::vector<double> prev_prob = padded_row(k, 0.0, rng, 0.0, 1.0);
+    const std::vector<double> em = padded_row(k, 0.0, rng, 0.0, 1.0);
+    const std::vector<double> beta = padded_row(k, 0.0, rng, 0.0, 2.0);
+    const std::vector<double> alpha = padded_row(k, 0.0, rng, 0.0, 1.0);
+    const std::vector<double> means = padded_row(k, 0.0, rng, 0.0, 12.0);
+
+    // Viterbi: max-plus has no mul-add to fuse — bit-identical.
+    std::vector<double> curr_a(stride, 0.0), curr_b(stride, 0.0);
+    std::vector<std::uint32_t> back_a(stride, 0), back_b(stride, 0);
+    scalar.viterbi_step(prev_log.data(), tables, k, e_n.data(),
+                        curr_a.data(), back_a.data());
+    avx.viterbi_step(prev_log.data(), tables, k, e_n.data(), curr_b.data(),
+                     back_b.data());
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(curr_a[i], curr_b[i]) << "k=" << k << " i=" << i;
+      EXPECT_EQ(back_a[i], back_b[i]) << "k=" << k << " i=" << i;
+    }
+
+    // Emission log-pdf row: FMA-free — bit-identical (unpadded input
+    // row, the zero-copy cache path's shape).
+    std::vector<double> erow_a(stride, -1.0), erow_b(stride, -1.0);
+    scalar.emission_log_pdf_row(1.875, means.data(), k, stride, sigma,
+                                log_sigma, half_log_2pi, erow_a.data());
+    avx.emission_log_pdf_row(1.875, means.data(), k, stride, sigma,
+                             log_sigma, half_log_2pi, erow_b.data());
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(erow_a[i], erow_b[i]) << "k=" << k << " i=" << i;
+    }
+    for (std::size_t i = k; i < stride; ++i) {
+      EXPECT_EQ(erow_b[i], -std::numeric_limits<double>::infinity());
+    }
+
+    // Forward: the fused vmuladd reassociates one rounding per term.
+    std::vector<double> row_a(stride, 0.0), row_b(stride, 0.0);
+    scalar.forward_step(prev_prob.data(), tables, k, em.data(),
+                        row_a.data());
+    avx.forward_step(prev_prob.data(), tables, k, em.data(), row_b.data());
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(row_a[i], row_b[i],
+                  1e-12 * std::max(1.0, std::abs(row_a[i])))
+          << "k=" << k << " i=" << i;
+    }
+
+    // Backward + pair total: same gate.
+    std::vector<double> beta_a(stride, 0.0), beta_b(stride, 0.0);
+    double pair_a = 0.0, pair_b = 0.0;
+    scalar.backward_step(tables, k, em.data(), beta.data(), 1.375,
+                         beta_a.data(), alpha.data(), &pair_a);
+    avx.backward_step(tables, k, em.data(), beta.data(), 1.375,
+                      beta_b.data(), alpha.data(), &pair_b);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(beta_a[i], beta_b[i],
+                  1e-12 * std::max(1.0, std::abs(beta_a[i])))
+          << "k=" << k << " i=" << i;
+    }
+    EXPECT_NEAR(pair_a, pair_b, 1e-12 * std::max(1.0, std::abs(pair_a)));
+    const double pair_c =
+        avx.pair_total(alpha.data(), tables, k, em.data(), beta.data());
+    EXPECT_NEAR(pair_b, pair_c, 1e-12 * std::max(1.0, std::abs(pair_b)));
+
+    // exp rows: same Cephes polynomial, fused inner steps.
+    std::vector<double> em_a(stride, -1.0), em_b(stride, -1.0);
+    scalar.exp_rows(e_n.data(), -3.0, stride, em_a.data());
+    avx.exp_rows(e_n.data(), -3.0, stride, em_b.data());
+    for (std::size_t i = 0; i < stride; ++i) {
+      EXPECT_NEAR(em_a[i], em_b[i], 1e-13 * em_a[i] + 0.0)
+          << "k=" << k << " i=" << i;
+    }
+    for (std::size_t i = k; i < stride; ++i) EXPECT_EQ(em_b[i], 0.0);
+  }
+}
+
 /// Ehmm over k states (k = ceil(max/eps) + 1 with eps 0.5).
 core::VeritasConfig config_for_states(std::size_t k) {
   core::VeritasConfig cfg;
@@ -226,6 +334,78 @@ TEST_P(EhmmEquivalence, SimdMatchesScalarAcrossThreads) {
 
 INSTANTIATE_TEST_SUITE_P(StateCounts, EhmmEquivalence,
                          ::testing::Values(3, 8, 17, 32));
+
+// Forced AVX-512 end to end: identical Viterbi decisions (the max-plus
+// kernel and the emission log-pdf rows are bit-identical), posteriors
+// and log-likelihood within the 1e-12 tier gate.
+TEST_P(EhmmEquivalence, Avx512MatchesScalarWithinGate) {
+  if (!avx512_available()) {
+    GTEST_SKIP() << "no AVX-512 table in this build/CPU";
+  }
+  const std::size_t k = GetParam();
+  const core::VeritasConfig cfg = config_for_states(k);
+  const core::InferenceEngine engine(cfg);
+  const auto logs = test_logs();
+
+  std::vector<core::VeritasResult> scalar_results;
+  {
+    const sk::ScopedMode mode(sk::Mode::kForceScalar);
+    for (const auto& log : logs) scalar_results.push_back(engine.infer(log));
+  }
+
+  const sk::ScopedMode mode(sk::Mode::kForceAvx512);
+  ASSERT_STREQ(sk::backend_name(), "avx512");
+  for (const std::size_t threads : {1u, 4u}) {
+    const std::vector<core::VeritasResult> avx_results =
+        engine.infer_batch(logs, threads);
+    ASSERT_EQ(avx_results.size(), scalar_results.size());
+    for (std::size_t s = 0; s < logs.size(); ++s) {
+      const core::VeritasResult& a = scalar_results[s];
+      const core::VeritasResult& b = avx_results[s];
+      ASSERT_EQ(a.map_states_mbps.size(), b.map_states_mbps.size());
+      for (std::size_t n = 0; n < a.map_states_mbps.size(); ++n) {
+        EXPECT_EQ(a.map_states_mbps[n], b.map_states_mbps[n])
+            << "k=" << k << " session=" << s << " n=" << n;
+      }
+      EXPECT_LE(a.posterior_marginals.max_abs_diff(b.posterior_marginals),
+                1e-12)
+          << "k=" << k << " session=" << s;
+      EXPECT_NEAR(a.log_likelihood, b.log_likelihood,
+                  1e-12 * std::abs(a.log_likelihood))
+          << "k=" << k << " session=" << s;
+    }
+  }
+}
+
+// Dispatch resolution: kForceAvx512 resolves to the opt-in table when
+// compiled in and the CPU has it, and falls back to the default vector
+// tier (then scalar) otherwise — backend_name() always reports the tier
+// actually serving the kernels.
+TEST(KernelDispatch, ForcedAvx512ResolvesOrFallsBack) {
+  const sk::ScopedMode mode(sk::Mode::kForceAvx512);
+  if (avx512_available()) {
+    EXPECT_STREQ(sk::backend_name(), "avx512");
+  } else if (simd_available()) {
+    EXPECT_STREQ(sk::backend_name(), sk::simd_ops()->name);
+  } else {
+    EXPECT_STREQ(sk::backend_name(), "scalar");
+  }
+}
+
+// Default dispatch never auto-selects the FMA tier: kAuto must resolve
+// to the bit-exact default table even on AVX-512 hosts (the tier is
+// opt-in via VERITAS_SIMD=avx512 or the forced mode only).
+TEST(KernelDispatch, AutoNeverSelectsAvx512) {
+  if (std::getenv("VERITAS_SIMD") != nullptr) {
+    GTEST_SKIP() << "VERITAS_SIMD overrides auto dispatch in this run";
+  }
+  const sk::ScopedMode mode(sk::Mode::kAuto);
+  if (simd_available()) {
+    EXPECT_STREQ(sk::backend_name(), sk::simd_ops()->name);
+  } else {
+    EXPECT_STREQ(sk::backend_name(), "scalar");
+  }
+}
 
 TEST(EhmmEquivalence, MultiWindowEstimatorWithinTolerance) {
   if (!simd_available()) GTEST_SKIP() << "no SIMD table in this build";

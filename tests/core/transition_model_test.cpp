@@ -165,6 +165,47 @@ TEST(TransitionModel, ConcurrentOverflowLookupsAreSafeAndStable) {
   for (const double w : worst) EXPECT_EQ(w, 0.0);
 }
 
+TEST(TransitionModel, SharedLockHitsCoexistWithFirstComputeWriters) {
+  // The read-mostly overflow memo (PR 7): half the threads hammer a
+  // pre-warmed delta through the shared-lock fast path while the other
+  // half race to first-compute fresh deltas under the exclusive lock.
+  // Every reference must stay valid across the writers' insertions
+  // (std::map node stability) and every matrix must be exact.
+  TransitionModel m = TransitionModel::tridiagonal(6);
+  m.precompute_powers(2);
+  const math::Matrix warm_expected = math::matrix_power(m.matrix(), 50);
+  const math::Matrix& warm = m.power(50);  // memoize before the storm
+  ASSERT_EQ(warm.max_abs_diff(warm_expected), 0.0);
+
+  std::vector<std::thread> threads;
+  std::vector<double> worst(8, 1.0);
+  for (std::size_t t = 0; t < worst.size(); ++t) {
+    threads.emplace_back([&, t] {
+      double local = 0.0;
+      if (t % 2 == 0) {
+        // Reader lane: repeated hits on the warm delta; the reference
+        // taken before the writers started must keep reading correctly.
+        for (int round = 0; round < 200; ++round) {
+          local = std::max(local, m.power(50).max_abs_diff(warm_expected));
+          local = std::max(local, warm.max_abs_diff(warm_expected));
+        }
+      } else {
+        // Writer lane: unique fresh deltas per thread, so every thread
+        // takes the exclusive first-compute path at least once.
+        for (std::size_t delta = 60 + t * 10; delta < 60 + t * 10 + 10;
+             ++delta) {
+          const math::Matrix& p = m.power(delta);
+          local = std::max(
+              local, p.max_abs_diff(math::matrix_power(m.matrix(), delta)));
+        }
+      }
+      worst[t] = local;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const double w : worst) EXPECT_EQ(w, 0.0);
+}
+
 TEST(TransitionModel, CopyPreservesDenseTableAndIndependence) {
   TransitionModel original = TransitionModel::tridiagonal(4);
   original.precompute_powers(6);

@@ -8,14 +8,19 @@
 # (bench_service, mixed-shard async throughput/latency, cold vs warm
 # result cache).
 #
-# The micro benches run the EHMM kernel benchmarks at both /simd:0
-# (forced scalar reference) and /simd:1 (vectorized table), so the
-# snapshot records the scalar-vs-SIMD trajectory from a single binary —
-# compare e.g. BM_ForwardBackwardRecursion/simd:0 vs /simd:1. The PR 5
-# estimator benches additionally split on /warm:0|1 (cross-session
+# The micro benches run the EHMM kernel benchmarks at /simd:0 (forced
+# scalar reference), /simd:1 (default bit-exact vector table) and
+# /simd:2 (opt-in AVX-512/FMA tier; skipped when the binary or CPU lacks
+# it), so the snapshot records the whole kernel-tier trajectory from a
+# single binary — compare e.g. BM_ForwardBackwardRecursion/simd:0 vs
+# /simd:1 vs /simd:2. Each guarded benchmark carries the *resolved* tier
+# name as its label, and every bench JSON records a "kernels" field. The
+# PR 5 estimator benches additionally split on /warm:0|1 (cross-session
 # (W, S) estimator cache cold vs warm); the headline pair is
 # BM_FbWithEstimatorPr4BaselineK17 vs BM_FbWithEstimatorK17/simd:1/warm:1
-# (forward-backward with the estimator included, k = 17).
+# (forward-backward with the estimator included, k = 17). PR 7 adds
+# BM_EstimatorBatchCaHeavyK17 (congestion-avoidance-dominated batch, the
+# vectorized CA jump) and the /simd:2 column everywhere.
 #
 # The PR 6 service bench additionally runs an overload scenario (2x the
 # measured cold capacity, mixed priorities, deadlines, shed + degraded
@@ -24,12 +29,12 @@
 # the counter-reconciliation bit. The bench exits non-zero if a
 # submitter ever blocked >= 1 s or the books don't balance.
 #
-# Usage: tools/run_bench.sh [output.json]   (default: BENCH_6.json)
+# Usage: tools/run_bench.sh [output.json]   (default: BENCH_7.json)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-out_json="${1:-${repo_root}/BENCH_6.json}"
+out_json="${1:-${repo_root}/BENCH_7.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j \
