@@ -19,6 +19,7 @@
 #include "net/throughput_estimator.hpp"
 #include "sim/session.hpp"
 #include "trace/trace_generator.hpp"
+#include "util/trace.hpp"
 #include "video/ladder_presets.hpp"
 
 namespace {
@@ -558,6 +559,37 @@ void BM_FullSession(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSession);
+
+// The observability tax (PR 8): a TraceSpan site when tracing is
+// disabled costs one relaxed atomic load (or, with the macro compiled
+// out under -DVERITAS_TRACING=OFF, nothing at all — this bench then
+// measures the bare loop); when enabled it adds two steady_clock reads
+// plus a mutex-guarded ring store. Both numbers feed the overhead table
+// in docs/OBSERVABILITY.md.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  util::Tracer::set_enabled(false);
+  for (auto _ : state) {
+    VERITAS_TRACE_SPAN("bench.disabled", "bench");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  if (!util::Tracer::kCompiledIn) {
+    state.SkipWithError("tracing compiled out (-DVERITAS_TRACING=OFF)");
+    return;
+  }
+  util::Tracer::clear();
+  util::Tracer::set_enabled(true);
+  for (auto _ : state) {
+    VERITAS_TRACE_SPAN("bench.enabled", "bench");
+    benchmark::ClobberMemory();
+  }
+  util::Tracer::set_enabled(false);
+  util::Tracer::clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
 
 }  // namespace
 

@@ -17,6 +17,8 @@
 #include "trace/trace_generator.hpp"
 #include "trace/trace_io.hpp"
 #include "util/expects.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 #include "video/ladder_presets.hpp"
 
 namespace veritas::cli {
@@ -211,6 +213,26 @@ int cmd_serve(const CommandLine& cmd, std::ostream& out) {
   options.overload.serve_stale_hits = cmd.get("--serve-stale", "0") == "1";
   options.overload.degraded_num_samples =
       static_cast<std::size_t>(cmd.number("--degraded-samples", 0.0));
+  // Observability sinks (PR 8): --metrics-out writes one Prometheus
+  // text scrape after the run; --trace-out arms span tracing and writes
+  // Chrome trace-event JSON (chrome://tracing / Perfetto); a nonzero
+  // --slow-query-ms additionally retains and prints root spans at least
+  // that long.
+  const std::string metrics_out = cmd.get("--metrics-out", "");
+  const std::string trace_out = cmd.get("--trace-out", "");
+  const double slow_query_ms = cmd.number("--slow-query-ms", 0.0);
+  const bool want_tracing = !trace_out.empty() || slow_query_ms > 0.0;
+  if (want_tracing) {
+    if (util::Tracer::kCompiledIn) {
+      util::Tracer::clear();
+      util::Tracer::set_slow_query_threshold_us(
+          static_cast<std::uint64_t>(slow_query_ms * 1000.0));
+      util::Tracer::set_enabled(true);
+    } else {
+      out << "tracing compiled out (-DVERITAS_TRACING=OFF): "
+             "--trace-out/--slow-query-ms ignored\n";
+    }
+  }
   service::VeritasService service(options);
   const std::string shard = cmd.get("--shard", "default");
   service.add_shard(shard, config_from_flags(cmd));
@@ -280,6 +302,24 @@ int cmd_serve(const CommandLine& cmd, std::ostream& out) {
         << " latency_us(p50/p95/p99)=" << s.latency_p50_us << "/"
         << s.latency_p95_us << "/" << s.latency_p99_us << " (n="
         << s.latency_count << ")\n";
+  }
+  if (want_tracing && util::Tracer::kCompiledIn) {
+    util::Tracer::set_enabled(false);
+    if (!trace_out.empty()) {
+      write_text_file(trace_out, util::Tracer::chrome_trace_json());
+      out << "wrote trace (" << util::Tracer::events().size() << " spans, "
+          << util::Tracer::dropped() << " dropped) to " << trace_out << "\n";
+    }
+    if (slow_query_ms > 0.0) out << util::Tracer::slow_query_log();
+  }
+  if (!metrics_out.empty()) {
+    // Scraped while the service is alive: the registry callbacks borrow
+    // its counters.
+    util::MetricsRegistry registry;
+    service.register_metrics(registry);
+    write_text_file(metrics_out, registry.expose());
+    out << "wrote metrics (" << registry.families() << " families) to "
+        << metrics_out << "\n";
   }
   return 0;
 }
@@ -377,8 +417,12 @@ std::string usage() {
       "                  [--priority interactive|batch|background]\n"
       "                  [--deadline-ms MS] [--admission-timeout-ms MS]\n"
       "                  [--serve-stale 0|1] [--degraded-samples M]\n"
+      "                  [--metrics-out FILE] [--trace-out FILE]\n"
+      "                  [--slow-query-ms MS]\n"
       "                  (async shard service; repeat rounds show the cache;\n"
-      "                  overload flags bound waits and degrade gracefully)\n";
+      "                  overload flags bound waits and degrade gracefully;\n"
+      "                  metrics-out writes a Prometheus scrape, trace-out\n"
+      "                  a Chrome trace JSON — needs -DVERITAS_TRACING=ON)\n";
 }
 
 int run_cli(std::span<const std::string> args, std::ostream& out,

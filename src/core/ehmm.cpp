@@ -10,6 +10,7 @@
 #include "math/simd_kernels.hpp"
 #include "util/expects.hpp"
 #include "util/hash.hpp"
+#include "util/trace.hpp"
 
 namespace veritas::core {
 
@@ -416,16 +417,23 @@ void Ehmm::prepare(std::span<const ChunkObservation> observations,
   // tuples without shard locks, and rows are consumed straight out of
   // cache-entry storage — a fully warm session does no row memcpy at
   // all. Bit-identical to the dense emission_means_into pipeline.
-  emission_mean_rows_into(observations, *scratch.estimator_cache,
-                          scratch.estimator_l1, scratch.emission_rows,
-                          scratch.emission_refs);
-  emission_log_probs_from_rows_into(observations, scratch.emission_rows,
-                                    scratch.log_emission);
+  {
+    VERITAS_TRACE_SPAN("ehmm.emission_means", "ehmm");
+    emission_mean_rows_into(observations, *scratch.estimator_cache,
+                            scratch.estimator_l1, scratch.emission_rows,
+                            scratch.emission_refs);
+  }
+  {
+    VERITAS_TRACE_SPAN("ehmm.emission_logpdf", "ehmm");
+    emission_log_probs_from_rows_into(observations, scratch.emission_rows,
+                                      scratch.log_emission);
+  }
   window_deltas_into(observations, scratch.deltas);
 }
 
 void Ehmm::viterbi_from(std::size_t n_obs, Scratch& scratch,
                         ViterbiResult& result) const {
+  VERITAS_TRACE_SPAN("ehmm.viterbi", "ehmm");
   const std::size_t k = space_.size();
   const math::Matrix& log_emission = scratch.log_emission;
   const KernelOps& ops = math::simd_kernels::active_ops();
@@ -508,60 +516,65 @@ void Ehmm::forward_backward_from(std::size_t n_obs, Scratch& scratch,
   em.resize_padded(n_obs, k, 0.0);
   const std::size_t stride = em.col_stride();
   std::vector<double>& row_max = scratch.row_max;
-  row_max.assign(n_obs, kNegInf);
-  for (std::size_t n = 0; n < n_obs; ++n) {
-    const double* log_row = log_emission.row_data(n);
-    double* em_row = em.row_data(n);
-    for (std::size_t i = 0; i < k; ++i) {
-      row_max[n] = std::max(row_max[n], log_row[i]);
-    }
-    // Degenerate guard: if every state is impossible, fall back to a
-    // flat emission (the posterior then follows the prior).
-    if (!std::isfinite(row_max[n])) {
-      for (std::size_t i = 0; i < k; ++i) em_row[i] = 1.0;
-      row_max[n] = 0.0;
-      continue;
-    }
-    ops.exp_rows(log_row, row_max[n], stride, em_row);
-  }
-
-  // Forward pass with per-step normalization.
   math::Matrix& alpha = scratch.alpha;
-  alpha.resize_padded(n_obs, k, 0.0);
   std::vector<double>& log_scale = scratch.log_scale;
-  log_scale.assign(n_obs, 0.0);
   std::vector<double>& row = scratch.row;
-  row.assign(stride, 0.0);
   {
-    const auto initial = transition_.initial();
-    const double* em0 = em.row_data(0);
-    for (std::size_t i = 0; i < k; ++i) row[i] = initial[i] * em0[i];
-    const double scale = math::normalize(std::span<double>(row.data(), k));
-    log_scale[0] = safe_log(scale) + row_max[0];
-    double* alpha0 = alpha.row_data(0);
-    for (std::size_t i = 0; i < k; ++i) alpha0[i] = row[i];
-  }
-  for (std::size_t n = 1; n < n_obs; ++n) {
-    const TransitionModel::PowerView view =
-        transition_.power_view(scratch.deltas[n]);
-    const double* prev = alpha.row_data(n - 1);
-    const double* em_n = em.row_data(n);
-    DeltaTables tables;
-    if (dense_tables(view, tables)) {
-      ops.forward_step(prev, tables, k, em_n, row.data());
-    } else {
-      // Legacy fallback beyond the precomputed range: strided access.
-      const math::Matrix& a_delta = *view.p;
+    // The forward span includes the emission scaling: the scaled matrix
+    // exists only to feed this sweep.
+    VERITAS_TRACE_SPAN("ehmm.forward", "ehmm");
+    row_max.assign(n_obs, kNegInf);
+    for (std::size_t n = 0; n < n_obs; ++n) {
+      const double* log_row = log_emission.row_data(n);
+      double* em_row = em.row_data(n);
       for (std::size_t i = 0; i < k; ++i) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < k; ++j) acc += prev[j] * a_delta(j, i);
-        row[i] = acc * em_n[i];
+        row_max[n] = std::max(row_max[n], log_row[i]);
       }
+      // Degenerate guard: if every state is impossible, fall back to a
+      // flat emission (the posterior then follows the prior).
+      if (!std::isfinite(row_max[n])) {
+        for (std::size_t i = 0; i < k; ++i) em_row[i] = 1.0;
+        row_max[n] = 0.0;
+        continue;
+      }
+      ops.exp_rows(log_row, row_max[n], stride, em_row);
     }
-    const double scale = math::normalize(std::span<double>(row.data(), k));
-    log_scale[n] = safe_log(scale) + row_max[n];
-    double* alpha_n = alpha.row_data(n);
-    for (std::size_t i = 0; i < k; ++i) alpha_n[i] = row[i];
+
+    // Forward pass with per-step normalization.
+    alpha.resize_padded(n_obs, k, 0.0);
+    log_scale.assign(n_obs, 0.0);
+    row.assign(stride, 0.0);
+    {
+      const auto initial = transition_.initial();
+      const double* em0 = em.row_data(0);
+      for (std::size_t i = 0; i < k; ++i) row[i] = initial[i] * em0[i];
+      const double scale = math::normalize(std::span<double>(row.data(), k));
+      log_scale[0] = safe_log(scale) + row_max[0];
+      double* alpha0 = alpha.row_data(0);
+      for (std::size_t i = 0; i < k; ++i) alpha0[i] = row[i];
+    }
+    for (std::size_t n = 1; n < n_obs; ++n) {
+      const TransitionModel::PowerView view =
+          transition_.power_view(scratch.deltas[n]);
+      const double* prev = alpha.row_data(n - 1);
+      const double* em_n = em.row_data(n);
+      DeltaTables tables;
+      if (dense_tables(view, tables)) {
+        ops.forward_step(prev, tables, k, em_n, row.data());
+      } else {
+        // Legacy fallback beyond the precomputed range: strided access.
+        const math::Matrix& a_delta = *view.p;
+        for (std::size_t i = 0; i < k; ++i) {
+          double acc = 0.0;
+          for (std::size_t j = 0; j < k; ++j) acc += prev[j] * a_delta(j, i);
+          row[i] = acc * em_n[i];
+        }
+      }
+      const double scale = math::normalize(std::span<double>(row.data(), k));
+      log_scale[n] = safe_log(scale) + row_max[n];
+      double* alpha_n = alpha.row_data(n);
+      for (std::size_t i = 0; i < k; ++i) alpha_n[i] = row[i];
+    }
   }
 
   // Backward pass using the same scaling factors, with the
@@ -574,6 +587,9 @@ void Ehmm::forward_backward_from(std::size_t n_obs, Scratch& scratch,
   // counts, pair_posterior) stays bit-identical; the SIMD kernel
   // reassociates the sum across lanes within the tested tolerance.
   math::Matrix& beta = scratch.beta;
+  // The backward span includes the pair totals and posterior marginals:
+  // both fall out of the same sweep's products.
+  VERITAS_TRACE_SPAN("ehmm.backward", "ehmm");
   beta.resize_padded(n_obs, k, 0.0);
   {
     double* beta_last = beta.row_data(n_obs - 1);

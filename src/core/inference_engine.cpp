@@ -6,6 +6,7 @@
 #include "util/expects.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace veritas::core {
 
@@ -88,6 +89,7 @@ VeritasResult InferenceEngine::infer(const sim::SessionLog& log,
 VeritasResult InferenceEngine::infer_with_seed(
     const sim::SessionLog& log, Ehmm::Scratch& scratch,
     std::uint64_t sample_seed, std::size_t num_samples) const {
+  VERITAS_TRACE_SPAN("engine.infer", "engine");
   if (num_samples == kConfigNumSamples) num_samples = config_.num_samples;
   attach_cache(scratch);
   const std::vector<ChunkObservation> observations =
@@ -114,13 +116,16 @@ VeritasResult InferenceEngine::infer_with_seed(
   // result a strict prefix of the full one.
   util::Rng rng(sample_seed);
   result.samples.reserve(num_samples);
-  for (std::size_t k = 0; k < num_samples; ++k) {
-    util::Rng child = rng.fork(k);
-    const std::vector<std::size_t> states =
-        ehmm_.sample_posterior(viterbi, fb, scratch, child, config_.sampler);
-    result.samples.push_back(
-        states_to_trace(ehmm_.space(), states, observations, config_.delta_s,
-                        total_duration, config_.interpolation));
+  {
+    VERITAS_TRACE_SPAN("engine.sample_posterior", "engine");
+    for (std::size_t k = 0; k < num_samples; ++k) {
+      util::Rng child = rng.fork(k);
+      const std::vector<std::size_t> states =
+          ehmm_.sample_posterior(viterbi, fb, scratch, child, config_.sampler);
+      result.samples.push_back(
+          states_to_trace(ehmm_.space(), states, observations, config_.delta_s,
+                          total_duration, config_.interpolation));
+    }
   }
   return result;
 }

@@ -5,9 +5,12 @@
 #include <exception>
 #include <utility>
 
+#include "math/simd_kernels.hpp"
 #include "util/expects.hpp"
 #include "util/failpoint.hpp"
 #include "util/hash.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace veritas::service {
 
@@ -147,6 +150,12 @@ std::shared_ptr<const core::InferenceEngine> VeritasService::shard_engine(
 
 VeritasService::Job VeritasService::make_job(Query query) const {
   Job job;
+  // Trace ids are drawn only while tracing is live, so the disabled
+  // path never touches the counter (and trace_id 0 = untraced keeps
+  // every downstream check a plain integer compare).
+  if (util::Tracer::enabled()) {
+    job.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   {
     const std::lock_guard<std::mutex> lock(registry_mutex_);
     const auto it = shards_.find(query.shard);
@@ -179,6 +188,7 @@ VeritasService::Job VeritasService::make_job(Query query) const {
 bool VeritasService::serve_from_cache(Job& job, std::uint64_t epoch,
                                       bool stale) {
   if (options_.cache_capacity == 0) return false;
+  VERITAS_TRACE_SPAN("service.cache_probe", "service");
   CacheKey key = job.key;
   key.epoch = epoch;
   // peek: the miss is counted only once the query is really accepted.
@@ -242,6 +252,8 @@ void VeritasService::count_submitted(const Job& job) {
 }
 
 bool VeritasService::admit_or_resolve(Job& job) {
+  const util::ScopedQueryId scoped_query(job.trace_id);
+  VERITAS_TRACE_SPAN("service.admit", "service");
   if (job.shard.veritas == nullptr) {
     count_submitted(job);
     finish_with_status(job,
@@ -298,6 +310,7 @@ std::future<Expected<InferenceResult>> VeritasService::submit(Query query) {
   // From here the future is handed out no matter what the queue says —
   // a failed push resolves it with a status instead of throwing.
   count_submitted(job);
+  if (job.trace_id != 0) job.enqueue_time = Clock::now();
   const std::shared_ptr<ShardCounters> counters = job.shard.counters;
   const std::size_t prio =
       static_cast<std::size_t>(job.query.options.priority);
@@ -370,6 +383,7 @@ std::optional<std::future<Expected<InferenceResult>>> VeritasService::try_submit
   const std::shared_ptr<ShardCounters> counters = job.shard.counters;
   const std::size_t prio =
       static_cast<std::size_t>(job.query.options.priority);
+  if (job.trace_id != 0) job.enqueue_time = Clock::now();
   if (queue_.try_push(std::move(job), prio) != util::PushOutcome::kAccepted) {
     // Full or closing: nothing was counted — a rejected probe leaves no
     // trace, and the caller still owns retry policy.
@@ -484,6 +498,225 @@ ServiceStats VeritasService::stats() const {
   return s;
 }
 
+// ---------------------------------------------------------------- metrics
+
+void VeritasService::register_metrics(util::MetricsRegistry& registry) const {
+  using Registry = util::MetricsRegistry;
+  using Sample = Registry::Sample;
+  const auto count = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  registry.add_counter(
+      "veritas_queries_submitted_total", "Futures handed out, all outcomes.",
+      {}, [this, count] {
+        return count(totals_.submitted.load(std::memory_order_relaxed));
+      });
+  registry.add_counter(
+      "veritas_queries_total",
+      "Terminal query outcomes; at quiescence the sum equals "
+      "veritas_queries_submitted_total.",
+      [this, count] {
+        const ServiceStats s = stats();
+        return std::vector<Sample>{
+            {{{"outcome", "computed"}}, count(s.computed)},
+            {{{"outcome", "cache_hit"}}, count(s.cache_hits)},
+            {{{"outcome", "rejected"}}, count(s.rejected)},
+            {{{"outcome", "timed_out"}}, count(s.timed_out)},
+            {{{"outcome", "shed"}}, count(s.shed)},
+            {{{"outcome", "failed"}}, count(s.failed)},
+        };
+      });
+  registry.add_counter(
+      "veritas_queries_degraded_total",
+      "Queries computed with a reduced posterior sample count.", {},
+      [this, count] {
+        return count(totals_.degraded.load(std::memory_order_relaxed));
+      });
+  registry.add_counter(
+      "veritas_stale_hits_total",
+      "Cache hits served from a shard's previous epoch under overload.", {},
+      [this, count] {
+        return count(totals_.stale_hits.load(std::memory_order_relaxed));
+      });
+  registry.add_counter(
+      "veritas_result_cache_misses_total",
+      "Queries accepted into the queue after missing the result cache.", {},
+      [this, count] {
+        return count(totals_.cache_misses.load(std::memory_order_relaxed));
+      });
+  registry.add_counter("veritas_result_cache_evictions_total",
+                       "Result-cache LRU evictions.", {}, [this, count] {
+                         return count(cache_.stats().evictions);
+                       });
+  registry.add_gauge("veritas_result_cache_entries",
+                     "Resident result-cache entries.", {}, [this, count] {
+                       return count(cache_.stats().entries);
+                     });
+  registry.add_gauge(
+      "veritas_queue_depth", "Pending jobs per priority class.", [this, count] {
+        const std::array<std::size_t, kNumPriorities> depths =
+            queue_.depths();
+        return std::vector<Sample>{
+            {{{"priority", "interactive"}}, count(depths[0])},
+            {{{"priority", "batch"}}, count(depths[1])},
+            {{{"priority", "background"}}, count(depths[2])},
+        };
+      });
+  registry.add_gauge("veritas_overloaded",
+                     "1 while the overload detector is armed.", {},
+                     [this] { return overloaded() ? 1.0 : 0.0; });
+  // The PR 6 reconciliation invariant as a scrapeable self-check:
+  // submitted minus the six terminal buckets. In-flight and queued work
+  // makes it transiently positive; a nonzero value at quiescence means
+  // a query was double-counted or lost (the chaos suite's book-keeping
+  // bug, now visible on a dashboard).
+  registry.add_gauge(
+      "veritas_unreconciled_queries",
+      "submitted - (computed + cache_hits + rejected + timed_out + shed + "
+      "failed); transient in-flight work only, 0 at quiescence.",
+      {}, [this] {
+        const ServiceStats s = stats();
+        return static_cast<double>(s.submitted) -
+               static_cast<double>(s.computed + s.cache_hits + s.rejected +
+                                   s.timed_out + s.shed + s.failed);
+      });
+  registry.add_histogram(
+      "veritas_compute_latency_us",
+      "Service-wide compute wall time per computed query, power-of-two "
+      "microsecond buckets.",
+      [this] {
+        return std::vector<Registry::HistogramSample>{
+            Registry::from_latency_snapshot(latency_.snapshot(), {})};
+      });
+
+  registry.add_counter(
+      "veritas_shard_submitted_total", "Futures handed out, by shard.",
+      [this, count] {
+        std::vector<Sample> out;
+        for (const ShardStats& s : shard_stats()) {
+          out.push_back({{{"shard", s.name}}, count(s.submitted)});
+        }
+        return out;
+      });
+  registry.add_counter(
+      "veritas_shard_queries_total", "Terminal query outcomes, by shard.",
+      [this, count] {
+        std::vector<Sample> out;
+        for (const ShardStats& s : shard_stats()) {
+          const Registry::Labels base{{"shard", s.name}};
+          const std::pair<const char*, std::uint64_t> outcomes[] = {
+              {"computed", s.computed},   {"cache_hit", s.cache_hits},
+              {"rejected", s.rejected},   {"timed_out", s.timed_out},
+              {"shed", s.shed},           {"failed", s.failed},
+          };
+          for (const auto& [name, value] : outcomes) {
+            Registry::Labels labels = base;
+            labels.emplace_back("outcome", name);
+            out.push_back({std::move(labels), count(value)});
+          }
+        }
+        return out;
+      });
+  registry.add_gauge("veritas_shard_in_flight",
+                     "Lanes currently executing each shard's queries.",
+                     [this, count] {
+                       std::vector<Sample> out;
+                       for (const ShardStats& s : shard_stats()) {
+                         out.push_back({{{"shard", s.name}},
+                                        count(s.in_flight)});
+                       }
+                       return out;
+                     });
+  registry.add_gauge("veritas_shard_epoch",
+                     "Epoch of each shard's current engine.", [this, count] {
+                       std::vector<Sample> out;
+                       for (const ShardStats& s : shard_stats()) {
+                         out.push_back({{{"shard", s.name}}, count(s.epoch)});
+                       }
+                       return out;
+                     });
+  registry.add_histogram(
+      "veritas_shard_compute_latency_us",
+      "Per-shard compute wall time per computed query, power-of-two "
+      "microsecond buckets.",
+      [this] {
+        std::vector<Registry::HistogramSample> out;
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (const auto& [name, shard] : shards_) {
+          out.push_back(Registry::from_latency_snapshot(
+              shard.counters->latency.snapshot(), {{"shard", name}}));
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Registry::HistogramSample& a,
+                     const Registry::HistogramSample& b) {
+                    return a.labels < b.labels;
+                  });
+        return out;
+      });
+  // Shared estimator-cache counters, per shard. The per-lane L1 front
+  // caches live inside each lane's scratch and are deliberately not
+  // aggregated here (no shared counters by design — see
+  // core/estimator_cache.hpp).
+  registry.add_counter(
+      "veritas_estimator_cache_events_total",
+      "Shared estimator-cache events (hit/miss/insert/flush), by shard.",
+      [this, count] {
+        std::vector<Sample> out;
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (const auto& [name, shard] : shards_) {
+          const auto& cache = shard.veritas->engine_ptr()->estimator_cache();
+          if (cache == nullptr) continue;
+          const core::EstimatorCache::Stats stats = cache->stats();
+          const std::pair<const char*, std::uint64_t> events[] = {
+              {"hit", stats.hits},
+              {"miss", stats.misses},
+              {"insert", stats.insertions},
+              {"flush", stats.flushes},
+          };
+          for (const auto& [event, value] : events) {
+            out.push_back(
+                {{{"shard", name}, {"event", event}}, count(value)});
+          }
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Sample& a, const Sample& b) {
+                    return a.labels < b.labels;
+                  });
+        return out;
+      });
+  registry.add_gauge(
+      "veritas_estimator_cache_entries",
+      "Resident shared estimator-cache entries, by shard.", [this, count] {
+        std::vector<Sample> out;
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (const auto& [name, shard] : shards_) {
+          const auto& cache = shard.veritas->engine_ptr()->estimator_cache();
+          if (cache == nullptr) continue;
+          out.push_back({{{"shard", name}}, count(cache->stats().entries)});
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Sample& a, const Sample& b) {
+                    return a.labels < b.labels;
+                  });
+        return out;
+      });
+  registry.add_gauge(
+      "veritas_build_info",
+      "Constant 1; the labels carry the resolved kernel tier and which "
+      "optional subsystems this binary compiled in.",
+      [] {
+#if defined(VERITAS_FAILPOINTS_DISABLED)
+        const char* failpoints = "off";
+#else
+        const char* failpoints = "on";
+#endif
+        return std::vector<Sample>{
+            {{{"kernels", math::simd_kernels::backend_name()},
+              {"tracing", util::Tracer::kCompiledIn ? "on" : "off"},
+              {"failpoints", failpoints}},
+             1.0}};
+      });
+}
+
 // ---------------------------------------------------------------- workers
 
 void VeritasService::drain_lane() {
@@ -507,6 +740,13 @@ void VeritasService::drain_lane() {
       VERITAS_FAILPOINT("service.queue.pop");
     } catch (const std::exception&) {
     }
+    // The queue-wait span is recorded from the submit-side timestamp —
+    // the one span that crosses threads, so it cannot be a scoped site.
+    if (job->trace_id != 0 && util::Tracer::enabled()) {
+      util::Tracer::record_span("service.queue_wait", "service",
+                                job->enqueue_time, Clock::now(),
+                                job->trace_id);
+    }
     // Expire already-dead deadlines before burning a lane on them.
     if (job->query.options.deadline &&
         Clock::now() >= *job->query.options.deadline) {
@@ -516,7 +756,13 @@ void VeritasService::drain_lane() {
     }
     ShardCounters* counters = job->shard.counters.get();
     counters->in_flight.fetch_add(1, std::memory_order_relaxed);
-    Expected<InferenceResult> outcome = execute(*job, scratch);
+    Expected<InferenceResult> outcome = [&] {
+      const util::ScopedQueryId scoped_query(job->trace_id);
+      // The root span: everything the lane does for this query,
+      // including the result-cache fill inside execute().
+      VERITAS_TRACE_QUERY_SPAN("service.execute", "service");
+      return execute(*job, scratch);
+    }();
     counters->in_flight.fetch_sub(1, std::memory_order_relaxed);
     // Resolve only after the gauge dropped: "my future is ready" must
     // imply this job is no longer counted as in flight.

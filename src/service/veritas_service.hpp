@@ -73,6 +73,10 @@
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
+namespace veritas::util {
+class MetricsRegistry;
+}  // namespace veritas::util
+
 namespace veritas::service {
 
 /// What the caller wants computed for a session.
@@ -347,6 +351,18 @@ class VeritasService {
   /// Per-shard counter snapshot, sorted by shard name.
   std::vector<ShardStats> shard_stats() const;
 
+  /// Registers this service's whole metric inventory — outcome counters,
+  /// queue depths per priority, overload and reconciliation-drift
+  /// gauges, per-shard counters/in-flight/epoch with a `shard` label,
+  /// compute-latency histograms, per-shard estimator-cache counters, and
+  /// a `veritas_build_info` info gauge carrying the resolved kernel tier
+  /// — into `registry` as pull callbacks (see docs/OBSERVABILITY.md for
+  /// the inventory). The callbacks capture `this`: the registry must not
+  /// outlive the service, and a scrape only reads the same relaxed
+  /// atomics stats()/shard_stats() read, so registration adds zero cost
+  /// to the serving path.
+  void register_metrics(util::MetricsRegistry& registry) const;
+
   std::size_t num_lanes() const noexcept { return lanes_; }
 
  private:
@@ -411,6 +427,12 @@ class VeritasService {
     /// Set at admission when the overload policy degrades this query's
     /// sample count.
     bool degrade_samples = false;
+    /// Nonzero only while tracing is enabled: the query's span id, set
+    /// at make_job and carried into every span the lane records.
+    std::uint64_t trace_id = 0;
+    /// Stamped just before the queue push when trace_id != 0; the lane
+    /// turns it into a service.queue_wait span at dequeue.
+    std::chrono::steady_clock::time_point enqueue_time{};
     /// Exactly-once promise guard: all resolution funnels through the
     /// finish_/fulfill_ helpers, which flip this.
     bool done = false;
@@ -462,6 +484,8 @@ class VeritasService {
   OutcomeCounters totals_;
   /// Service-wide compute latency — the overload detector's p99 source.
   util::LatencyHistogram latency_;
+  /// Trace-id source (ids start at 1; 0 means untraced).
+  mutable std::atomic<std::uint64_t> next_trace_id_{0};
 
   util::ThreadPool pool_;  ///< last member: joins before the rest die
 };

@@ -1,13 +1,17 @@
 // Lock-free fixed-bucket latency histogram for serving-path percentiles.
 //
 // 64 power-of-two microsecond buckets (bucket b counts samples whose µs
-// value has bit-width b, i.e. [2^(b-1), 2^b)), recorded with one relaxed
-// atomic increment — no locks, no allocation, safe from any number of
-// worker lanes. Percentiles are read from a snapshot by walking the
-// cumulative counts and reporting the matched bucket's upper bound, so a
-// reported p99 is an upper bound on the true p99 within its power-of-two
-// bucket (~2x resolution — the right trade for a gauge that must cost
-// nothing on the hot path; see VeritasService::shard_stats()).
+// value has bit-width b, i.e. [2^(b-1), 2^b)), recorded with relaxed
+// atomics — no locks, no allocation, safe from any number of worker
+// lanes. Alongside the buckets the histogram tracks the exact running
+// sum (for Prometheus `_sum` series and mean latency) and the exact
+// observed maximum. Percentiles are read from a snapshot by walking the
+// cumulative counts and reporting the matched bucket's upper bound
+// clamped to the observed maximum, so a reported p99 is an upper bound
+// on the true p99 within its power-of-two bucket (~2x resolution — the
+// right trade for a gauge that must cost nothing on the hot path; see
+// VeritasService::shard_stats()), never exceeds any real sample, and is
+// exact for the single-sample and all-in-the-top-bucket cases.
 #pragma once
 
 #include <array>
@@ -24,6 +28,13 @@ class LatencyHistogram {
   /// One sample, in microseconds. Relaxed: counters only, no ordering.
   void record_us(std::uint64_t us) noexcept {
     buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(us, std::memory_order_relaxed);
+    // fetch_max by CAS loop; contention is rare (a new max) and the
+    // failure path re-checks, so the loop is wait-free in practice.
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (us > prev &&
+           !max_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+    }
   }
 
   /// Point-in-time copy of the counters, from which any number of
@@ -31,9 +42,12 @@ class LatencyHistogram {
   struct Snapshot {
     std::array<std::uint64_t, kBuckets> counts{};
     std::uint64_t total = 0;
+    std::uint64_t sum_us = 0;  ///< exact sum of recorded samples
+    std::uint64_t max_us = 0;  ///< exact maximum recorded sample
 
     /// Upper bound (µs) of the bucket holding the p-quantile sample,
-    /// p in [0, 1]. 0 when no samples were recorded.
+    /// p in [0, 1], clamped to the exact observed maximum. 0 when no
+    /// samples were recorded; the exact sample value when only one was.
     double percentile_us(double p) const noexcept {
       if (total == 0) return 0.0;
       if (p < 0.0) p = 0.0;
@@ -43,12 +57,16 @@ class LatencyHistogram {
           p * static_cast<double>(total) + 0.5);
       if (rank < 1) rank = 1;
       if (rank > total) rank = total;
+      const double max = static_cast<double>(max_us);
       std::uint64_t seen = 0;
       for (std::size_t b = 0; b < kBuckets; ++b) {
         seen += counts[b];
-        if (seen >= rank) return upper_bound_us(b);
+        if (seen >= rank) {
+          const double bound = upper_bound_us(b);
+          return bound < max ? bound : max;
+        }
       }
-      return upper_bound_us(kBuckets - 1);
+      return max;
     }
   };
 
@@ -58,6 +76,8 @@ class LatencyHistogram {
       s.counts[b] = buckets_[b].load(std::memory_order_relaxed);
       s.total += s.counts[b];
     }
+    s.sum_us = sum_.load(std::memory_order_relaxed);
+    s.max_us = max_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -78,6 +98,8 @@ class LatencyHistogram {
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 }  // namespace veritas::util

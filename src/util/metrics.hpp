@@ -1,0 +1,310 @@
+// Pull-based metrics registry with a Prometheus text-exposition writer.
+//
+// Design: the registry stores *collector callbacks*, not values. The
+// instrumented code keeps doing what it already does — bumping its own
+// relaxed atomics (OutcomeCounters, EstimatorCache::Stats,
+// LatencyHistogram buckets) — and registration hands the registry a
+// closure that snapshots those counters on demand. Updates are
+// therefore exactly as lock-free as the underlying counters: the hot
+// path never takes a registry lock, never allocates, and does not even
+// know the registry exists. The registry's own mutex guards only
+// registration and scraping (expose()), which are rare, cold
+// operations.
+//
+// A *family* is one metric name with one type and any number of
+// labeled sample series, matching the Prometheus data model:
+//
+//   registry.add_gauge("veritas_queue_depth", "Pending jobs", [&] {
+//     return std::vector<util::MetricsRegistry::Sample>{
+//         {{{"priority", "interactive"}}, 3.0}, ...};
+//   });
+//
+// expose() renders the standard text format — `# HELP` / `# TYPE`
+// comments, escaped label values, and for histograms the cumulative
+// `_bucket{le=...}` series plus `_sum` / `_count` — in registration
+// order, collecting every family under one lock hold so a scrape is a
+// consistent-ish point-in-time view (exactly as consistent as the
+// underlying relaxed counters allow).
+//
+// Registration validates names (Prometheus [a-zA-Z_:][a-zA-Z0-9_:]*,
+// labels without the colon) and rejects duplicate families via
+// VERITAS_EXPECTS — a typo'd dashboard is a bug worth failing fast on.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/expects.hpp"
+#include "util/latency_histogram.hpp"
+
+namespace veritas::util {
+
+class MetricsRegistry {
+ public:
+  /// Label set of one sample series, in emission order.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// One labeled value of a counter or gauge family.
+  struct Sample {
+    Labels labels;
+    double value = 0.0;
+  };
+
+  /// One labeled series of a histogram family. `cumulative` holds
+  /// (upper bound, cumulative count) pairs in increasing bound order;
+  /// the writer appends the implicit `+Inf` bucket from `count`.
+  struct HistogramSample {
+    Labels labels;
+    std::vector<std::pair<double, std::uint64_t>> cumulative;
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  using SampleFn = std::function<std::vector<Sample>()>;
+  using HistogramFn = std::function<std::vector<HistogramSample>()>;
+
+  /// Registers a counter family (cumulative, monotonically
+  /// non-decreasing values). By convention the name ends in `_total`.
+  void add_counter(std::string name, std::string help, SampleFn collect) {
+    add_family(std::move(name), std::move(help), "counter",
+               std::move(collect), nullptr);
+  }
+
+  /// Registers a gauge family (instantaneous values, may go down).
+  void add_gauge(std::string name, std::string help, SampleFn collect) {
+    add_family(std::move(name), std::move(help), "gauge",
+               std::move(collect), nullptr);
+  }
+
+  /// Registers a histogram family.
+  void add_histogram(std::string name, std::string help,
+                     HistogramFn collect) {
+    add_family(std::move(name), std::move(help), "histogram", nullptr,
+               std::move(collect));
+  }
+
+  /// Single-series conveniences: one fixed label set, one value read.
+  void add_counter(std::string name, std::string help, Labels labels,
+                   std::function<double()> read) {
+    add_counter(std::move(name), std::move(help),
+                [labels = std::move(labels), read = std::move(read)] {
+                  return std::vector<Sample>{{labels, read()}};
+                });
+  }
+  void add_gauge(std::string name, std::string help, Labels labels,
+                 std::function<double()> read) {
+    add_gauge(std::move(name), std::move(help),
+              [labels = std::move(labels), read = std::move(read)] {
+                return std::vector<Sample>{{labels, read()}};
+              });
+  }
+
+  std::size_t families() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return families_.size();
+  }
+
+  /// Renders every family in registration order as Prometheus text
+  /// exposition format (version 0.0.4).
+  void write_prometheus(std::ostream& os) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Family& family : families_) {
+      os << "# HELP " << family.name << ' ' << escape_help(family.help)
+         << '\n';
+      os << "# TYPE " << family.name << ' ' << family.type << '\n';
+      if (family.collect_histogram) {
+        for (const HistogramSample& series : family.collect_histogram()) {
+          write_histogram_series(os, family.name, series);
+        }
+      } else {
+        for (const Sample& sample : family.collect()) {
+          os << family.name;
+          write_labels(os, sample.labels);
+          os << ' ' << format_value(sample.value) << '\n';
+        }
+      }
+    }
+  }
+
+  std::string expose() const {
+    std::ostringstream os;
+    write_prometheus(os);
+    return os.str();
+  }
+
+  /// Bridges a LatencyHistogram snapshot into one histogram series:
+  /// cumulative counts over the power-of-two buckets up to the last
+  /// non-empty one (the writer adds `+Inf`), exact `_sum` from the
+  /// histogram's running sum. Bounds are each bucket's inclusive upper
+  /// bound in µs.
+  static HistogramSample from_latency_snapshot(
+      const LatencyHistogram::Snapshot& snap, Labels labels) {
+    HistogramSample series;
+    series.labels = std::move(labels);
+    series.sum = static_cast<double>(snap.sum_us);
+    series.count = snap.total;
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (snap.counts[b] > 0) last = b;
+    }
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b <= last && snap.total > 0; ++b) {
+      seen += snap.counts[b];
+      series.cumulative.emplace_back(LatencyHistogram::upper_bound_us(b),
+                                     seen);
+    }
+    return series;
+  }
+
+  // ------------------------------------------------------ format helpers
+
+  /// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+  static bool valid_metric_name(const std::string& name) {
+    if (name.empty()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool alpha =
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+          c == ':';
+      if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+    }
+    return true;
+  }
+
+  /// Label names: like metric names but without the colon, and never
+  /// starting with `__` (reserved by Prometheus).
+  static bool valid_label_name(const std::string& name) {
+    if (name.empty() || name.rfind("__", 0) == 0) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool alpha =
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+      if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+    }
+    return true;
+  }
+
+  /// Label values escape backslash, double-quote and newline.
+  static std::string escape_label_value(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
+    return out;
+  }
+
+  /// HELP text escapes backslash and newline (quotes are legal there).
+  static std::string escape_help(const std::string& help) {
+    std::string out;
+    out.reserve(help.size());
+    for (const char c : help) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
+    return out;
+  }
+
+  /// Deterministic value text: integers (the common case — every
+  /// counter) print exactly, everything else round-trips through
+  /// shortest-exact %.17g.
+  static std::string format_value(double value) {
+    const auto as_int = static_cast<long long>(value);
+    if (static_cast<double>(as_int) == value &&
+        value >= -9.007199254740992e15 && value <= 9.007199254740992e15) {
+      return std::to_string(as_int);
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+  }
+
+ private:
+  struct Family {
+    std::string name;
+    std::string help;
+    const char* type;
+    SampleFn collect;
+    HistogramFn collect_histogram;
+  };
+
+  void add_family(std::string name, std::string help, const char* type,
+                  SampleFn collect, HistogramFn collect_histogram) {
+    VERITAS_EXPECTS(valid_metric_name(name));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Family& family : families_) {
+      VERITAS_EXPECTS(family.name != name);
+    }
+    families_.push_back(Family{std::move(name), std::move(help), type,
+                               std::move(collect),
+                               std::move(collect_histogram)});
+  }
+
+  static void write_labels(std::ostream& os, const Labels& labels) {
+    if (labels.empty()) return;
+    os << '{';
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+      VERITAS_EXPECTS(valid_label_name(key));
+      if (!first) os << ',';
+      first = false;
+      os << key << "=\"" << escape_label_value(value) << '"';
+    }
+    os << '}';
+  }
+
+  static void write_histogram_series(std::ostream& os,
+                                     const std::string& name,
+                                     const HistogramSample& series) {
+    Labels with_le = series.labels;
+    with_le.emplace_back("le", "");
+    for (const auto& [bound, cumulative] : series.cumulative) {
+      with_le.back().second = format_value(bound);
+      os << name << "_bucket";
+      write_labels(os, with_le);
+      os << ' ' << cumulative << '\n';
+    }
+    with_le.back().second = "+Inf";
+    os << name << "_bucket";
+    write_labels(os, with_le);
+    os << ' ' << series.count << '\n';
+    os << name << "_sum";
+    write_labels(os, series.labels);
+    os << ' ' << format_value(series.sum) << '\n';
+    os << name << "_count";
+    write_labels(os, series.labels);
+    os << ' ' << series.count << '\n';
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<Family> families_;
+};
+
+}  // namespace veritas::util

@@ -1,0 +1,262 @@
+#include "util/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace veritas::util {
+
+namespace {
+
+/// Process-global tracer state behind a magic static, mirroring the
+/// failpoint registry: no static-initialization-order hazards, one
+/// relaxed atomic on the hot path, everything else under the mutex.
+struct TracerState {
+  std::atomic<bool> enabled{false};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  std::mutex mutex;
+  std::vector<Tracer::Event> ring;
+  std::size_t capacity = Tracer::kDefaultCapacity;
+  std::uint64_t head = 0;  ///< total events ever recorded
+  std::vector<Tracer::Event> slow;
+  std::uint64_t slow_head = 0;
+  std::uint64_t slow_threshold_ns = 0;
+
+  static TracerState& instance() {
+    static TracerState state;
+    return state;
+  }
+};
+
+/// Unwraps a ring (backing store + total-write count) into
+/// oldest-first order.
+std::vector<Tracer::Event> unwrap(const std::vector<Tracer::Event>& ring,
+                                  std::size_t capacity,
+                                  std::uint64_t head) {
+  std::vector<Tracer::Event> out;
+  if (head <= capacity) {
+    out.assign(ring.begin(), ring.begin() + static_cast<long>(head));
+    return out;
+  }
+  const std::size_t cursor = static_cast<std::size_t>(head % capacity);
+  out.reserve(capacity);
+  out.insert(out.end(), ring.begin() + static_cast<long>(cursor),
+             ring.end());
+  out.insert(out.end(), ring.begin(),
+             ring.begin() + static_cast<long>(cursor));
+  return out;
+}
+
+void push_ring(std::vector<Tracer::Event>& ring, std::size_t capacity,
+               std::uint64_t& head, const Tracer::Event& event) {
+  if (ring.size() < capacity) {
+    ring.push_back(event);
+  } else {
+    ring[static_cast<std::size_t>(head % capacity)] = event;
+  }
+  ++head;
+}
+
+/// JSON string escaping for the few dynamic fields (names are literals
+/// under our control, but a cheap escape keeps the output well-formed
+/// no matter what a future site passes).
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_us(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+bool Tracer::enabled() noexcept {
+  if constexpr (!kCompiledIn) return false;
+  return TracerState::instance().enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_enabled(bool on) {
+  if constexpr (!kCompiledIn) {
+    (void)on;
+    return;
+  }
+  TracerState::instance().enabled.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::set_capacity(std::size_t events) {
+  TracerState& state = TracerState::instance();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.capacity = events < 1 ? 1 : events;
+  state.ring.clear();
+  state.ring.shrink_to_fit();
+  state.head = 0;
+}
+
+void Tracer::set_slow_query_threshold_us(std::uint64_t us) {
+  TracerState& state = TracerState::instance();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.slow_threshold_ns = us * 1000;
+}
+
+void Tracer::record(const Event& event) {
+  TracerState& state = TracerState::instance();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  push_ring(state.ring, state.capacity, state.head, event);
+  if (event.root && state.slow_threshold_ns > 0 &&
+      event.duration_ns >= state.slow_threshold_ns) {
+    push_ring(state.slow, kSlowLogCapacity, state.slow_head, event);
+  }
+}
+
+void Tracer::record_span(const char* name, const char* category,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end,
+                         std::uint64_t query_id, bool root) {
+  TracerState& state = TracerState::instance();
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.query_id = query_id;
+  const auto since_epoch = start - state.epoch;
+  event.start_ns = since_epoch.count() > 0
+                       ? static_cast<std::uint64_t>(
+                             std::chrono::duration_cast<
+                                 std::chrono::nanoseconds>(since_epoch)
+                                 .count())
+                       : 0;
+  const auto duration = end - start;
+  event.duration_ns =
+      duration.count() > 0
+          ? static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    duration)
+                    .count())
+          : 0;
+  event.thread_id = thread_id();
+  event.root = root;
+  record(event);
+}
+
+std::vector<Tracer::Event> Tracer::events() {
+  TracerState& state = TracerState::instance();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return unwrap(state.ring, state.capacity, state.head);
+}
+
+std::vector<Tracer::Event> Tracer::slow_queries() {
+  TracerState& state = TracerState::instance();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return unwrap(state.slow, kSlowLogCapacity, state.slow_head);
+}
+
+std::uint64_t Tracer::dropped() {
+  TracerState& state = TracerState::instance();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.head > state.capacity ? state.head - state.capacity : 0;
+}
+
+void Tracer::clear() {
+  TracerState& state = TracerState::instance();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.ring.clear();
+  state.head = 0;
+  state.slow.clear();
+  state.slow_head = 0;
+}
+
+std::string Tracer::chrome_trace_json() {
+  const std::vector<Event> snapshot = events();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : snapshot) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+       << json_escape(event.category) << "\",\"ph\":\"X\",\"ts\":"
+       << format_us(event.start_ns) << ",\"dur\":"
+       << format_us(event.duration_ns) << ",\"pid\":1,\"tid\":"
+       << event.thread_id << ",\"args\":{\"query\":" << event.query_id
+       << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Tracer::slow_query_log() {
+  const std::vector<Event> snapshot = slow_queries();
+  std::ostringstream os;
+  for (const Event& event : snapshot) {
+    char dur[32];
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  static_cast<double>(event.duration_ns) / 1e6);
+    os << "slow-query name=" << event.name << " query=" << event.query_id
+       << " dur_ms=" << dur << " start_us=" << format_us(event.start_ns)
+       << " thread=" << event.thread_id << '\n';
+  }
+  return os.str();
+}
+
+std::uint64_t Tracer::now_ns() {
+  const auto since =
+      std::chrono::steady_clock::now() - TracerState::instance().epoch;
+  return since.count() > 0
+             ? static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       since)
+                       .count())
+             : 0;
+}
+
+std::uint32_t Tracer::thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+namespace {
+thread_local std::uint64_t t_current_query = 0;
+}  // namespace
+
+std::uint64_t Tracer::current_query() noexcept { return t_current_query; }
+
+void Tracer::set_current_query(std::uint64_t id) noexcept {
+  t_current_query = id;
+}
+
+}  // namespace veritas::util

@@ -1,0 +1,200 @@
+// Per-query span tracing for the serving path.
+//
+// A *span* is one named, timed phase of a query's life — admission,
+// queue wait, the engine's forward pass — recorded into a process-wide
+// bounded ring buffer and exportable as Chrome trace-event JSON
+// (chrome://tracing, Perfetto) plus a threshold-driven slow-query log.
+// The design mirrors util/failpoint.hpp: sites are free when tracing is
+// disabled (one relaxed atomic load, no clock read, no lock), and the
+// VERITAS_TRACE_SPAN macros compile to literally nothing when CMake is
+// configured with -DVERITAS_TRACING=OFF (the default), so the release
+// hot path is bit-identical to a build that never heard of tracing.
+//
+// When enabled, a span costs two steady_clock reads plus one
+// mutex-guarded ring-buffer store at destruction. The mutex (rather
+// than a lock-free ring) is a deliberate trade: enabled-mode recording
+// already pays two clock calls, the critical section is a handful of
+// stores, and a plain mutex keeps the buffer trivially race-free under
+// TSan. The *disabled* path — the one benchmarks run — never touches
+// it.
+//
+// Query attribution: the service stamps each job with a trace id and
+// sets it as the thread's current query (ScopedQueryId) for the span
+// of execution, so engine-level spans recorded deep inside Ehmm carry
+// the query id without threading it through every signature. Spans
+// flagged `root` cover a query end-to-end; those are the ones the
+// slow-query log retains when their duration crosses the configured
+// threshold.
+//
+// Span taxonomy (kept in sync with docs/OBSERVABILITY.md):
+//   service.admit       — submit-side admission (shard resolve to verdict)
+//   service.cache_probe — result-cache lookup at admission
+//   service.queue_wait  — accepted job's time in the priority queue
+//   service.execute     — root span: lane-side compute + cache fill
+//   engine.infer        — InferenceEngine::infer_with_seed end to end
+//   engine.sample_posterior — the posterior sampling loop (all draws)
+//   ehmm.emission_means — estimator batch (TCP estimator + caches)
+//   ehmm.emission_logpdf — Gaussian log-density over the mean rows
+//   ehmm.viterbi        — MAP pass
+//   ehmm.forward        — scaled emissions + forward recursion
+//   ehmm.backward       — backward recursion + pair totals + marginals
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace veritas::util {
+
+class Tracer {
+ public:
+  /// False when the whole subsystem was compiled out
+  /// (-DVERITAS_TRACING=OFF): macro sites vanish and enable() is
+  /// refused, so callers can warn instead of silently writing an empty
+  /// trace.
+#if defined(VERITAS_TRACING_DISABLED)
+  static constexpr bool kCompiledIn = false;
+#else
+  static constexpr bool kCompiledIn = true;
+#endif
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+  static constexpr std::size_t kSlowLogCapacity = 256;
+
+  /// One completed span. `name` and `category` must be string literals
+  /// (or otherwise outlive the tracer) — the ring stores the pointers.
+  struct Event {
+    const char* name = "";
+    const char* category = "";
+    std::uint64_t query_id = 0;  ///< 0 = not attributed to a query
+    std::uint64_t start_ns = 0;  ///< since the process trace epoch
+    std::uint64_t duration_ns = 0;
+    std::uint32_t thread_id = 0;  ///< small sequential per-thread id
+    bool root = false;            ///< covers a query end to end
+  };
+
+  /// The hot-path gate: one relaxed atomic load.
+  static bool enabled() noexcept;
+
+  /// Turns recording on/off. Enabling a compiled-out tracer is a no-op
+  /// (enabled() stays false).
+  static void set_enabled(bool on);
+
+  /// Resizes the ring (drops buffered events; min capacity 1).
+  static void set_capacity(std::size_t events);
+
+  /// Root spans at least this long are retained in the slow-query log;
+  /// 0 disables it.
+  static void set_slow_query_threshold_us(std::uint64_t us);
+
+  /// Records one completed span (caller checked enabled()).
+  static void record(const Event& event);
+
+  /// Convenience: record a span from two steady_clock points on the
+  /// calling thread, attributed to `query_id`.
+  static void record_span(const char* name, const char* category,
+                          std::chrono::steady_clock::time_point start,
+                          std::chrono::steady_clock::time_point end,
+                          std::uint64_t query_id, bool root = false);
+
+  /// Buffered events, oldest first.
+  static std::vector<Event> events();
+
+  /// Retained slow root spans, oldest first.
+  static std::vector<Event> slow_queries();
+
+  /// Events overwritten by ring wraparound since the last clear().
+  static std::uint64_t dropped();
+
+  /// Drops buffered events, the slow log and the dropped counter;
+  /// keeps enabled state, capacity and threshold.
+  static void clear();
+
+  /// The buffered events as Chrome trace-event JSON ("X" complete
+  /// events; ts/dur in µs; query id and category in args).
+  static std::string chrome_trace_json();
+
+  /// Human-readable slow-query log, one line per retained root span.
+  static std::string slow_query_log();
+
+  /// Nanoseconds since the process trace epoch (steady clock).
+  static std::uint64_t now_ns();
+
+  /// The calling thread's small sequential id (stable for its life).
+  static std::uint32_t thread_id() noexcept;
+
+  /// Thread-local query attribution for spans recorded below the
+  /// service layer. 0 = none.
+  static std::uint64_t current_query() noexcept;
+  static void set_current_query(std::uint64_t id) noexcept;
+};
+
+/// RAII query attribution: sets the thread's current query id, restores
+/// the previous one on scope exit (nesting-safe).
+class ScopedQueryId {
+ public:
+  explicit ScopedQueryId(std::uint64_t id) noexcept
+      : prev_(Tracer::current_query()) {
+    Tracer::set_current_query(id);
+  }
+  ~ScopedQueryId() { Tracer::set_current_query(prev_); }
+  ScopedQueryId(const ScopedQueryId&) = delete;
+  ScopedQueryId& operator=(const ScopedQueryId&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// RAII span: stamps the start on construction (only when tracing is
+/// enabled — otherwise the constructor is one relaxed load) and records
+/// on destruction, attributed to the thread's current query. The class
+/// is always compiled (tests exercise it in every build); only the
+/// macro sites below fold away under -DVERITAS_TRACING=OFF.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category,
+            bool root = false) noexcept {
+    if (!Tracer::enabled()) return;
+    armed_ = true;
+    name_ = name;
+    category_ = category;
+    root_ = root;
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~TraceSpan() {
+    if (!armed_) return;
+    Tracer::record_span(name_, category_, start_,
+                        std::chrono::steady_clock::now(),
+                        Tracer::current_query(), root_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool armed_ = false;
+  bool root_ = false;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace veritas::util
+
+#define VERITAS_TRACE_CONCAT_INNER(a, b) a##b
+#define VERITAS_TRACE_CONCAT(a, b) VERITAS_TRACE_CONCAT_INNER(a, b)
+
+#if defined(VERITAS_TRACING_DISABLED)
+// Compiled out: the site vanishes, including the name literals.
+#define VERITAS_TRACE_SPAN(name, category)
+#define VERITAS_TRACE_QUERY_SPAN(name, category)
+#else
+/// Times the rest of the enclosing scope as one span.
+#define VERITAS_TRACE_SPAN(name, category)                            \
+  const ::veritas::util::TraceSpan VERITAS_TRACE_CONCAT(              \
+      veritas_trace_span_, __LINE__)((name), (category))
+/// Same, flagged as a query root span (slow-query-log eligible).
+#define VERITAS_TRACE_QUERY_SPAN(name, category)                      \
+  const ::veritas::util::TraceSpan VERITAS_TRACE_CONCAT(              \
+      veritas_trace_span_, __LINE__)((name), (category), /*root=*/true)
+#endif

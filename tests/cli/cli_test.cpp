@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "util/expects.hpp"
+#include "util/trace.hpp"
 
 namespace veritas::cli {
 namespace {
@@ -29,6 +31,13 @@ class CliTest : public ::testing::Test {
   }
 
   std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  static std::string slurp(const std::string& file) {
+    std::ifstream in(file);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
 
   fs::path dir_;
   std::ostringstream out_, err_;
@@ -146,6 +155,53 @@ TEST_F(CliTest, ServeRunsRoundsAndReportsCache) {
   // Round two re-submits the same logs: both answered from the cache.
   EXPECT_NE(text.find("served 4 queries (2 computed, 2 from cache)"),
             std::string::npos);
+}
+
+TEST_F(CliTest, ServeWritesPrometheusMetrics) {
+  ASSERT_EQ(run({"generate-trace", "--out", path("gt.csv")}), 0);
+  ASSERT_EQ(run({"simulate", "--trace", path("gt.csv"), "--out",
+                 path("log.csv")}),
+            0);
+  ASSERT_EQ(run({"serve", "--logs", path("log.csv"), "--metrics-out",
+                 path("metrics.prom")}),
+            0);
+  EXPECT_NE(out_.str().find("wrote metrics"), std::string::npos);
+  ASSERT_TRUE(fs::exists(path("metrics.prom")));
+  const std::string text = slurp(path("metrics.prom"));
+  EXPECT_NE(text.find("# TYPE veritas_queries_total counter"),
+            std::string::npos);
+  // Default serve runs 2 rounds: round two answers from the cache.
+  EXPECT_NE(text.find("veritas_queries_submitted_total 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("veritas_queries_total{outcome=\"computed\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("veritas_queries_total{outcome=\"cache_hit\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("veritas_unreconciled_queries 0"), std::string::npos);
+  EXPECT_NE(text.find("veritas_build_info{kernels="), std::string::npos);
+}
+
+TEST_F(CliTest, ServeTraceOutDependsOnBuildFlavor) {
+  ASSERT_EQ(run({"generate-trace", "--out", path("gt.csv")}), 0);
+  ASSERT_EQ(run({"simulate", "--trace", path("gt.csv"), "--out",
+                 path("log.csv")}),
+            0);
+  ASSERT_EQ(run({"serve", "--logs", path("log.csv"), "--trace-out",
+                 path("trace.json")}),
+            0);
+  if (util::Tracer::kCompiledIn) {
+    EXPECT_NE(out_.str().find("wrote trace"), std::string::npos);
+    ASSERT_TRUE(fs::exists(path("trace.json")));
+    const std::string json = slurp(path("trace.json"));
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"service.execute\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"ehmm.forward\""), std::string::npos);
+    util::Tracer::clear();
+  } else {
+    // Compiled out: the flag warns instead of writing an empty trace.
+    EXPECT_NE(out_.str().find("tracing compiled out"), std::string::npos);
+    EXPECT_FALSE(fs::exists(path("trace.json")));
+  }
 }
 
 TEST_F(CliTest, ServeRequiresLogs) {

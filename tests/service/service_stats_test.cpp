@@ -184,16 +184,17 @@ TEST(LatencyHistogram, BucketsAndPercentiles) {
   EXPECT_EQ(h.snapshot().percentile_us(0.5), 0.0);  // empty
 
   // 90 fast samples (~100 µs bucket) and 10 slow ones (~100 ms bucket):
-  // p50 reads the fast bucket, p99 the slow one.
+  // p50 reads the fast bucket's upper bound, p99 lands in the slow
+  // bucket and is clamped to the exact observed maximum (PR 8).
   for (int i = 0; i < 90; ++i) h.record_us(100);
   for (int i = 0; i < 10; ++i) h.record_us(100000);
   const LatencyHistogram::Snapshot snap = h.snapshot();
   EXPECT_EQ(snap.total, 100u);
+  EXPECT_EQ(snap.sum_us, 90u * 100u + 10u * 100000u);
+  EXPECT_EQ(snap.max_us, 100000u);
   EXPECT_EQ(snap.percentile_us(0.5), LatencyHistogram::upper_bound_us(
                                          LatencyHistogram::bucket_of(100)));
-  EXPECT_EQ(snap.percentile_us(0.99),
-            LatencyHistogram::upper_bound_us(
-                LatencyHistogram::bucket_of(100000)));
+  EXPECT_EQ(snap.percentile_us(0.99), 100000.0);
   EXPECT_LE(snap.percentile_us(0.5), snap.percentile_us(0.99));
 }
 

@@ -1,0 +1,107 @@
+// LatencyHistogram percentile edge cases (PR 8 regressions): empty
+// snapshots return 0, a single sample returns exactly that sample, and
+// percentiles landing in a wide power-of-two bucket are clamped to the
+// observed maximum instead of reporting the bucket's upper bound.
+#include "util/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using veritas::util::LatencyHistogram;
+
+TEST(LatencyHistogramEdges, EmptySnapshotIsAllZero) {
+  const LatencyHistogram::Snapshot snap = LatencyHistogram{}.snapshot();
+  EXPECT_EQ(snap.total, 0u);
+  EXPECT_EQ(snap.sum_us, 0u);
+  EXPECT_EQ(snap.max_us, 0u);
+  EXPECT_EQ(snap.percentile_us(0.0), 0.0);
+  EXPECT_EQ(snap.percentile_us(0.5), 0.0);
+  EXPECT_EQ(snap.percentile_us(1.0), 0.0);
+}
+
+TEST(LatencyHistogramEdges, SingleSampleReturnsExactValue) {
+  // 1000 µs lands in bucket 10 (upper bound 1023 µs). Every percentile
+  // must report the exact sample 1000, not the bucket bound 1023.
+  LatencyHistogram h;
+  h.record_us(1000);
+  const LatencyHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.total, 1u);
+  EXPECT_EQ(snap.sum_us, 1000u);
+  EXPECT_EQ(snap.max_us, 1000u);
+  EXPECT_EQ(snap.percentile_us(0.5), 1000.0);
+  EXPECT_EQ(snap.percentile_us(0.99), 1000.0);
+  EXPECT_EQ(snap.percentile_us(1.0), 1000.0);
+}
+
+TEST(LatencyHistogramEdges, SingleZeroSample) {
+  LatencyHistogram h;
+  h.record_us(0);
+  const LatencyHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.total, 1u);
+  EXPECT_EQ(snap.max_us, 0u);
+  EXPECT_EQ(snap.percentile_us(0.5), 0.0);
+  EXPECT_EQ(snap.percentile_us(1.0), 0.0);
+}
+
+TEST(LatencyHistogramEdges, MaxClampOnlyAffectsTheTopBucket) {
+  // bucket_of(3) = 2 (bound 3), bucket_of(5) = 3 (bound 7). p50
+  // resolves to bucket 2 and keeps its bound (3, below the global max);
+  // p100 resolves to bucket 3 and is clamped to the observed max 5
+  // rather than reporting the bound 7.
+  LatencyHistogram h;
+  h.record_us(3);
+  h.record_us(5);
+  const LatencyHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.max_us, 5u);
+  EXPECT_EQ(snap.percentile_us(0.5), 3.0);
+  EXPECT_EQ(snap.percentile_us(1.0), 5.0);
+}
+
+TEST(LatencyHistogramEdges, LowerBucketsStillReportBucketBounds) {
+  // With samples in two buckets, a percentile resolving to the *lower*
+  // bucket keeps its upper bound (the max lives elsewhere).
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record_us(100);  // bucket bound 127
+  h.record_us(1 << 20);
+  const LatencyHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.percentile_us(0.5), 127.0);
+  EXPECT_EQ(snap.percentile_us(1.0), static_cast<double>(1 << 20));
+}
+
+TEST(LatencyHistogramEdges, TopBucketSaturation) {
+  // Values past the last bucket's range all land in the final bucket;
+  // the max clamp keeps the percentile honest instead of reporting the
+  // bucket's (astronomical) upper bound.
+  LatencyHistogram h;
+  const std::uint64_t huge = ~std::uint64_t{0} / 2;
+  h.record_us(huge);
+  const LatencyHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.max_us, huge);
+  EXPECT_EQ(snap.percentile_us(1.0), static_cast<double>(huge));
+}
+
+TEST(LatencyHistogramEdges, SumAndMaxAccumulateAcrossThreads) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record_us(static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const LatencyHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.total, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum_us, kPerThread * (1u + 2u + 3u + 4u));
+  EXPECT_EQ(snap.max_us, 4u);
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// MetricsRegistry: Prometheus text-exposition golden output (HELP/TYPE
+// lines, label escaping, histogram _bucket/_sum/_count series),
+// registration validation, the LatencyHistogram bridge, and concurrent
+// registration/scrape/update churn (run under TSan in CI).
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/expects.hpp"
+#include "util/latency_histogram.hpp"
+
+namespace {
+
+using veritas::ContractViolation;
+using veritas::util::LatencyHistogram;
+using veritas::util::MetricsRegistry;
+
+TEST(MetricsRegistry, GoldenExposition) {
+  MetricsRegistry registry;
+  registry.add_counter("test_requests_total", "Total requests.", {},
+                       [] { return 42.0; });
+  registry.add_gauge("test_queue_depth", "Pending jobs.", [] {
+    return std::vector<MetricsRegistry::Sample>{
+        {{{"priority", "interactive"}}, 3.0},
+        {{{"priority", "batch"}}, 1.5},
+    };
+  });
+  LatencyHistogram h;
+  h.record_us(0);
+  h.record_us(5);
+  h.record_us(5);
+  registry.add_histogram("test_latency_us", "Latency.", [&h] {
+    return std::vector<MetricsRegistry::HistogramSample>{
+        MetricsRegistry::from_latency_snapshot(h.snapshot(), {})};
+  });
+
+  // Buckets: 0 µs -> bucket 0 (bound 0), 5 µs -> bucket 3 (bound 7);
+  // cumulative counts run through the last non-empty bucket, then +Inf.
+  const std::string expected =
+      "# HELP test_requests_total Total requests.\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total 42\n"
+      "# HELP test_queue_depth Pending jobs.\n"
+      "# TYPE test_queue_depth gauge\n"
+      "test_queue_depth{priority=\"interactive\"} 3\n"
+      "test_queue_depth{priority=\"batch\"} 1.5\n"
+      "# HELP test_latency_us Latency.\n"
+      "# TYPE test_latency_us histogram\n"
+      "test_latency_us_bucket{le=\"0\"} 1\n"
+      "test_latency_us_bucket{le=\"1\"} 1\n"
+      "test_latency_us_bucket{le=\"3\"} 1\n"
+      "test_latency_us_bucket{le=\"7\"} 3\n"
+      "test_latency_us_bucket{le=\"+Inf\"} 3\n"
+      "test_latency_us_sum 10\n"
+      "test_latency_us_count 3\n";
+  EXPECT_EQ(registry.expose(), expected);
+  EXPECT_EQ(registry.families(), 3u);
+}
+
+TEST(MetricsRegistry, ScrapesAreLiveReads) {
+  MetricsRegistry registry;
+  std::atomic<std::uint64_t> counter{0};
+  registry.add_counter("test_live_total", "Live.", {}, [&counter] {
+    return static_cast<double>(counter.load(std::memory_order_relaxed));
+  });
+  EXPECT_NE(registry.expose().find("test_live_total 0\n"), std::string::npos);
+  counter.store(7, std::memory_order_relaxed);
+  EXPECT_NE(registry.expose().find("test_live_total 7\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, LabelValueEscaping) {
+  MetricsRegistry registry;
+  registry.add_gauge("test_info", "Escapes.", [] {
+    return std::vector<MetricsRegistry::Sample>{
+        {{{"path", "a\\b"}, {"quote", "say \"hi\""}, {"line", "x\ny"}}, 1.0}};
+  });
+  const std::string text = registry.expose();
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(text.find("quote=\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(text.find("line=\"x\\ny\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, HelpTextEscaping) {
+  MetricsRegistry registry;
+  registry.add_counter("test_total", "line one\nline two \\ done", {},
+                       [] { return 0.0; });
+  EXPECT_NE(registry.expose().find(
+                "# HELP test_total line one\\nline two \\\\ done\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, RejectsInvalidAndDuplicateNames) {
+  MetricsRegistry registry;
+  EXPECT_THROW(
+      registry.add_counter("0bad", "x", {}, [] { return 0.0; }),
+      ContractViolation);
+  EXPECT_THROW(
+      registry.add_counter("has-dash", "x", {}, [] { return 0.0; }),
+      ContractViolation);
+  registry.add_counter("test_dup_total", "x", {}, [] { return 0.0; });
+  EXPECT_THROW(
+      registry.add_gauge("test_dup_total", "x", {}, [] { return 0.0; }),
+      ContractViolation);
+}
+
+TEST(MetricsRegistry, RejectsInvalidLabelNamesAtScrape) {
+  MetricsRegistry registry;
+  registry.add_gauge("test_bad_label", "x", [] {
+    return std::vector<MetricsRegistry::Sample>{{{{"__reserved", "v"}}, 1.0}};
+  });
+  EXPECT_THROW(registry.expose(), ContractViolation);
+}
+
+TEST(MetricsRegistry, NameValidators) {
+  EXPECT_TRUE(MetricsRegistry::valid_metric_name("veritas_queries_total"));
+  EXPECT_TRUE(MetricsRegistry::valid_metric_name("ns:sub_total"));
+  EXPECT_FALSE(MetricsRegistry::valid_metric_name(""));
+  EXPECT_FALSE(MetricsRegistry::valid_metric_name("9lives"));
+  EXPECT_TRUE(MetricsRegistry::valid_label_name("shard"));
+  EXPECT_FALSE(MetricsRegistry::valid_label_name("le:colon"));
+  EXPECT_FALSE(MetricsRegistry::valid_label_name("__reserved"));
+}
+
+TEST(MetricsRegistry, EmptyHistogramHasOnlyInfBucket) {
+  const auto series =
+      MetricsRegistry::from_latency_snapshot(LatencyHistogram{}.snapshot(), {});
+  EXPECT_TRUE(series.cumulative.empty());
+  EXPECT_EQ(series.count, 0u);
+  EXPECT_EQ(series.sum, 0.0);
+
+  MetricsRegistry registry;
+  registry.add_histogram("test_empty_us", "Empty.", [series] {
+    return std::vector<MetricsRegistry::HistogramSample>{series};
+  });
+  const std::string text = registry.expose();
+  EXPECT_NE(text.find("test_empty_us_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_empty_us_count 0\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ValueFormattingIsDeterministic) {
+  EXPECT_EQ(MetricsRegistry::format_value(0.0), "0");
+  EXPECT_EQ(MetricsRegistry::format_value(42.0), "42");
+  EXPECT_EQ(MetricsRegistry::format_value(-3.0), "-3");
+  EXPECT_EQ(MetricsRegistry::format_value(1.5), "1.5");
+  // Round-trips exactly through %.17g.
+  EXPECT_EQ(std::stod(MetricsRegistry::format_value(0.1)), 0.1);
+}
+
+// Concurrent churn: writers bump the counters the collectors read,
+// registrars add new families, scrapers render — all at once. Run under
+// TSan in CI; the assertion here is only "no crash, sane output".
+TEST(MetricsRegistry, ConcurrentChurn) {
+  MetricsRegistry registry;
+  std::atomic<std::uint64_t> hits{0};
+  registry.add_counter("test_churn_hits_total", "x", {}, [&hits] {
+    return static_cast<double>(hits.load(std::memory_order_relaxed));
+  });
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Writers: the lock-free update path.
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Registrars: one new family each, racing the scrapers.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&registry, &hits, r] {
+      registry.add_gauge("test_churn_gauge_" + std::to_string(r), "x", {},
+                         [&hits] {
+                           return static_cast<double>(
+                               hits.load(std::memory_order_relaxed));
+                         });
+    });
+  }
+  // Scrapers.
+  for (int s = 0; s < 2; ++s) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 50; ++i) {
+        const std::string text = registry.expose();
+        EXPECT_NE(text.find("test_churn_hits_total"), std::string::npos);
+      }
+    });
+  }
+  for (std::size_t i = 2; i < threads.size(); ++i) threads[i].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads[0].join();
+  threads[1].join();
+  EXPECT_EQ(registry.families(), 3u);
+}
+
+}  // namespace

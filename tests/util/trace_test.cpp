@@ -1,0 +1,222 @@
+// Tracer: ring-buffer wraparound and drop accounting, Chrome
+// trace-event JSON shape, the slow-query log, thread-local query
+// attribution (ScopedQueryId nesting), RAII spans in enabled and
+// disabled states, and concurrent recording (run under TSan in CI).
+//
+// The Tracer class itself is compiled in every build; only the macro
+// sites fold away under -DVERITAS_TRACING=OFF. Tests that need
+// enabled() == true skip when the subsystem is compiled out, the rest
+// drive record() directly and run everywhere.
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using veritas::util::ScopedQueryId;
+using veritas::util::TraceSpan;
+using veritas::util::Tracer;
+
+/// The tracer is process-global; reset it around every test so suites
+/// that trace (CLI serve, service metrics) can run in any order.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+  static void reset() {
+    Tracer::set_enabled(false);
+    Tracer::set_slow_query_threshold_us(0);
+    Tracer::set_capacity(Tracer::kDefaultCapacity);
+    Tracer::clear();
+  }
+
+  static Tracer::Event make_event(const char* name, std::uint64_t query,
+                                  std::uint64_t start_ns,
+                                  std::uint64_t dur_ns, bool root = false) {
+    Tracer::Event event;
+    event.name = name;
+    event.category = "test";
+    event.query_id = query;
+    event.start_ns = start_ns;
+    event.duration_ns = dur_ns;
+    event.thread_id = Tracer::thread_id();
+    event.root = root;
+    return event;
+  }
+};
+
+TEST_F(TracerTest, RingKeepsNewestAndCountsDropped) {
+  Tracer::set_capacity(4);
+  static const char* const kNames[] = {"e0", "e1", "e2", "e3",
+                                       "e4", "e5", "e6"};
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    Tracer::record(make_event(kNames[i], i, i * 10, 1));
+  }
+  // Capacity 4, 7 recorded: the oldest 3 were overwritten.
+  EXPECT_EQ(Tracer::dropped(), 3u);
+  const std::vector<Tracer::Event> events = Tracer::events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_STREQ(events[i].name, kNames[3 + i]);  // oldest first
+    EXPECT_EQ(events[i].query_id, 3 + i);
+  }
+}
+
+TEST_F(TracerTest, PartialRingIsOldestFirstWithNoDrops) {
+  Tracer::set_capacity(8);
+  Tracer::record(make_event("a", 1, 0, 1));
+  Tracer::record(make_event("b", 2, 5, 1));
+  EXPECT_EQ(Tracer::dropped(), 0u);
+  const std::vector<Tracer::Event> events = Tracer::events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_STREQ(events[1].name, "b");
+}
+
+TEST_F(TracerTest, ClearDropsEventsAndResetsDropCounter) {
+  Tracer::set_capacity(2);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Tracer::record(make_event("x", i, 0, 1));
+  }
+  EXPECT_EQ(Tracer::dropped(), 3u);
+  Tracer::clear();
+  EXPECT_EQ(Tracer::dropped(), 0u);
+  EXPECT_TRUE(Tracer::events().empty());
+}
+
+TEST_F(TracerTest, ChromeTraceJsonShape) {
+  // 1500 ns start / 2500 ns duration exercise the sub-µs formatting:
+  // ts and dur are µs with three fractional digits.
+  Tracer::record(make_event("ehmm.forward", 7, 1500, 2500));
+  const std::string json = Tracer::chrome_trace_json();
+  EXPECT_NE(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ehmm.forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"query\":7}"), std::string::npos);
+  // Valid JSON even when empty.
+  Tracer::clear();
+  EXPECT_EQ(Tracer::chrome_trace_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST_F(TracerTest, SlowQueryLogRetainsOnlySlowRootSpans) {
+  Tracer::set_slow_query_threshold_us(10);  // 10 µs
+  Tracer::record(make_event("service.execute", 1, 0, 5'000, true));
+  Tracer::record(make_event("service.execute", 2, 0, 50'000, true));
+  Tracer::record(make_event("ehmm.forward", 3, 0, 50'000, false));
+  const std::vector<Tracer::Event> slow = Tracer::slow_queries();
+  ASSERT_EQ(slow.size(), 1u);  // only the slow *root* span
+  EXPECT_EQ(slow[0].query_id, 2u);
+  const std::string log = Tracer::slow_query_log();
+  EXPECT_NE(log.find("slow-query name=service.execute query=2 "
+                     "dur_ms=0.050"),
+            std::string::npos);
+}
+
+TEST_F(TracerTest, ZeroThresholdDisablesSlowLog) {
+  Tracer::record(make_event("service.execute", 1, 0, 1'000'000'000, true));
+  EXPECT_TRUE(Tracer::slow_queries().empty());
+  EXPECT_EQ(Tracer::slow_query_log(), "");
+}
+
+TEST_F(TracerTest, ScopedQueryIdNestsAndRestores) {
+  EXPECT_EQ(Tracer::current_query(), 0u);
+  {
+    ScopedQueryId outer(11);
+    EXPECT_EQ(Tracer::current_query(), 11u);
+    {
+      ScopedQueryId inner(22);
+      EXPECT_EQ(Tracer::current_query(), 22u);
+    }
+    EXPECT_EQ(Tracer::current_query(), 11u);
+  }
+  EXPECT_EQ(Tracer::current_query(), 0u);
+}
+
+TEST_F(TracerTest, DisabledSpanRecordsNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  {
+    TraceSpan span("should.not.appear", "test");
+  }
+  EXPECT_TRUE(Tracer::events().empty());
+}
+
+TEST_F(TracerTest, EnabledSpanRecordsWithQueryAttribution) {
+  if (!Tracer::kCompiledIn) {
+    GTEST_SKIP() << "tracing compiled out (-DVERITAS_TRACING=OFF)";
+  }
+  Tracer::set_enabled(true);
+  {
+    ScopedQueryId query(42);
+    TraceSpan span("engine.infer", "engine");
+  }
+  Tracer::set_enabled(false);
+  const std::vector<Tracer::Event> events = Tracer::events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "engine.infer");
+  EXPECT_STREQ(events[0].category, "engine");
+  EXPECT_EQ(events[0].query_id, 42u);
+  EXPECT_FALSE(events[0].root);
+  EXPECT_EQ(events[0].thread_id, Tracer::thread_id());
+}
+
+TEST_F(TracerTest, SetEnabledIsRefusedWhenCompiledOut) {
+  if (Tracer::kCompiledIn) {
+    GTEST_SKIP() << "tracing compiled in";
+  }
+  Tracer::set_enabled(true);
+  EXPECT_FALSE(Tracer::enabled());
+}
+
+TEST_F(TracerTest, RecordSpanClampsNegativeDurations) {
+  // A span whose end precedes its start (clock adjustment, bad caller)
+  // must not wrap to a huge unsigned duration.
+  const auto now = std::chrono::steady_clock::now();
+  Tracer::record_span("backwards", "test", now,
+                      now - std::chrono::milliseconds(5), 1);
+  const std::vector<Tracer::Event> events = Tracer::events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].duration_ns, 0u);
+}
+
+TEST_F(TracerTest, ThreadIdsAreSmallAndStable) {
+  const std::uint32_t mine = Tracer::thread_id();
+  EXPECT_GT(mine, 0u);
+  EXPECT_EQ(Tracer::thread_id(), mine);  // stable on the same thread
+  std::uint32_t other = 0;
+  std::thread([&other] { other = Tracer::thread_id(); }).join();
+  EXPECT_GT(other, 0u);
+  EXPECT_NE(other, mine);
+}
+
+// Concurrent recording into the shared ring; run under TSan in CI.
+TEST_F(TracerTest, ConcurrentRecordIsRaceFree) {
+  Tracer::set_capacity(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Tracer::record(
+            make_event("churn", static_cast<std::uint64_t>(t), 0, 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(Tracer::events().size(), 64u);
+  EXPECT_EQ(Tracer::dropped(),
+            static_cast<std::uint64_t>(kThreads * kPerThread - 64));
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (0.0.4) file.
+
+Usage: tools/promlint.py METRICS.prom [METRICS.prom ...]
+
+Checks the output of `veritas serve --metrics-out` (or any exposition
+text) without needing promtool installed:
+
+  * structure: every sample belongs to a family introduced by
+    `# HELP name ...` then `# TYPE name counter|gauge|histogram|summary|
+    untyped`, in that order, each family appearing once.
+  * names: metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+    match [a-zA-Z_][a-zA-Z0-9_]* and never start with the reserved
+    `__`; counter families end in `_total`.
+  * values: parse as floats (inf/NaN included); no duplicate series
+    (same name + same label set).
+  * histograms: `_bucket` series carry an `le` label, bucket counts are
+    cumulative (non-decreasing in file order), the `+Inf` bucket equals
+    `_count`, and `_sum` / `_count` are present per label set.
+
+Exits non-zero after printing every finding, so CI surfaces all the
+problems in one run.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  |  name value   (timestamps are not emitted by us)
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
+LABEL_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_labels(raw, errors, where):
+    """Parses the inside of {...} into an ordered (key, value) tuple."""
+    labels = []
+    pos = 0
+    while pos < len(raw):
+        match = LABEL_RE.match(raw, pos)
+        if not match:
+            errors.append(f"{where}: malformed label block at '{raw[pos:]}'")
+            return tuple(labels)
+        key = match.group("key")
+        if not LABEL_NAME_RE.match(key) or key.startswith("__"):
+            errors.append(f"{where}: invalid label name '{key}'")
+        labels.append((key, match.group("value")))
+        pos = match.end()
+    return tuple(labels)
+
+
+def base_family(name):
+    """The family a sample line belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(path):
+    errors = []
+    with open(path) as f:
+        lines = f.read().splitlines()
+
+    helped = {}        # family -> help line number
+    typed = {}         # family -> declared type
+    last_comment = {}  # family -> last comment kind seen ("help"/"type")
+    seen_series = set()
+    # histogram family -> labelset(without le) -> state
+    hist = {}
+
+    def err(line_no, message):
+        errors.append(f"{path}:{line_no}: {message}")
+
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment
+            kind, name = parts[1], parts[2]
+            if not NAME_RE.match(name):
+                err(i, f"invalid metric name '{name}' in # {kind}")
+                continue
+            if kind == "HELP":
+                if name in helped:
+                    err(i, f"duplicate # HELP for '{name}'")
+                helped[name] = i
+                last_comment[name] = "help"
+            else:
+                mtype = parts[3].strip() if len(parts) > 3 else ""
+                if mtype not in VALID_TYPES:
+                    err(i, f"invalid type '{mtype}' for '{name}'")
+                if name in typed:
+                    err(i, f"duplicate # TYPE for '{name}'")
+                if last_comment.get(name) != "help":
+                    err(i, f"# TYPE for '{name}' not preceded by # HELP")
+                typed[name] = mtype
+                last_comment[name] = "type"
+                if mtype == "counter" and not name.endswith("_total"):
+                    err(i, f"counter '{name}' should end in _total")
+                if mtype == "histogram":
+                    hist[name] = {}
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            err(i, f"unparseable sample line: '{line}'")
+            continue
+        name = match.group("name")
+        family = base_family(name)
+        if family not in typed and name in typed:
+            family = name  # e.g. a gauge literally named *_count
+        if family not in typed:
+            err(i, f"sample '{name}' has no preceding # TYPE")
+            family = None
+        elif typed[family] != "histogram" and name != family:
+            # _bucket/_sum/_count suffixes only mean something for
+            # histograms; for other types the full name is the family.
+            if name not in typed:
+                err(i, f"sample '{name}' has no preceding # TYPE")
+        labels = parse_labels(match.group("labels") or "", errors,
+                              f"{path}:{i}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            err(i, f"unparseable value '{match.group('value')}'")
+            continue
+        series = (name, labels)
+        if series in seen_series:
+            err(i, f"duplicate series {name}{dict(labels)}")
+        seen_series.add(series)
+
+        if family in hist:
+            key = tuple(kv for kv in labels if kv[0] != "le")
+            state = hist[family].setdefault(
+                key, {"last_bucket": None, "inf": None, "sum": False,
+                      "count": None, "line": i})
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    err(i, f"histogram bucket '{name}' missing le label")
+                elif le == "+Inf":
+                    state["inf"] = value
+                else:
+                    try:
+                        float(le)
+                    except ValueError:
+                        err(i, f"non-numeric le '{le}'")
+                if state["last_bucket"] is not None \
+                        and value < state["last_bucket"]:
+                    err(i, f"histogram '{family}' buckets not cumulative "
+                           f"({value} < {state['last_bucket']})")
+                state["last_bucket"] = value
+            elif name.endswith("_sum"):
+                state["sum"] = True
+            elif name.endswith("_count"):
+                state["count"] = value
+
+    for family in helped:
+        if family not in typed:
+            errors.append(f"{path}: '{family}' has # HELP but no # TYPE")
+    for family, series in hist.items():
+        for key, state in series.items():
+            where = f"{path}: histogram '{family}'{dict(key)}"
+            if state["inf"] is None:
+                errors.append(f"{where}: missing +Inf bucket")
+            if not state["sum"]:
+                errors.append(f"{where}: missing _sum")
+            if state["count"] is None:
+                errors.append(f"{where}: missing _count")
+            elif state["inf"] is not None and state["inf"] != state["count"]:
+                errors.append(f"{where}: +Inf bucket {state['inf']} != "
+                              f"_count {state['count']}")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in sys.argv[1:]:
+        all_errors.extend(lint(path))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    if all_errors:
+        print(f"FAIL: {len(all_errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,9 @@
 # BM_FbWithEstimatorPr4BaselineK17 vs BM_FbWithEstimatorK17/simd:1/warm:1
 # (forward-backward with the estimator included, k = 17). PR 7 adds
 # BM_EstimatorBatchCaHeavyK17 (congestion-avoidance-dominated batch, the
-# vectorized CA jump) and the /simd:2 column everywhere.
+# vectorized CA jump) and the /simd:2 column everywhere. PR 8 adds
+# BM_TraceSpanDisabled / BM_TraceSpanEnabled (the observability tax of a
+# span site; Enabled self-skips in default -DVERITAS_TRACING=OFF builds).
 #
 # The PR 6 service bench additionally runs an overload scenario (2x the
 # measured cold capacity, mixed priorities, deadlines, shed + degraded
@@ -29,12 +31,12 @@
 # the counter-reconciliation bit. The bench exits non-zero if a
 # submitter ever blocked >= 1 s or the books don't balance.
 #
-# Usage: tools/run_bench.sh [output.json]   (default: BENCH_7.json)
+# Usage: tools/run_bench.sh [output.json]   (default: BENCH_8.json)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-out_json="${1:-${repo_root}/BENCH_7.json}"
+out_json="${1:-${repo_root}/BENCH_8.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j \
